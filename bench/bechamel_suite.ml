@@ -1,0 +1,117 @@
+(* Bechamel micro-benchmarks: one Test.make per reproduced table/figure,
+   timing a representative unit of the work that experiment performs
+   (a simulator run, a model fit, an optimizer solve, ...). *)
+
+open Bechamel
+open Toolkit
+module Schedule = Opprox_sim.Schedule
+module Driver = Opprox_sim.Driver
+module App = Opprox_sim.App
+module Rng = Opprox_util.Rng
+
+let app name = Opprox_apps.Registry.find name
+
+let run_uniform name levels () =
+  let a = app name in
+  ignore (Driver.evaluate a (Schedule.uniform ~n_phases:1 levels) a.App.default_input)
+
+(* Model-fitting payload for the fig12/13 benchmarks. *)
+let polyreg_payload =
+  lazy
+    (let rng = Rng.create 3 in
+     let rows = Array.init 120 (fun i -> [| float_of_int (i mod 12); float_of_int (i / 12) |]) in
+     let ys = Array.map (fun r -> (r.(0) *. r.(1)) +. (2.0 *. r.(0)) +. 1.0) rows in
+     (rng, rows, ys))
+
+let fit_polyreg () =
+  let rng, rows, ys = Lazy.force polyreg_payload in
+  ignore (Opprox_ml.Polyreg.fit ~rng:(Rng.copy rng) rows ys)
+
+let mic_payload =
+  lazy
+    (let rng = Rng.create 4 in
+     let xs = Array.init 300 (fun _ -> Rng.uniform rng) in
+     let ys = Array.map (fun x -> sin (10.0 *. x)) xs in
+     (xs, ys))
+
+let compute_mic () =
+  let xs, ys = Lazy.force mic_payload in
+  ignore (Opprox_ml.Mic.compute xs ys)
+
+(* A trained pipeline on the toy-scale PSO app for the optimizer benchmark
+   (training once, outside the measured region). *)
+let optimizer_payload =
+  lazy
+    (let a = app "comd" in
+     let config =
+       {
+         Opprox.default_train_config with
+         n_phases = Some 2;
+         training = { Opprox.Training.default_config with joint_samples_per_phase = 4 };
+       }
+     in
+     Opprox.train ~config a)
+
+let run_optimizer () =
+  let tr = Lazy.force optimizer_payload in
+  ignore (Opprox.optimize tr ~budget:10.0)
+
+let dtree_payload =
+  lazy
+    (let rng = Rng.create 5 in
+     let rows = Array.init 200 (fun _ -> [| Rng.uniform rng; Rng.uniform rng |]) in
+     let labels = Array.map (fun r -> if r.(0) +. r.(1) > 1.0 then 1 else 0) rows in
+     (rows, labels))
+
+let fit_dtree () =
+  let rows, labels = Lazy.force dtree_payload in
+  ignore (Opprox_ml.Dtree.fit rows labels)
+
+let tests =
+  [
+    Test.make ~name:"tab1:config-space-enumeration" (Staged.stage (fun () ->
+        List.iter (fun (a : App.t) -> ignore (Opprox_sim.Config_space.all a.abs)) Opprox_apps.Registry.all));
+    Test.make ~name:"fig2:lulesh-run" (Staged.stage (run_uniform "lulesh" [| 1; 1; 1; 1 |]));
+    Test.make ~name:"fig3:lulesh-heavy-run" (Staged.stage (run_uniform "lulesh" [| 3; 5; 5; 5 |]));
+    Test.make ~name:"fig4_5:lulesh-phase-run" (Staged.stage (fun () ->
+        let a = app "lulesh" in
+        ignore
+          (Driver.evaluate a
+             (Schedule.single_phase_active ~n_phases:4 ~phase:3 [| 2; 2; 2; 2 |])
+             a.App.default_input)));
+    Test.make ~name:"fig7:ffmpeg-run" (Staged.stage (run_uniform "ffmpeg" [| 2; 2; 2 |]));
+    Test.make ~name:"fig9:comd-run" (Staged.stage (run_uniform "comd" [| 2; 2; 2 |]));
+    Test.make ~name:"fig10:bodytrack-run" (Staged.stage (run_uniform "bodytrack" [| 2; 2; 2; 1 |]));
+    Test.make ~name:"fig11:pso-run" (Staged.stage (run_uniform "pso" [| 1; 1; 1 |]));
+    Test.make ~name:"fig12:polyreg-fit" (Staged.stage fit_polyreg);
+    Test.make ~name:"fig13:mic-compute" (Staged.stage compute_mic);
+    Test.make ~name:"fig14:optimizer-solve" (Staged.stage run_optimizer);
+    Test.make ~name:"fig15:dtree-fit" (Staged.stage fit_dtree);
+    Test.make ~name:"tab2:exact-run-cached" (Staged.stage (fun () ->
+        let a = app "pso" in
+        ignore (Driver.run_exact a a.App.default_input)));
+  ]
+
+let run () =
+  print_endline "Bechamel micro-benchmarks (monotonic clock, OLS estimate per run):";
+  (* Force payload construction (training, datasets) outside the measured
+     region. *)
+  ignore (Lazy.force polyreg_payload);
+  ignore (Lazy.force mic_payload);
+  ignore (Lazy.force optimizer_payload);
+  ignore (Lazy.force dtree_payload);
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) ~kde:None () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name raw ->
+          match Analyze.one (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) Instance.monotonic_clock raw with
+          | ols -> (
+              match Analyze.OLS.estimates ols with
+              | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/run\n%!" name est
+              | _ -> Printf.printf "  %-28s (no estimate)\n%!" name)
+          | exception _ -> Printf.printf "  %-28s (analysis failed)\n%!" name)
+        results)
+    tests

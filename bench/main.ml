@@ -1,0 +1,73 @@
+(* Benchmark harness entry point.
+
+   Usage:
+     dune exec bench/main.exe                   run every experiment
+     dune exec bench/main.exe -- --only fig14   run one experiment
+     dune exec bench/main.exe -- --quick        reduced sampling
+     dune exec bench/main.exe -- --bechamel     micro-benchmarks only
+     dune exec bench/main.exe -- --list         list experiment ids *)
+
+let usage () =
+  print_endline "usage: main.exe [--quick] [--list] [--bechamel] [--csv DIR] [--only <id> ...]";
+  print_endline "experiments:";
+  List.iter (fun (id, desc, _) -> Printf.printf "  %-14s %s\n" id desc) Experiments.all
+
+let () =
+  let only = ref [] and bechamel = ref false and list = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        Harness.quick := true;
+        parse rest
+    | "--bechamel" :: rest ->
+        bechamel := true;
+        parse rest
+    | "--list" :: rest ->
+        list := true;
+        parse rest
+    | "--only" :: id :: rest ->
+        only := id :: !only;
+        parse rest
+    | "--csv" :: dir :: rest ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        Harness.csv_dir := Some dir;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "unknown argument %s\n" arg;
+        usage ();
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !list then usage ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    if !bechamel then Bechamel_suite.run ()
+    else begin
+      let selected =
+        match !only with
+        | [] -> Experiments.all
+        | ids ->
+            List.iter
+              (fun id ->
+                if not (List.exists (fun (i, _, _) -> i = id) Experiments.all) then begin
+                  Printf.eprintf "unknown experiment id %s\n" id;
+                  usage ();
+                  exit 2
+                end)
+              ids;
+            List.filter (fun (id, _, _) -> List.mem id ids) Experiments.all
+      in
+      print_endline "OPPROX experiment harness - reproduces every table and figure of";
+      print_endline "\"Phase-Aware Optimization in Approximate Computing\" (CGO 2017).";
+      List.iter
+        (fun (id, _, f) ->
+          Harness.current_experiment := id;
+          Harness.csv_counter := 0;
+          let _, dt = Harness.timed f in
+          Printf.printf "[%s finished in %.1f s]\n%!" id dt)
+        selected;
+      (* The micro-benchmarks close the default full run. *)
+      if !only = [] then Bechamel_suite.run ()
+    end;
+    Printf.printf "\nTotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)
+  end

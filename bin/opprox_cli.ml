@@ -1,0 +1,236 @@
+(* opprox — command-line front end.
+
+   Subcommands:
+     list                        the bundled benchmark applications
+     probe APP                   phase/level sensitivity of one application
+     train APP -o FILE           offline stage only; persist the models
+     optimize APP -b BUDGET      emit + execute a plan (optionally --load)
+     oracle APP -b BUDGET        the phase-agnostic exhaustive baseline *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
+module App = Opprox_sim.App
+module Driver = Opprox_sim.Driver
+module Schedule = Opprox_sim.Schedule
+module Table = Opprox_util.Table
+
+let app_conv =
+  let parse s =
+    match Opprox_apps.Registry.find s with
+    | app -> Ok app
+    | exception Not_found ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown application %s (known: %s)" s
+                (String.concat ", " Opprox_apps.Registry.names)))
+  in
+  let print ppf (app : App.t) = Format.pp_print_string ppf app.name in
+  Arg.conv (parse, print)
+
+let app_arg =
+  Arg.(required & pos 0 (some app_conv) None & info [] ~docv:"APP" ~doc:"Benchmark application name.")
+
+let budget_arg =
+  Arg.(
+    value
+    & opt float 10.0
+    & info [ "b"; "budget" ] ~docv:"PERCENT"
+        ~doc:"QoS degradation budget in percent (0 = exact output required).")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log the pipeline's progress.")
+
+let phases_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "p"; "phases" ]
+        ~docv:"N"
+        ~doc:"Force the phase count instead of running the Algorithm-1 search.")
+
+(* ------------------------------------------------------------------ list *)
+
+let list_cmd =
+  let run () =
+    let t = Table.create [ "name"; "ABs"; "joint configs"; "description" ] in
+    List.iter
+      (fun (app : App.t) ->
+        Table.add_row t
+          [
+            app.name;
+            string_of_int (App.n_abs app);
+            string_of_int (Opprox_sim.Config_space.count app.abs);
+            app.description;
+          ])
+      Opprox_apps.Registry.all;
+    Table.print t
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the bundled benchmark applications.")
+    Term.(const run $ const ())
+
+(* ----------------------------------------------------------------- probe *)
+
+let probe_cmd =
+  let run (app : App.t) =
+    let input = app.App.default_input in
+    let exact = Driver.run_exact app input in
+    Printf.printf "%s: exact run %d iterations, %d work units\n\n" app.name exact.Driver.iters
+      exact.Driver.work;
+    let t = Table.create [ "level (all ABs)"; "speedup"; "qos %"; "iters" ] in
+    for level = 0 to 5 do
+      let levels = Array.map (fun m -> Stdlib.min level m) (App.max_levels app) in
+      let ev = Driver.evaluate app (Schedule.uniform ~n_phases:1 levels) input in
+      Table.add_row t
+        [
+          string_of_int level;
+          Printf.sprintf "%.3f" ev.Driver.speedup;
+          Printf.sprintf "%.2f" ev.Driver.qos_degradation;
+          string_of_int ev.Driver.outer_iters;
+        ]
+    done;
+    Table.print ~title:"Uniform level sweep" t;
+    let mid = Array.map (fun m -> (m + 1) / 2) (App.max_levels app) in
+    let t = Table.create [ "active phase (of 4)"; "speedup"; "qos %" ] in
+    for phase = 0 to 3 do
+      let ev = Driver.evaluate app (Schedule.single_phase_active ~n_phases:4 ~phase mid) input in
+      Table.add_row t
+        [
+          string_of_int (phase + 1);
+          Printf.sprintf "%.3f" ev.Driver.speedup;
+          Printf.sprintf "%.3f" ev.Driver.qos_degradation;
+        ]
+    done;
+    Table.print ~title:"Mid-level approximation, one phase at a time" t
+  in
+  Cmd.v (Cmd.info "probe" ~doc:"Print an application's level and phase sensitivity.")
+    Term.(const run $ app_arg)
+
+(* ----------------------------------------------------------------- train *)
+
+let train_cmd =
+  let output_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Where to store the trained pipeline.")
+  in
+  let run (app : App.t) phases output verbose =
+    setup_logs verbose;
+    let config =
+      match phases with
+      | None -> Opprox.default_train_config
+      | Some n -> { Opprox.default_train_config with n_phases = Some n }
+    in
+    Printf.printf "Training OPPROX on %s...\n%!" app.name;
+    let trained = Opprox.train ~config app in
+    Opprox.save output trained;
+    Printf.printf "  %d phases, %d profiling runs -> %s\n"
+      trained.Opprox.training.Opprox.Training.n_phases
+      (Opprox.Training.n_runs trained.Opprox.training)
+      output
+  in
+  Cmd.v
+    (Cmd.info "train" ~doc:"Run the offline stage and persist the trained pipeline.")
+    Term.(const run $ app_arg $ phases_arg $ output_arg $ verbose_arg)
+
+(* -------------------------------------------------------------- optimize *)
+
+let load_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "load" ] ~docv:"FILE"
+        ~doc:"Load a pipeline saved by $(b,train) instead of retraining.")
+
+let optimize_cmd =
+  let run (app : App.t) budget phases load verbose =
+    setup_logs verbose;
+    let trained =
+      match load with
+      | Some path ->
+          Printf.printf "Loading trained pipeline from %s...\n%!" path;
+          Opprox.load ~resolve:Opprox_apps.Registry.find path
+      | None ->
+          let config =
+            match phases with
+            | None -> Opprox.default_train_config
+            | Some n -> { Opprox.default_train_config with n_phases = Some n }
+          in
+          Printf.printf "Training OPPROX on %s...\n%!" app.name;
+          Opprox.train ~config app
+    in
+    Printf.printf "  phases: %d, profiling runs: %d, QoS R2: %.2f, speedup R2: %.2f\n%!"
+      trained.Opprox.training.Opprox.Training.n_phases
+      (Opprox.Training.n_runs trained.Opprox.training)
+      (Opprox.Models.qos_r2 trained.Opprox.models)
+      (Opprox.Models.speedup_r2 trained.Opprox.models);
+    let plan = Opprox.optimize trained ~budget in
+    let t = Table.create [ "phase"; "levels"; "sub-budget %"; "predicted qos-hi %" ] in
+    List.iter
+      (fun (c : Opprox.Optimizer.phase_choice) ->
+        Table.add_row t
+          [
+            string_of_int (c.phase + 1);
+            Printf.sprintf "[%s]"
+              (String.concat ";" (Array.to_list (Array.map string_of_int c.levels)));
+            Printf.sprintf "%.2f" c.sub_budget;
+            Printf.sprintf "%.2f" c.predicted.Opprox.Models.qos_hi;
+          ])
+      (List.sort
+         (fun (a : Opprox.Optimizer.phase_choice) b -> compare a.phase b.phase)
+         plan.Opprox.Optimizer.choices);
+    Table.print ~title:(Printf.sprintf "Plan for budget %.1f%%" budget) t;
+    let outcome = Opprox.apply trained plan in
+    Printf.printf "Measured: speedup %.3f, qos degradation %.2f%% (budget %.1f%%)%s\n"
+      outcome.Driver.speedup outcome.Driver.qos_degradation budget
+      (if outcome.Driver.qos_degradation > budget then "  ** over budget **" else "")
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Train OPPROX and execute the phase-aware plan for a budget.")
+    Term.(const run $ app_arg $ budget_arg $ phases_arg $ load_arg $ verbose_arg)
+
+(* ---------------------------------------------------------------- submit *)
+
+let submit_cmd =
+  let config_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"CONFIG" ~doc:"Job configuration file (app=, budget=, models=, input=).")
+  in
+  let run config_path =
+    let job = Opprox.Runtime.load_config config_path in
+    let submission = Opprox.submit ~resolve:Opprox_apps.Registry.find job in
+    Printf.printf "Job %s at budget %.1f%% -> environment:\n" job.Opprox.Runtime.app_name
+      job.Opprox.Runtime.budget;
+    List.iter (fun (k, v) -> Printf.printf "  %s=%s\n" k v) submission.Opprox.Runtime.env;
+    let outcome = submission.Opprox.Runtime.outcome in
+    Printf.printf "Executed: speedup %.3f, qos degradation %.2f%%\n" outcome.Driver.speedup
+      outcome.Driver.qos_degradation
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Load models named by a job config, optimize, and launch (the paper's runtime step).")
+    Term.(const run $ config_arg)
+
+(* ---------------------------------------------------------------- oracle *)
+
+let oracle_cmd =
+  let run (app : App.t) budget =
+    let r = Opprox.run_oracle app ~budget in
+    Printf.printf "%s phase-agnostic oracle at %.1f%% budget:\n" app.name budget;
+    Printf.printf "  levels [%s], speedup %.3f, qos %.2f%%\n"
+      (String.concat ";" (Array.to_list (Array.map string_of_int r.Opprox.Oracle.levels)))
+      r.Opprox.Oracle.evaluation.Driver.speedup
+      r.Opprox.Oracle.evaluation.Driver.qos_degradation
+  in
+  Cmd.v
+    (Cmd.info "oracle" ~doc:"Run the phase-agnostic exhaustive baseline for a budget.")
+    Term.(const run $ app_arg $ budget_arg)
+
+let () =
+  let doc = "phase-aware optimization of approximate programs (OPPROX, CGO 2017)" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "opprox" ~doc) [ list_cmd; probe_cmd; train_cmd; optimize_cmd; submit_cmd; oracle_cmd ]))

@@ -1,0 +1,48 @@
+(* Budget sweep: OPPROX against the phase-agnostic oracle across a range
+   of QoS degradation budgets on one application:
+
+       dune exec examples/budget_sweep.exe -- [app] [budgets...]
+       dune exec examples/budget_sweep.exe -- comd 2 5 10 15 20
+
+   Defaults to CoMD with budgets 2/5/10/15/20 %. *)
+
+module Driver = Opprox_sim.Driver
+module Table = Opprox_util.Table
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let name, budgets =
+    match args with
+    | [] -> ("comd", [ 2.0; 5.0; 10.0; 15.0; 20.0 ])
+    | name :: rest ->
+        (name, if rest = [] then [ 2.0; 5.0; 10.0; 15.0; 20.0 ] else List.map float_of_string rest)
+  in
+  let app =
+    try Opprox_apps.Registry.find name
+    with Not_found ->
+      Printf.eprintf "unknown application %s (known: %s)\n" name
+        (String.concat ", " Opprox_apps.Registry.names);
+      exit 2
+  in
+  Printf.printf "Training OPPROX for %s...\n%!" app.Opprox_sim.App.name;
+  let trained = Opprox.train app in
+  let t =
+    Table.create
+      [ "budget %"; "OPPROX speedup"; "OPPROX qos %"; "oracle speedup"; "oracle qos %"; "winner" ]
+  in
+  List.iter
+    (fun budget ->
+      let plan = Opprox.optimize trained ~budget in
+      let ours = Opprox.apply trained plan in
+      let oracle = (Opprox.run_oracle app ~budget).Opprox.Oracle.evaluation in
+      Table.add_row t
+        [
+          Printf.sprintf "%.1f" budget;
+          Printf.sprintf "%.3f" ours.Driver.speedup;
+          Printf.sprintf "%.2f" ours.Driver.qos_degradation;
+          Printf.sprintf "%.3f" oracle.Driver.speedup;
+          Printf.sprintf "%.2f" oracle.Driver.qos_degradation;
+          (if ours.Driver.speedup >= oracle.Driver.speedup then "OPPROX" else "oracle");
+        ])
+    budgets;
+  Table.print ~title:(Printf.sprintf "%s: phase-aware vs phase-agnostic" app.Opprox_sim.App.name) t

@@ -1,0 +1,51 @@
+(* The paper's deployment workflow, end to end (Sec. 4.2):
+
+       dune exec examples/offline_runtime.exe
+
+   1. Offline: train once and persist the models to disk (the paper's
+      pickled-model store).
+   2. Job submission: write a small configuration file naming the
+      application, the error budget, and the model store.
+   3. Runtime: load the config, load the models, optimize, and launch —
+      the phase-specific settings travel as environment variables. *)
+
+let () =
+  let dir = Filename.temp_file "opprox_workflow" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let model_path = Filename.concat dir "comd-models.scm" in
+  let config_path = Filename.concat dir "job.conf" in
+
+  (* 1. Offline training, once, persisted. *)
+  let app = Opprox_apps.Registry.find "comd" in
+  Printf.printf "[offline] training %s...\n%!" app.Opprox_sim.App.name;
+  let trained = Opprox.train app in
+  Opprox.save model_path trained;
+  Printf.printf "[offline] models stored at %s (%d bytes)\n%!" model_path
+    (let ic = open_in model_path in
+     let n = in_channel_length ic in
+     close_in ic;
+     n);
+
+  (* 2. The user writes a job configuration. *)
+  let oc = open_out config_path in
+  output_string oc "# nightly production run\n";
+  output_string oc "app = comd\n";
+  output_string oc "budget = 10        # percent QoS degradation\n";
+  Printf.fprintf oc "models = %s\n" model_path;
+  close_out oc;
+  Printf.printf "[submit] wrote %s\n%!" config_path;
+
+  (* 3. Runtime: config -> models -> optimizer -> environment -> launch. *)
+  let job = Opprox.Runtime.load_config config_path in
+  let submission = Opprox.submit ~resolve:Opprox_apps.Registry.find job in
+  Printf.printf "[runtime] job environment:\n";
+  List.iter (fun (k, v) -> Printf.printf "    %s=%s\n" k v) submission.Opprox.Runtime.env;
+  let outcome = submission.Opprox.Runtime.outcome in
+  Printf.printf "[runtime] executed: speedup %.3f at %.2f%% QoS degradation (budget %.0f%%)\n"
+    outcome.Opprox_sim.Driver.speedup outcome.Opprox_sim.Driver.qos_degradation
+    job.Opprox.Runtime.budget;
+
+  Sys.remove model_path;
+  Sys.remove config_path;
+  Sys.rmdir dir

@@ -1,0 +1,48 @@
+(* Quickstart: train OPPROX on one application and ask it for phase-aware
+   approximation settings under an error budget.
+
+       dune exec examples/quickstart.exe
+
+   The three stages mirror the paper: offline training (phase search,
+   profiling, model fitting), pre-run optimization (Algorithm 2 under the
+   budget), and execution of the chosen phase-specific schedule. *)
+
+module Driver = Opprox_sim.Driver
+module Schedule = Opprox_sim.Schedule
+
+let () =
+  let app = Opprox_apps.Registry.find "comd" in
+  Printf.printf "Application: %s — %s\n%!" app.Opprox_sim.App.name
+    app.Opprox_sim.App.description;
+
+  (* 1. Offline stage: identify phases, profile, fit models. *)
+  Printf.printf "Training (profiling runs + model fitting)...\n%!";
+  let trained = Opprox.train app in
+  let n_phases = trained.Opprox.training.Opprox.Training.n_phases in
+  Printf.printf "  %d phases selected by Algorithm 1; %d profiling runs; QoS model R2 %.2f\n%!"
+    n_phases
+    (Opprox.Training.n_runs trained.Opprox.training)
+    (Opprox.Models.qos_r2 trained.Opprox.models);
+
+  (* 2. Pre-run stage: pick phase-specific levels for a 10 % error budget. *)
+  let budget = 10.0 in
+  let plan = Opprox.optimize trained ~budget in
+  Printf.printf "Plan for a %.0f%% QoS degradation budget:\n" budget;
+  List.iter
+    (fun (c : Opprox.Optimizer.phase_choice) ->
+      Printf.printf "  phase %d: levels [%s] (predicted qos <= %.2f%%)\n" (c.phase + 1)
+        (String.concat ";" (Array.to_list (Array.map string_of_int c.levels)))
+        c.predicted.Opprox.Models.qos_hi)
+    (List.sort (fun (a : Opprox.Optimizer.phase_choice) b -> compare a.phase b.phase)
+       plan.Opprox.Optimizer.choices);
+
+  (* 3. Run the real application under the plan and measure the outcome. *)
+  let outcome = Opprox.apply trained plan in
+  Printf.printf "Measured: speedup %.3f at %.2f%% QoS degradation (budget %.0f%%)\n"
+    outcome.Driver.speedup outcome.Driver.qos_degradation budget;
+
+  (* Compare with the phase-agnostic oracle of prior work. *)
+  let oracle = Opprox.run_oracle app ~budget in
+  Printf.printf "Phase-agnostic oracle: speedup %.3f at %.2f%% degradation\n"
+    oracle.Opprox.Oracle.evaluation.Driver.speedup
+    oracle.Opprox.Oracle.evaluation.Driver.qos_degradation

@@ -1,0 +1,207 @@
+module App = Opprox_sim.App
+module Ab = Opprox_sim.Ab
+module Env = Opprox_sim.Env
+module Approx = Opprox_sim.Approx
+module Rng = Opprox_util.Rng
+
+let ab_likelihood = 0
+let ab_features = 1
+let ab_resample = 2
+let ab_anneal = 3
+
+let abs =
+  [|
+    Ab.make ~name:"likelihood_evaluation" ~technique:Ab.Perforation ~max_level:5;
+    Ab.make ~name:"image_feature_extraction" ~technique:Ab.Memoization ~max_level:5;
+    Ab.make ~name:"particle_resampling" ~technique:Ab.Parameter_tuning ~max_level:5;
+    Ab.make ~name:"annealing_schedule" ~technique:Ab.Parameter_tuning ~max_level:3;
+  |]
+
+let pose_dim = 5
+
+(* Ground truth: smooth articulated motion — torso drift plus swinging
+   joints.  The subject moves fast at the start of the sequence and
+   settles (per-frame motion decays geometrically), so the early frames
+   are the hardest to track.  Amplitudes are picked so all components
+   matter in the QoS. *)
+let truth ~frame =
+  (* cumulative "motion time": step 0.55 * 0.92^frame *)
+  let t = 0.66 /. 0.09 *. (1.0 -. (0.91 ** float_of_int frame)) in
+  [|
+    2.0 +. (1.5 *. sin (0.30 *. t));
+    1.5 +. (1.0 *. cos (0.22 *. t));
+    0.8 *. sin (0.9 *. t);
+    0.6 *. sin ((1.1 *. t) +. 0.7);
+    0.5 *. cos (0.8 *. t);
+  |]
+
+(* Observation features: ground truth corrupted by deterministic per-frame
+   sensor noise.  The "image" is summarized by a feature vector, as the
+   real application's edge/silhouette maps feed the likelihood. *)
+let observation_noise = 0.07
+let feature_patch_work = 160 (* cost of extracting features from a frame *)
+
+let observe ~seed ~frame =
+  let rng = Rng.create (seed + (7919 * frame)) in
+  Array.map (fun v -> v +. Rng.gaussian_scaled rng ~mean:0.0 ~sigma:observation_noise) (truth ~frame)
+
+(* Annealing schedule: layer l of n uses beta growing geometrically so the
+   last layer is the sharpest. *)
+let beta ~layer ~layers = 0.5 *. (2.0 ** float_of_int (layer - layers + 1)) *. 24.0
+
+let spawn_sigma = 0.22 (* particle spread around the previous estimate *)
+let anneal_jitter = 0.18 (* per-layer diffusion, shrinking with beta *)
+
+type filter_state = {
+  particles : float array array;
+  weights : float array;
+  estimate : float array; (* current pose estimate *)
+}
+
+let run env input =
+  let layers_in = Stdlib.max 1 (int_of_float input.(0)) in
+  let n_particles_in = Stdlib.max 8 (int_of_float input.(1)) in
+  let n_frames = Stdlib.max 2 (int_of_float input.(2)) in
+  let seed = Rng.int (Env.rng env) 0x3FFFFFFF in
+  (* AB2: parameter tuning of the particle count (applies to the whole run:
+     knob read from phase 0 semantics would be ambiguous, so it is re-read
+     each frame from the current phase). *)
+  let st =
+    {
+      particles = Array.init n_particles_in (fun _ -> Array.make pose_dim 0.0);
+      weights = Array.make n_particles_in (1.0 /. float_of_int n_particles_in);
+      estimate = Array.copy (truth ~frame:0);
+    }
+  in
+  let output = Array.make (n_frames * pose_dim) 0.0 in
+  let cached_features = ref (observe ~seed ~frame:0) in
+  for frame = 0 to n_frames - 1 do
+    (* AB1: image feature extraction, memoized over frames. *)
+    let feature_level = Env.current_level env ~ab:ab_features in
+    Env.enter_ab env ~ab:ab_features;
+    if frame mod (feature_level + 1) = 0 then begin
+      cached_features := observe ~seed ~frame;
+      Env.charge env ~ab:ab_features feature_patch_work
+    end
+    else Env.charge env ~ab:ab_features 4;
+    let features = !cached_features in
+
+    (* AB3: effective number of annealing layers (parameter tuning). *)
+    let anneal_level = Env.current_level env ~ab:ab_anneal in
+    let max_anneal = abs.(ab_anneal).Ab.max_level in
+    let eff_layers =
+      Stdlib.max 1
+        (int_of_float
+           (Float.round
+              (Approx.tune_parameter ~level:anneal_level ~max_level:max_anneal
+                 (float_of_int layers_in))))
+    in
+    (* AB2: effective particle count (parameter tuning). *)
+    let resample_level = Env.current_level env ~ab:ab_resample in
+    let max_resample = abs.(ab_resample).Ab.max_level in
+    let eff_particles =
+      (* The particle budget shrinks quadratically with the knob: the
+         filter's travel per annealing layer depends on the edge density
+         of the particle cloud, so a linear cut would barely bite. *)
+      let factor =
+        let f1 =
+          Approx.tune_parameter ~level:resample_level ~max_level:max_resample 1.0
+        in
+        f1 *. f1
+      in
+      Stdlib.max 8 (int_of_float (factor *. float_of_int n_particles_in))
+    in
+
+    (* Spawn particles for this frame around the previous estimate: the
+       local search that makes early mistracks persistent. *)
+    let frame_rng = Rng.create (seed lxor (104729 * frame)) in
+    for i = 0 to eff_particles - 1 do
+      for d = 0 to pose_dim - 1 do
+        st.particles.(i).(d) <-
+          st.estimate.(d) +. Rng.gaussian_scaled frame_rng ~mean:0.0 ~sigma:spawn_sigma
+      done;
+      st.weights.(i) <- 1.0 /. float_of_int eff_particles
+    done;
+    Env.charge_base env (2 * eff_particles);
+
+    for layer = 0 to eff_layers - 1 do
+      let iter = Env.begin_outer_iter env in
+      (* The beta ladder is laid out for the configured layer count, so
+         cutting layers (AB3) stops the annealing at a blunter beta. *)
+      let b = beta ~layer ~layers:layers_in in
+
+      (* AB0: likelihood evaluation, perforated over particles; skipped
+         particles keep their stale weights. *)
+      let lik_level = Env.current_level env ~ab:ab_likelihood in
+      Env.enter_ab env ~ab:ab_likelihood;
+      Approx.perforate ~offset:iter ~level:lik_level eff_particles (fun i ->
+          let d2 = ref 0.0 in
+          for d = 0 to pose_dim - 1 do
+            let diff = st.particles.(i).(d) -. features.(d) in
+            d2 := !d2 +. (diff *. diff)
+          done;
+          st.weights.(i) <- exp (-.b *. !d2);
+          Env.charge env ~ab:ab_likelihood (3 * pose_dim));
+
+      (* Systematic resampling + annealing jitter (base work — the knob on
+         this stage is the particle count above). *)
+      Env.enter_ab env ~ab:ab_resample;
+      let total = ref 0.0 in
+      for i = 0 to eff_particles - 1 do
+        total := !total +. st.weights.(i)
+      done;
+      if !total > 1e-12 then begin
+        let layer_rng = Rng.create (seed lxor (31 * ((frame * 97) + layer)) ) in
+        let step = !total /. float_of_int eff_particles in
+        let u0 = Rng.float layer_rng step in
+        let source = Array.map Array.copy (Array.sub st.particles 0 eff_particles) in
+        let cum = ref 0.0 and src = ref 0 in
+        let jitter = anneal_jitter /. sqrt (1.0 +. b) in
+        for i = 0 to eff_particles - 1 do
+          let u = u0 +. (float_of_int i *. step) in
+          while !cum +. st.weights.(!src) < u && !src < eff_particles - 1 do
+            cum := !cum +. st.weights.(!src);
+            incr src
+          done;
+          for d = 0 to pose_dim - 1 do
+            st.particles.(i).(d) <-
+              source.(!src).(d) +. Rng.gaussian_scaled layer_rng ~mean:0.0 ~sigma:jitter
+          done
+        done;
+        Env.charge env ~ab:ab_resample (2 * eff_particles)
+      end;
+      (* Per-layer image operations (projection, silhouette comparison
+         set-up) are not approximable and scale with the configured
+         particle count. *)
+      Env.charge_base env (eff_particles + (8 * n_particles_in))
+    done;
+
+    (* Pose estimate: weighted mean over the final layer's particles. *)
+    let total = ref 0.0 in
+    Array.fill st.estimate 0 pose_dim 0.0;
+    for i = 0 to eff_particles - 1 do
+      total := !total +. st.weights.(i)
+    done;
+    if !total > 1e-12 then
+      for i = 0 to eff_particles - 1 do
+        let w = st.weights.(i) /. !total in
+        for d = 0 to pose_dim - 1 do
+          st.estimate.(d) <- st.estimate.(d) +. (w *. st.particles.(i).(d))
+        done
+      done
+    else Array.blit features 0 st.estimate 0 pose_dim;
+    Env.charge_base env eff_particles;
+    Array.blit st.estimate 0 output (frame * pose_dim) pose_dim
+  done;
+  output
+
+let training_inputs =
+  Opprox_sim.Inputs.grid [ [ 3.0; 5.0 ]; [ 96.0; 160.0 ]; [ 24.0; 36.0 ] ]
+
+let app =
+  App.make ~name:"bodytrack"
+    ~description:"annealed particle filter tracking a synthetic articulated pose"
+    ~param_names:[| "n_annealing_layers"; "n_particles"; "n_frames" |]
+    ~abs
+    ~default_input:[| 4.0; 128.0; 30.0 |]
+    ~training_inputs:(Opprox_sim.Inputs.with_default [| 4.0; 128.0; 30.0 |] training_inputs) ~run ~seed:0xB0D7 ()

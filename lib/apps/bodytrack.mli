@@ -1,0 +1,38 @@
+(** Bodytrack-like annealed particle filter (paper Sec. 4.1).
+
+    Tracks a synthetic articulated pose (torso position plus three joint
+    angles) through a sequence of frames with an annealed particle filter.
+    The outer loop runs one iteration per (frame, annealing layer) pair, so
+    its length is [n_frames * n_annealing_layers] — and because one AB tunes
+    the number of annealing layers, {e the iteration count depends on the
+    approximation levels} (the paper notes Bodytrack's iteration count
+    becomes AL-dependent when min-particles is small).
+
+    Particles for each frame spawn around the previous frame's estimate,
+    so a mistrack early in the sequence takes many frames to heal —
+    early-phase approximation degrades the QoS most (paper Fig. 9c) while
+    the speedup is phase-insensitive (Fig. 10c).
+
+    Input parameters (Table 1): [n_annealing_layers], [n_particles],
+    [n_frames].
+
+    Approximable blocks:
+    + [likelihood_evaluation] — {b loop perforation} over particles
+      (skipped particles keep stale weights),
+    + [image_feature_extraction] — {b memoization} over frames (the
+      previous frame's observation features are replayed),
+    + [particle_resampling] — {b parameter tuning} of the effective
+      particle count,
+    + [annealing_schedule] — {b parameter tuning} of the number of
+      annealing layers (reduces outer-loop iterations directly).
+
+    QoS metric: relative distortion of the per-frame pose estimates
+    (vector components weighted by magnitude, as in the paper). *)
+
+val app : Opprox_sim.App.t
+
+val pose_dim : int
+(** Dimensionality of the tracked pose vector. *)
+
+val truth : frame:int -> float array
+(** Ground-truth pose at a frame (exposed for tests). *)

@@ -1,0 +1,259 @@
+module App = Opprox_sim.App
+module Ab = Opprox_sim.Ab
+module Env = Opprox_sim.Env
+module Approx = Opprox_sim.Approx
+module Rng = Opprox_util.Rng
+
+let ab_force = 0
+let ab_neighbor = 1
+let ab_integrate = 2
+
+let abs =
+  [|
+    Ab.make ~name:"force_computation" ~technique:Ab.Perforation ~max_level:5;
+    Ab.make ~name:"neighbor_evaluation" ~technique:Ab.Truncation ~max_level:5;
+    Ab.make ~name:"velocity_integration" ~technique:Ab.Perforation ~max_level:5;
+  |]
+
+(* Reduced Lennard-Jones units: epsilon = sigma = mass = 1. *)
+let cutoff = 2.5
+let dt = 0.005
+let temperature = 1.2
+(* Quench schedule: the liquid is annealed to a frozen structure over the
+   first 60% of the run (Berendsen thermostat), then held cold. *)
+let t_final = 0.02
+let quench_fraction = 0.3
+let thermostat_tau = 50.0 *. 0.005
+
+type system_state = {
+  n : int;
+  species : bool array; (* true = minority (B) species *)
+  box : float; (* periodic box edge *)
+  x : float array;
+  y : float array;
+  z : float array;
+  vx : float array;
+  vy : float array;
+  vz : float array;
+  fx : float array;
+  fy : float array;
+  fz : float array;
+}
+
+let minimum_image box d =
+  if d > 0.5 *. box then d -. box else if d < -0.5 *. box then d +. box else d
+
+let init rng ~cells ~lattice =
+  let n = cells * cells * cells in
+  let box = float_of_int cells *. lattice in
+  let st =
+    {
+      n;
+      (* Kob-Andersen-style 80/20 binary mixture: monodisperse LJ
+         crystallizes into one of a handful of structures, collapsing the
+         QoS to a few discrete values; the mixture glass-forms, giving a
+         continuum of inherent structures. *)
+      species = Array.init n (fun i -> i mod 5 = 4);
+      box;
+      x = Array.make n 0.0;
+      y = Array.make n 0.0;
+      z = Array.make n 0.0;
+      vx = Array.make n 0.0;
+      vy = Array.make n 0.0;
+      vz = Array.make n 0.0;
+      fx = Array.make n 0.0;
+      fy = Array.make n 0.0;
+      fz = Array.make n 0.0;
+    }
+  in
+  let idx = ref 0 in
+  for i = 0 to cells - 1 do
+    for j = 0 to cells - 1 do
+      for k = 0 to cells - 1 do
+        st.x.(!idx) <- (float_of_int i +. 0.5) *. lattice;
+        st.y.(!idx) <- (float_of_int j +. 0.5) *. lattice;
+        st.z.(!idx) <- (float_of_int k +. 0.5) *. lattice;
+        incr idx
+      done
+    done
+  done;
+  let sigma = sqrt temperature in
+  for i = 0 to n - 1 do
+    st.vx.(i) <- Rng.gaussian_scaled rng ~mean:0.0 ~sigma;
+    st.vy.(i) <- Rng.gaussian_scaled rng ~mean:0.0 ~sigma;
+    st.vz.(i) <- Rng.gaussian_scaled rng ~mean:0.0 ~sigma
+  done;
+  (* Remove net momentum so the lattice does not drift. *)
+  let fn = float_of_int n in
+  let mx = Array.fold_left ( +. ) 0.0 st.vx /. fn in
+  let my = Array.fold_left ( +. ) 0.0 st.vy /. fn in
+  let mz = Array.fold_left ( +. ) 0.0 st.vz /. fn in
+  for i = 0 to n - 1 do
+    st.vx.(i) <- st.vx.(i) -. mx;
+    st.vy.(i) <- st.vy.(i) -. my;
+    st.vz.(i) <- st.vz.(i) -. mz
+  done;
+  st
+
+(* Kob-Andersen pair parameters: (epsilon, sigma^2) by species pair. *)
+let pair_params a b =
+  match (a, b) with
+  | false, false -> (1.0, 1.0) (* A-A *)
+  | true, true -> (0.5, 0.7744) (* B-B, sigma 0.88 *)
+  | _ -> (1.5, 0.64) (* A-B, sigma 0.8 *)
+
+(* Lennard-Jones pair force magnitude / r and pair potential. *)
+let lj_force_over_r ~eps ~sigma2 r2 =
+  let inv_r2 = sigma2 /. r2 in
+  let inv_r6 = inv_r2 *. inv_r2 *. inv_r2 in
+  24.0 *. eps /. r2 *. inv_r6 *. ((2.0 *. inv_r6) -. 1.0)
+
+let lj_potential ~eps ~sigma2 r2 =
+  let inv_r2 = sigma2 /. r2 in
+  let inv_r6 = inv_r2 *. inv_r2 *. inv_r2 in
+  4.0 *. eps *. inv_r6 *. (inv_r6 -. 1.0)
+
+(* AB0 + AB1: force computation.  AB0 perforates the atom loop with a
+   rotating offset (skipped atoms keep stale forces); AB1 truncates the
+   interaction range, dropping the attractive tail of the pair loop. *)
+let forces_kernel env st ~iter =
+  let level_perf = Env.current_level env ~ab:ab_force in
+  let level_trunc = Env.current_level env ~ab:ab_neighbor in
+  Env.enter_ab env ~ab:ab_force;
+  Env.enter_ab env ~ab:ab_neighbor;
+  let max_trunc = abs.(ab_neighbor).Ab.max_level in
+  let rc =
+    cutoff *. (1.0 -. (float_of_int level_trunc /. float_of_int (2 * max_trunc)))
+  in
+  let rc2 = rc *. rc in
+  Approx.perforate ~offset:iter ~level:level_perf st.n (fun i ->
+      let fx = ref 0.0 and fy = ref 0.0 and fz = ref 0.0 in
+      let pair_evals = ref 0 in
+      for j = 0 to st.n - 1 do
+        if j <> i then begin
+          let dx = minimum_image st.box (st.x.(i) -. st.x.(j)) in
+          let dy = minimum_image st.box (st.y.(i) -. st.y.(j)) in
+          let dz = minimum_image st.box (st.z.(i) -. st.z.(j)) in
+          let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+          if r2 < rc2 then begin
+            let eps, sigma2 = pair_params st.species.(i) st.species.(j) in
+            let r2 = Float.max r2 (0.81 *. sigma2) (* overlap guard *) in
+            let f = lj_force_over_r ~eps ~sigma2 r2 in
+            fx := !fx +. (f *. dx);
+            fy := !fy +. (f *. dy);
+            fz := !fz +. (f *. dz);
+            incr pair_evals
+          end
+        end
+      done;
+      (* Clamped stress: bounds the energy a stale force can inject. *)
+      let cap = 25.0 in
+      let clamp v = Float.max (-.cap) (Float.min cap v) in
+      st.fx.(i) <- clamp !fx;
+      st.fy.(i) <- clamp !fy;
+      st.fz.(i) <- clamp !fz;
+      (* distance checks charged to the neighbor AB, force evaluations to
+         the force AB *)
+      Env.charge env ~ab:ab_neighbor st.n;
+      Env.charge env ~ab:ab_force (4 * !pair_evals));
+  (* Non-approximable per-step infrastructure: cell-list maintenance, halo
+     exchange and reductions.  Keeps kernel speedups in a realistic range. *)
+  Env.charge_base env (st.n * st.n / 2)
+
+(* AB2: velocity-Verlet kick + drift.  Perforation over atoms with a
+   rotating offset: a skipped atom misses this step's kick and receives a
+   compensated (sub-cycled) kick the next time it is sampled. *)
+let integrate_kernel env st ~iter =
+  let level = Env.current_level env ~ab:ab_integrate in
+  Env.enter_ab env ~ab:ab_integrate;
+  let kick_dt = dt *. float_of_int (level + 1) in
+  Approx.perforate ~offset:iter ~level st.n (fun i ->
+      st.vx.(i) <- st.vx.(i) +. (st.fx.(i) *. kick_dt);
+      st.vy.(i) <- st.vy.(i) +. (st.fy.(i) *. kick_dt);
+      st.vz.(i) <- st.vz.(i) +. (st.fz.(i) *. kick_dt);
+      Env.charge env ~ab:ab_integrate 6);
+  let wrap box v = if v < 0.0 then v +. box else if v >= box then v -. box else v in
+  for i = 0 to st.n - 1 do
+    st.x.(i) <- wrap st.box (st.x.(i) +. (st.vx.(i) *. dt));
+    st.y.(i) <- wrap st.box (st.y.(i) +. (st.vy.(i) *. dt));
+    st.z.(i) <- wrap st.box (st.z.(i) +. (st.vz.(i) *. dt))
+  done;
+  Env.charge_base env (3 * st.n)
+
+(* Berendsen velocity rescaling toward the quench schedule's target
+   temperature (non-approximable bookkeeping). *)
+let thermostat env st ~step ~steps =
+  let progress = float_of_int step /. float_of_int steps in
+  let target =
+    if progress >= quench_fraction then t_final
+    else temperature +. ((t_final -. temperature) *. progress /. quench_fraction)
+  in
+  let ke = ref 0.0 in
+  for i = 0 to st.n - 1 do
+    ke :=
+      !ke
+      +. 0.5
+         *. ((st.vx.(i) *. st.vx.(i)) +. (st.vy.(i) *. st.vy.(i)) +. (st.vz.(i) *. st.vz.(i)))
+  done;
+  let t_current = Float.max 1e-6 (2.0 *. !ke /. (3.0 *. float_of_int st.n)) in
+  let lambda = sqrt (1.0 +. (dt /. thermostat_tau *. ((target /. t_current) -. 1.0))) in
+  let lambda = Float.max 0.8 (Float.min 1.2 lambda) in
+  for i = 0 to st.n - 1 do
+    st.vx.(i) <- st.vx.(i) *. lambda;
+    st.vy.(i) <- st.vy.(i) *. lambda;
+    st.vz.(i) <- st.vz.(i) *. lambda
+  done;
+  Env.charge_base env (2 * st.n)
+
+(* Per-atom potential energies of the final (frozen) structure — the QoS
+   output.  Early-phase perturbations strike while the system is still
+   liquid and steer it into a different glass basin (large structural
+   difference); once the quench has frozen the structure, perturbations
+   can no longer rearrange it. *)
+let final_structure env st =
+  let rc2 = cutoff *. cutoff in
+  let out = Array.make st.n 0.0 in
+  for i = 0 to st.n - 1 do
+    let pe = ref 0.0 in
+    for j = 0 to st.n - 1 do
+      if j <> i then begin
+        let dx = minimum_image st.box (st.x.(i) -. st.x.(j)) in
+        let dy = minimum_image st.box (st.y.(i) -. st.y.(j)) in
+        let dz = minimum_image st.box (st.z.(i) -. st.z.(j)) in
+        let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+        if r2 < rc2 then begin
+          let eps, sigma2 = pair_params st.species.(i) st.species.(j) in
+          pe := !pe +. (0.5 *. lj_potential ~eps ~sigma2 (Float.max r2 (0.81 *. sigma2)))
+        end
+      end
+    done;
+    out.(i) <- !pe
+  done;
+  Env.charge_base env (st.n * st.n);
+  out
+
+let run env input =
+  let cells = Stdlib.max 2 (int_of_float input.(0)) in
+  let lattice = Float.max 1.1 input.(1) in
+  let steps = Stdlib.max 40 (int_of_float input.(2)) in
+  let rng = Rng.split (Env.rng env) in
+  let st = init rng ~cells ~lattice in
+  forces_kernel env st ~iter:0;
+  for step = 1 to steps do
+    let iter = Env.begin_outer_iter env in
+    forces_kernel env st ~iter;
+    integrate_kernel env st ~iter;
+    thermostat env st ~step ~steps
+  done;
+  final_structure env st
+
+let training_inputs =
+  Opprox_sim.Inputs.grid [ [ 3.0 ]; [ 1.35; 1.5 ]; [ 500.0; 800.0 ] ]
+
+let app =
+  App.make ~name:"comd"
+    ~description:"Lennard-Jones molecular dynamics with a fixed-count timestep loop"
+    ~param_names:[| "n_unit_cells"; "lattice_parameter"; "n_timesteps" |]
+    ~abs
+    ~default_input:[| 3.0; 1.4; 800.0 |]
+    ~training_inputs:(Opprox_sim.Inputs.with_default [| 3.0; 1.4; 800.0 |] training_inputs) ~run ~seed:0xC0_4D ()

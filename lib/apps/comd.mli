@@ -1,0 +1,28 @@
+(** CoMD-like molecular-dynamics proxy benchmark (paper Sec. 4.1).
+
+    Lennard-Jones atoms on a periodic cubic lattice integrated with
+    velocity Verlet.  The outer loop is a classic timestep loop: the
+    iteration count is the [n_timesteps] input parameter and depends on
+    neither the other inputs nor the approximation levels (paper: "CoMD
+    outer loop represents a classic timestep loop").
+
+    Chaotic N-body dynamics make the trajectory divergence grow with the
+    time since a perturbation, so approximating early phases corrupts the
+    final per-atom energies far more than approximating late phases
+    (paper Fig. 9a), while the speedup is phase-insensitive (Fig. 10a).
+
+    Input parameters (Table 1): [n_unit_cells] (atoms per edge),
+    [lattice_parameter] (spacing), [n_timesteps].
+
+    Approximable blocks:
+    + [force_computation] — {b loop perforation} over atoms with a
+      rotating offset (skipped atoms keep stale forces),
+    + [neighbor_evaluation] — {b loop truncation} of the interaction
+      range (the pair loop stops at a reduced cutoff),
+    + [velocity_integration] — {b loop perforation} over atoms (skipped
+      atoms coast without a kick this step).
+
+    QoS metric: relative distortion of final per-atom potential + kinetic
+    energies (paper: energy difference averaged across atoms). *)
+
+val app : Opprox_sim.App.t

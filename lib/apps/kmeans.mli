@@ -1,0 +1,24 @@
+(** K-means clustering (extension application, not part of the paper's
+    evaluation set).
+
+    Lloyd's algorithm on synthetic Gaussian blobs.  The outer loop is a
+    convergence loop — it runs until an iteration changes no assignments —
+    so approximation shifts the iteration count in both directions, and
+    k-means' many local optima give early-phase approximation a lasting
+    effect (the run settles into a different basin) while late-phase
+    approximation perturbs an already-converged state.
+
+    Input parameters: [n_points], [n_clusters], [dimension].
+
+    Approximable blocks:
+    + [distance_evaluation] — {b loop perforation} over points (skipped
+      points keep their previous assignment),
+    + [centroid_update] — {b memoization}: centroids are recomputed every
+      (level+1)-th iteration and reused in between,
+    + [convergence_check] — {b loop perforation}: stability is tested on a
+      sample of the points.
+
+    QoS metric: relative distortion of the canonically-ordered final
+    centroids plus the clustering inertia. *)
+
+val app : Opprox_sim.App.t

@@ -1,0 +1,32 @@
+(** LULESH-like Lagrangian shock hydrodynamics mini-app (paper Sec. 2).
+
+    A 1-D Sedov-style blast problem on a staggered Lagrangian grid: energy
+    is deposited in the first cell and a shock propagates down a tube of
+    cells.  The outer loop advances simulation time with a timestep from a
+    Courant condition until a fixed end time — so the {e iteration count
+    depends on the state}, and approximation of the internal kernels can
+    increase or decrease it (paper Fig. 3).
+
+    Input parameters (matching Table 1):
+    - [mesh_length] — number of cells in the tube (paper: length of cube
+      mesh; our tube is its 1-D analogue),
+    - [n_regions] — number of material regions with distinct adiabatic
+      indices.
+
+    Approximable blocks (paper Sec. 2, four kernels):
+    + [forces_on_elements] — pressure-gradient nodal forces; {b loop
+      perforation} over nodes (skipped nodes keep their stale force),
+    + [position_of_elements] — velocity/position integration;
+      {b memoization} over nodes (velocity increments replayed),
+    + [strain_of_elements] — volume/density/energy/pressure (EOS) update;
+      {b loop truncation} over cells (trailing cells keep stale state),
+    + [calculate_timeconstraints] — Courant timestep reduction; {b loop
+      perforation} over cells (the minimum is taken over a sample).
+
+    QoS metric: relative distortion of final per-cell energies (paper:
+    difference in final energy averaged across elements). *)
+
+val app : Opprox_sim.App.t
+
+val default_cells : int
+(** Mesh length of the default input. *)

@@ -1,0 +1,29 @@
+(** Particle swarm optimization benchmark (paper Sec. 4.1).
+
+    A standard global-best PSO minimizing a mildly multimodal objective
+    (Rastrigin with reduced ripple amplitude) over a continuous domain.
+    The outer loop is a {e convergence loop}: it runs until the global-best
+    fitness falls below a fixed fraction of its initial value (or an
+    iteration cap) — so approximation that stalls convergence directly
+    inflates the iteration count, and the speedup of approximating late
+    phases degrades (paper Figs. 9b, 10b).
+
+    Input parameters (Table 1): [swarm_size] and [dimension].
+
+    Approximable blocks:
+    + [fitness_evaluation] — {b loop perforation} over particles (skipped
+      particles keep stale fitness, missing personal-best updates),
+    + [velocity_update] — {b memoization}: velocities are refreshed from
+      the attraction terms only every (level+1)-th outer iteration and the
+      swarm coasts in between,
+    + [best_update] — {b loop perforation} over the global-best reduction
+      (improvements at unsampled particles are found only later).
+
+    QoS metric: relative distortion of the final global-best position and
+    value (paper: average difference of the best fitness vectors). *)
+
+val app : Opprox_sim.App.t
+
+val objective : float array -> float
+(** The objective function (exposed for tests): non-negative, zero at the
+    origin. *)

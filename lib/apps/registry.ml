@@ -1,0 +1,10 @@
+let paper = [ Lulesh.app; Vidproc.app; Bodytrack.app; Pso.app; Comd.app ]
+let extensions = [ Kmeans.app ]
+let all = paper @ extensions
+
+let find name =
+  match List.find_opt (fun (a : Opprox_sim.App.t) -> a.name = name) all with
+  | Some a -> a
+  | None -> raise Not_found
+
+let names = List.map (fun (a : Opprox_sim.App.t) -> a.name) all

@@ -1,0 +1,16 @@
+(** The bundled benchmark applications. *)
+
+val paper : Opprox_sim.App.t list
+(** The five applications of the paper's evaluation (Table 1), in the
+    paper's order: LULESH, FFmpeg, Bodytrack, PSO, CoMD. *)
+
+val extensions : Opprox_sim.App.t list
+(** Applications beyond the paper's set (currently k-means). *)
+
+val all : Opprox_sim.App.t list
+(** [paper @ extensions]. *)
+
+val find : string -> Opprox_sim.App.t
+(** Look up by [App.name].  Raises [Not_found] for unknown names. *)
+
+val names : string list

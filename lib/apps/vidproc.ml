@@ -1,0 +1,221 @@
+module App = Opprox_sim.App
+module Ab = Opprox_sim.Ab
+module Env = Opprox_sim.Env
+module Approx = Opprox_sim.Approx
+
+let ab_blur = 0
+let ab_edge = 1
+let ab_deflate = 2
+
+let abs =
+  [|
+    Ab.make ~name:"blur_filter" ~technique:Ab.Perforation ~max_level:5;
+    Ab.make ~name:"edge_filter" ~technique:Ab.Memoization ~max_level:5;
+    Ab.make ~name:"deflate_filter" ~technique:Ab.Perforation ~max_level:5;
+  |]
+
+let frame_width = 20
+let frame_height = 20
+let pixels = frame_width * frame_height
+
+let clamp_pixel v = Float.max 0.0 (Float.min 255.0 v)
+
+(* Synthetic source: a gradient background, a drifting bright square and a
+   moving sinusoidal texture — enough structure for the filters to bite.
+   Frames depend only on [t], so they are cached across runs. *)
+let generate_frame_uncached ~t =
+  let ft = float_of_int t in
+  let frame = Array.make pixels 0.0 in
+  let box_x = int_of_float (ft *. 0.7) mod frame_width in
+  let box_y = int_of_float (ft *. 0.4) mod frame_height in
+  for y = 0 to frame_height - 1 do
+    for x = 0 to frame_width - 1 do
+      let fx = float_of_int x and fy = float_of_int y in
+      let gradient = 40.0 +. (120.0 *. fx /. float_of_int frame_width) in
+      let texture = 30.0 *. sin ((0.5 *. fy) +. (0.06 *. ft)) *. cos (0.4 *. fx) in
+      let in_box =
+        let dx = (x - box_x + frame_width) mod frame_width in
+        let dy = (y - box_y + frame_height) mod frame_height in
+        dx < 6 && dy < 6
+      in
+      let box = if in_box then 80.0 else 0.0 in
+      frame.((y * frame_width) + x) <- clamp_pixel (gradient +. texture +. box)
+    done
+  done;
+  frame
+
+let frame_cache : (int, float array) Hashtbl.t = Hashtbl.create 64
+
+let generate_frame ~t =
+  match Hashtbl.find_opt frame_cache t with
+  | Some f -> f
+  | None ->
+      let f = generate_frame_uncached ~t in
+      Hashtbl.replace frame_cache t f;
+      f
+
+let at frame x y = frame.((y * frame_width) + x)
+
+(* 3x3 box sum of row [y] into [dst] (clamped borders), shared by the blur
+   and deflate kernels. *)
+let box_sum_row frame y dst =
+  let w = frame_width in
+  let y0 = Stdlib.max 0 (y - 1) * w
+  and y1 = y * w
+  and y2 = Stdlib.min (frame_height - 1) (y + 1) * w in
+  for x = 0 to w - 1 do
+    let x0 = Stdlib.max 0 (x - 1) and x1 = Stdlib.min (w - 1) (x + 1) in
+    dst.(x) <-
+      frame.(y0 + x0) +. frame.(y0 + x) +. frame.(y0 + x1)
+      +. frame.(y1 + x0) +. frame.(y1 + x) +. frame.(y1 + x1)
+      +. frame.(y2 + x0) +. frame.(y2 + x) +. frame.(y2 + x1)
+  done
+
+let clip lo hi v = Stdlib.max lo (Stdlib.min hi v)
+
+(* AB0: 3x3 box blur.  Perforation over rows with a rotating offset:
+   skipped rows copy the previously computed blurred row. *)
+let blur_kernel env ~iter frame =
+  let level = Env.current_level env ~ab:ab_blur in
+  Env.enter_ab env ~ab:ab_blur;
+  let out = Array.make pixels 0.0 in
+  let done_rows = Array.make frame_height false in
+  let sums = Array.make frame_width 0.0 in
+  Approx.perforate ~offset:iter ~level frame_height (fun y ->
+      box_sum_row frame y sums;
+      for x = 0 to frame_width - 1 do
+        out.((y * frame_width) + x) <- sums.(x) /. 9.0
+      done;
+      done_rows.(y) <- true;
+      Env.charge env ~ab:ab_blur (3 * frame_width));
+  (* Skipped rows are linearly interpolated from the nearest computed
+     rows (vertical subsampling), so perforation degrades smoothly. *)
+  let prev_done = Array.make frame_height (-1) in
+  let next_done = Array.make frame_height (-1) in
+  let last = ref (-1) in
+  for y = 0 to frame_height - 1 do
+    if done_rows.(y) then last := y;
+    prev_done.(y) <- !last
+  done;
+  last := -1;
+  for y = frame_height - 1 downto 0 do
+    if done_rows.(y) then last := y;
+    next_done.(y) <- !last
+  done;
+  for y = 0 to frame_height - 1 do
+    if not done_rows.(y) then begin
+      let a = prev_done.(y) and b = next_done.(y) in
+      (match (a, b) with
+      | -1, -1 -> Array.blit frame (y * frame_width) out (y * frame_width) frame_width
+      | -1, b -> Array.blit out (b * frame_width) out (y * frame_width) frame_width
+      | a, -1 -> Array.blit out (a * frame_width) out (y * frame_width) frame_width
+      | a, b ->
+          let w = float_of_int (y - a) /. float_of_int (b - a) in
+          for x = 0 to frame_width - 1 do
+            out.((y * frame_width) + x) <-
+              ((1.0 -. w) *. out.((a * frame_width) + x)) +. (w *. out.((b * frame_width) + x))
+          done);
+      Env.charge env ~ab:ab_blur 2
+    end
+  done;
+  out
+
+(* AB1: edge enhancement (unsharp masking).  Memoization over rows: the
+   edge-response row is recomputed every (level+1)-th row and replayed in
+   between. *)
+let edge_kernel env ~iter frame =
+  let level = Env.current_level env ~ab:ab_edge in
+  Env.enter_ab env ~ab:ab_edge;
+  let out = Array.make pixels 0.0 in
+  let response = Array.make frame_width 0.0 in
+  Approx.memoize ~offset:iter ~level frame_height
+    ~compute:(fun y ->
+      for x = 0 to frame_width - 1 do
+        let x0 = clip 0 (frame_width - 1) (x - 1) and x1 = clip 0 (frame_width - 1) (x + 1) in
+        let y0 = clip 0 (frame_height - 1) (y - 1) and y1 = clip 0 (frame_height - 1) (y + 1) in
+        let laplacian =
+          (4.0 *. at frame x y) -. at frame x0 y -. at frame x1 y -. at frame x y0
+          -. at frame x y1
+        in
+        response.(x) <- laplacian
+      done;
+      Env.charge env ~ab:ab_edge (4 * frame_width);
+      Array.copy response)
+    ~use:(fun y resp ->
+      for x = 0 to frame_width - 1 do
+        out.((y * frame_width) + x) <- clamp_pixel (at frame x y +. (0.45 *. resp.(x)))
+      done;
+      Env.charge env ~ab:ab_edge frame_width);
+  out
+
+(* AB2: deflate denoising (suppress bright speckles by pulling pixels down
+   toward the local mean).  Perforation over rows: skipped rows pass
+   through unfiltered. *)
+let deflate_kernel env ~iter frame =
+  let level = Env.current_level env ~ab:ab_deflate in
+  Env.enter_ab env ~ab:ab_deflate;
+  let out = Array.copy frame in
+  let sums = Array.make frame_width 0.0 in
+  Approx.perforate ~offset:iter ~level frame_height (fun y ->
+      box_sum_row frame y sums;
+      for x = 0 to frame_width - 1 do
+        let mean = sums.(x) /. 9.0 in
+        let v = at frame x y in
+        out.((y * frame_width) + x) <- (if v > mean then (0.5 *. v) +. (0.5 *. mean) else v)
+      done;
+      Env.charge env ~ab:ab_deflate (3 * frame_width));
+  out
+
+(* Open-loop DPCM encoder: each frame is coded as the quantized delta of
+   successive *filtered* frames, and the decoder accumulates deltas onto
+   its own reconstruction.  Quantization residues therefore never
+   self-correct — any filtering error in frame k leaves a permanent offset
+   in every later reconstructed frame (the paper's Sec. 5.1.1 inter-frame
+   dependency: "the second encoded frame only keeps the information
+   relative to the first"). *)
+let code_cap = 3.0 (* bitrate ceiling: at most +-cap codes per pixel per frame *)
+
+let encode env ~q ~prev_filtered ~recon filtered =
+  for i = 0 to pixels - 1 do
+    let delta = filtered.(i) -. prev_filtered.(i) in
+    let code = Float.of_int (int_of_float (delta /. q)) in
+    let code = Float.max (-.code_cap) (Float.min code_cap code) in
+    recon.(i) <- clamp_pixel (recon.(i) +. (code *. q))
+  done;
+  Env.charge_base env (2 * pixels)
+
+let run env input =
+  let fps = clip 10 60 (int_of_float input.(0)) in
+  let duration = clip 1 10 (int_of_float input.(1)) in
+  let q = Float.max 1.0 input.(2) in
+  let edge_first = int_of_float input.(3) mod 2 = 0 in
+  let n_frames = fps * duration in
+  let prev_filtered = ref (Array.make pixels 0.0) in
+  let recon = Array.make pixels 0.0 in
+  let output = Array.make (n_frames * pixels) 0.0 in
+  for t = 0 to n_frames - 1 do
+    let iter = Env.begin_outer_iter env in
+    let frame = generate_frame ~t in
+    Env.charge_base env pixels;
+    let blurred = blur_kernel env ~iter frame in
+    let filtered =
+      if edge_first then deflate_kernel env ~iter (edge_kernel env ~iter blurred)
+      else edge_kernel env ~iter (deflate_kernel env ~iter blurred)
+    in
+    encode env ~q ~prev_filtered:!prev_filtered ~recon filtered;
+    prev_filtered := filtered;
+    Array.blit recon 0 output (t * pixels) pixels
+  done;
+  output
+
+let training_inputs =
+  Opprox_sim.Inputs.grid
+    [ [ 24.0; 30.0 ]; [ 3.0; 4.0 ]; [ 4.0; 10.0 ]; [ 0.0; 1.0 ] ]
+
+let app =
+  App.make ~name:"ffmpeg"
+    ~description:"video filter chain + delta encoder; streaming per-frame outer loop"
+    ~param_names:[| "fps"; "duration_s"; "bitrate_q"; "filter_order" |]
+    ~abs
+    ~default_input:[| 24.0; 4.0; 6.0; 0.0 |]
+    ~training_inputs:(Opprox_sim.Inputs.with_default [| 24.0; 4.0; 6.0; 0.0 |] training_inputs) ~run ~report_metric:App.Psnr ~seed:0xFF_4 ()

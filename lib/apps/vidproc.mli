@@ -1,0 +1,40 @@
+(** FFmpeg-like video filter/encode pipeline (paper Sec. 4.1).
+
+    Synthetic grayscale frames flow through a filter chain (blur, edge
+    enhancement, deflate denoising) and a delta encoder with a dead-zone
+    quantizer.  The outer loop enumerates frames: its iteration count is
+    fully determined by the [fps] and [duration] inputs and is independent
+    of the approximation levels (a classic streaming-analytics loop).
+
+    The encoder codes each frame as a quantized delta against the previous
+    {e reconstructed} frame; residuals below the dead zone are never
+    corrected, so errors introduced in early frames propagate through the
+    remaining stream (paper Sec. 5.1.1: FFmpeg's inter-frame dependency) —
+    approximating phase 1 degrades PSNR the most.
+
+    The [filter_order] input swaps the edge and deflate stages; the two
+    orders produce visibly different output (paper Fig. 7) and different
+    AB call-context sequences, exercising the control-flow classifier.
+
+    Input parameters (Table 1): [fps], [duration_s], [bitrate_q]
+    (quantizer step; higher = lower bitrate), [filter_order].
+
+    Approximable blocks:
+    + [blur_filter] — {b loop perforation} over rows (skipped rows reuse
+      the previous blurred row),
+    + [edge_filter] — {b memoization} over rows (the edge response of the
+      last computed row is replayed),
+    + [deflate_filter] — {b loop perforation} over rows (skipped rows pass
+      through unfiltered).
+
+    QoS metric: PSNR of the approximate reconstruction against the exact
+    pipeline's reconstruction. *)
+
+val app : Opprox_sim.App.t
+
+val frame_width : int
+val frame_height : int
+
+val generate_frame : t:int -> float array
+(** The synthetic source frame at time index [t] (exposed for tests);
+    row-major [frame_width * frame_height], values in [0, 255]. *)

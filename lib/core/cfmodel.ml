@@ -1,0 +1,85 @@
+module App = Opprox_sim.App
+module Driver = Opprox_sim.Driver
+module Dtree = Opprox_ml.Dtree
+
+let signature_length = 8
+
+type t = {
+  classes : (int list, int) Hashtbl.t;
+  tree : Dtree.t;
+  accuracy : float;
+  n_classes : int;
+}
+
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+
+let signature_of_trace trace = take signature_length trace
+
+let build app ~inputs =
+  if Array.length inputs = 0 then invalid_arg "Cfmodel.build: no inputs";
+  let classes = Hashtbl.create 8 in
+  let labels =
+    Array.map
+      (fun input ->
+        let exact = Driver.run_exact app input in
+        let signature = signature_of_trace exact.trace in
+        match Hashtbl.find_opt classes signature with
+        | Some id -> id
+        | None ->
+            let id = Hashtbl.length classes in
+            Hashtbl.replace classes signature id;
+            id)
+      inputs
+  in
+  let tree = Dtree.fit inputs labels in
+  let accuracy = Dtree.accuracy tree inputs labels in
+  { classes; tree; accuracy; n_classes = Hashtbl.length classes }
+
+let classify t input = Dtree.predict t.tree input
+
+let class_of_trace t trace =
+  match Hashtbl.find_opt t.classes (signature_of_trace trace) with
+  | Some id -> id
+  | None -> 0
+
+let n_classes t = t.n_classes
+let training_accuracy t = t.accuracy
+
+(* -------------------------------------------------------- serialization *)
+
+module Sexp = Opprox_util.Sexp
+
+let to_sexp t =
+  let class_entries =
+    Hashtbl.fold
+      (fun signature id acc ->
+        Sexp.list [ Sexp.list (List.map Sexp.int signature); Sexp.int id ] :: acc)
+      t.classes []
+  in
+  Sexp.record
+    [
+      ("classes", Sexp.list class_entries);
+      ("tree", Dtree.to_sexp t.tree);
+      ("accuracy", Sexp.float t.accuracy);
+      ("n_classes", Sexp.int t.n_classes);
+    ]
+
+let of_sexp sexp =
+  let classes = Hashtbl.create 8 in
+  List.iter
+    (fun entry ->
+      match Sexp.to_list entry with
+      | [ signature; id ] ->
+          Hashtbl.replace classes
+            (List.map Sexp.to_int (Sexp.to_list signature))
+            (Sexp.to_int id)
+      | _ -> failwith "Cfmodel.of_sexp: malformed class entry")
+    (Sexp.to_list (Sexp.field sexp "classes"));
+  {
+    classes;
+    tree = Dtree.of_sexp (Sexp.field sexp "tree");
+    accuracy = Sexp.to_float (Sexp.field sexp "accuracy");
+    n_classes = Sexp.to_int (Sexp.field sexp "n_classes");
+  }

@@ -1,0 +1,300 @@
+module App = Opprox_sim.App
+module Polyreg = Opprox_ml.Polyreg
+module Confidence = Opprox_ml.Confidence
+module Stats = Opprox_util.Stats
+module Rng = Opprox_util.Rng
+
+let log_src = Logs.Src.create "opprox.models" ~doc:"OPPROX model fitting"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type prediction = {
+  speedup : float;
+  qos : float;
+  speedup_lo : float;
+  qos_hi : float;
+  iters_ratio : float;
+}
+
+type config = {
+  regression : Polyreg.config;
+  ci_p : float;
+  min_class_samples : int;
+  seed : int;
+}
+
+let default_config =
+  { regression = Polyreg.default_config; ci_p = 0.95; min_class_samples = 40; seed = 0x40DE1 }
+
+type phase_models = {
+  iter_model : Polyreg.t;
+  local_speedup : Polyreg.t array; (* indexed by AB *)
+  local_qos : Polyreg.t array;
+  overall_speedup : Polyreg.t;
+  overall_qos : Polyreg.t;
+  speedup_ci : Confidence.t;
+  qos_ci : Confidence.t;
+}
+
+type t = {
+  app : App.t;
+  n_phases : int;
+  config : config;
+  classes : Cfmodel.t;
+  (* class id -> per-phase models; class 0 doubles as the fallback trained
+     on every sample. *)
+  per_class : phase_models array array;
+}
+
+let iter_features (s : Training.sample) =
+  Array.append (Array.map float_of_int s.levels) s.input
+
+(* QoS degradations are heavy-tailed (an unstable corner of the AL space
+   can produce errors orders of magnitude above the useful operating
+   region), so QoS models are fit on log(1 + qos): regression error in the
+   tail no longer wrecks the fit near the budgets the optimizer cares
+   about, and the confidence interval becomes multiplicative. *)
+let log_qos q = Float.log1p (Float.max 0.0 q)
+let unlog_qos l = Float.max 0.0 (Float.expm1 l)
+
+let local_features (s : Training.sample) ~ab = Array.append [| float_of_int s.levels.(ab) |] s.input
+
+(* Overall-model features: the local models' predictions for each AB's
+   level in this sample, plus the estimated iteration ratio (paper: "we
+   explicitly use the estimated value as an input feature"). *)
+let overall_features pm (s : Training.sample) =
+  let n_abs = Array.length pm.local_speedup in
+  let iters_est = Polyreg.predict pm.iter_model (iter_features s) in
+  Array.init (n_abs + 1) (fun i ->
+      if i = n_abs then iters_est else Polyreg.predict pm.local_speedup.(i) (local_features s ~ab:i))
+
+let overall_qos_features pm (s : Training.sample) =
+  let n_abs = Array.length pm.local_qos in
+  let iters_est = Polyreg.predict pm.iter_model (iter_features s) in
+  Array.init (n_abs + 1) (fun i ->
+      if i = n_abs then iters_est else Polyreg.predict pm.local_qos.(i) (local_features s ~ab:i))
+
+let fit_phase ~config ~rng ~app samples =
+  let n_abs = App.n_abs app in
+  let all_rows f = Array.map f samples in
+  let iter_model =
+    Polyreg.fit ~config:config.regression ~rng (all_rows iter_features)
+      (Array.map (fun (s : Training.sample) -> s.iters_ratio) samples)
+  in
+  let fit_local target_of ab =
+    (* Local sweeps have every other AB at level 0; joint samples would
+       contaminate the local relationship, so filter to locals — but fall
+       back to every sample when an AB has no dedicated sweep data. *)
+    let locals =
+      Array.of_seq
+        (Seq.filter
+           (fun (s : Training.sample) ->
+             Array.for_all Fun.id (Array.mapi (fun i l -> i = ab || l = 0) s.levels))
+           (Array.to_seq samples))
+    in
+    let data = if Array.length locals >= 4 then locals else samples in
+    Polyreg.fit ~config:config.regression ~rng
+      (Array.map (fun s -> local_features s ~ab) data)
+      (Array.map target_of data)
+  in
+  let local_speedup = Array.init n_abs (fit_local (fun s -> s.speedup)) in
+  let local_qos = Array.init n_abs (fit_local (fun (s : Training.sample) -> log_qos s.qos)) in
+  let partial =
+    {
+      iter_model;
+      local_speedup;
+      local_qos;
+      overall_speedup = iter_model (* placeholder, replaced below *);
+      overall_qos = iter_model;
+      speedup_ci = Confidence.of_residuals [||];
+      qos_ci = Confidence.of_residuals [||];
+    }
+  in
+  let overall_speedup =
+    Polyreg.fit ~config:config.regression ~rng
+      (Array.map (overall_features partial) samples)
+      (Array.map (fun (s : Training.sample) -> s.speedup) samples)
+  in
+  let overall_qos =
+    Polyreg.fit ~config:config.regression ~rng
+      (Array.map (overall_qos_features partial) samples)
+      (Array.map (fun (s : Training.sample) -> log_qos s.qos) samples)
+  in
+  {
+    partial with
+    overall_speedup;
+    overall_qos;
+    speedup_ci = Confidence.of_model ~p:config.ci_p overall_speedup;
+    qos_ci = Confidence.of_model ~p:config.ci_p overall_qos;
+  }
+
+let build ?(config = default_config) (training : Training.t) =
+  let rng = Rng.create config.seed in
+  let app = training.app in
+  let n_phases = training.n_phases in
+  let fit_class samples =
+    Array.init n_phases (fun phase ->
+        let phase_samples =
+          Array.of_seq
+            (Seq.filter (fun (s : Training.sample) -> s.phase = phase) (Array.to_seq samples))
+        in
+        fit_phase ~config ~rng ~app phase_samples)
+  in
+  let fallback = fit_class training.samples in
+  let n_classes = Cfmodel.n_classes training.classes in
+  let per_class =
+    Array.init n_classes (fun cls ->
+        if cls = 0 then fallback
+        else
+          let class_samples =
+            Array.of_seq
+              (Seq.filter
+                 (fun (s : Training.sample) -> s.trace_class = cls)
+                 (Array.to_seq training.samples))
+          in
+          if Array.length class_samples < config.min_class_samples * n_phases then fallback
+          else fit_class class_samples)
+  in
+  let t = { app; n_phases; config; classes = training.classes; per_class } in
+  Log.info (fun m ->
+      let mean f = Stats.mean (Array.map f t.per_class.(0)) in
+      m "fitted models for %s: %d classes x %d phases (qos R2 %.3f, speedup R2 %.3f)"
+        app.App.name n_classes n_phases
+        (mean (fun pm -> Polyreg.cv_r2 pm.overall_qos))
+        (mean (fun pm -> Polyreg.cv_r2 pm.overall_speedup)));
+  t
+
+let models_for t input =
+  let cls = Cfmodel.classify t.classes input in
+  if cls >= 0 && cls < Array.length t.per_class then t.per_class.(cls) else t.per_class.(0)
+
+let predict t ~input ~phase ~levels =
+  if phase < 0 || phase >= t.n_phases then invalid_arg "Models.predict: bad phase";
+  if Array.length levels <> App.n_abs t.app then invalid_arg "Models.predict: bad levels arity";
+  if Array.for_all (fun l -> l = 0) levels then
+    (* Exact execution needs no model: speedup 1, no degradation. *)
+    { speedup = 1.0; qos = 0.0; speedup_lo = 1.0; qos_hi = 0.0; iters_ratio = 1.0 }
+  else
+  let pm = (models_for t input).(phase) in
+  let pseudo : Training.sample =
+    {
+      input;
+      phase;
+      levels;
+      speedup = 0.0;
+      qos = 0.0;
+      iters_ratio = 0.0;
+      trace_class = 0;
+    }
+  in
+  let iters_ratio = Polyreg.predict pm.iter_model (iter_features pseudo) in
+  let speedup = Polyreg.predict pm.overall_speedup (overall_features pm pseudo) in
+  let log_q = Polyreg.predict pm.overall_qos (overall_qos_features pm pseudo) in
+  let speedup = Float.max 0.01 speedup in
+  {
+    speedup;
+    qos = unlog_qos log_q;
+    speedup_lo = Float.max 0.01 (Confidence.lower pm.speedup_ci speedup);
+    qos_hi = unlog_qos (Confidence.upper pm.qos_ci log_q);
+    iters_ratio;
+  }
+
+let n_phases t = t.n_phases
+let app t = t.app
+
+let mean_over_phases t f =
+  Stats.mean (Array.map f t.per_class.(0))
+
+let qos_r2 t = mean_over_phases t (fun pm -> Polyreg.cv_r2 pm.overall_qos)
+let speedup_r2 t = mean_over_phases t (fun pm -> Polyreg.cv_r2 pm.overall_speedup)
+let iter_r2 t = mean_over_phases t (fun pm -> Polyreg.cv_r2 pm.iter_model)
+
+let max_polynomial_degree t =
+  Array.fold_left
+    (fun acc phases ->
+      Array.fold_left
+        (fun acc pm ->
+          List.fold_left Stdlib.max acc
+            [
+              Polyreg.degree pm.iter_model;
+              Polyreg.degree pm.overall_speedup;
+              Polyreg.degree pm.overall_qos;
+            ])
+        acc phases)
+    0 t.per_class
+
+(* -------------------------------------------------------- serialization *)
+
+module Sexp = Opprox_util.Sexp
+
+let phase_models_to_sexp pm =
+  Sexp.record
+    [
+      ("iter_model", Polyreg.to_sexp pm.iter_model);
+      ("local_speedup", Sexp.list (Array.to_list (Array.map Polyreg.to_sexp pm.local_speedup)));
+      ("local_qos", Sexp.list (Array.to_list (Array.map Polyreg.to_sexp pm.local_qos)));
+      ("overall_speedup", Polyreg.to_sexp pm.overall_speedup);
+      ("overall_qos", Polyreg.to_sexp pm.overall_qos);
+      ("speedup_ci", Confidence.to_sexp pm.speedup_ci);
+      ("qos_ci", Confidence.to_sexp pm.qos_ci);
+    ]
+
+let phase_models_of_sexp sexp =
+  let polyregs name =
+    Array.of_list (List.map Polyreg.of_sexp (Sexp.to_list (Sexp.field sexp name)))
+  in
+  {
+    iter_model = Polyreg.of_sexp (Sexp.field sexp "iter_model");
+    local_speedup = polyregs "local_speedup";
+    local_qos = polyregs "local_qos";
+    overall_speedup = Polyreg.of_sexp (Sexp.field sexp "overall_speedup");
+    overall_qos = Polyreg.of_sexp (Sexp.field sexp "overall_qos");
+    speedup_ci = Confidence.of_sexp (Sexp.field sexp "speedup_ci");
+    qos_ci = Confidence.of_sexp (Sexp.field sexp "qos_ci");
+  }
+
+let config_to_sexp (c : config) =
+  Sexp.record
+    [
+      ("ci_p", Sexp.float c.ci_p);
+      ("min_class_samples", Sexp.int c.min_class_samples);
+      ("seed", Sexp.int c.seed);
+    ]
+
+let config_of_sexp sexp =
+  {
+    default_config with
+    ci_p = Sexp.to_float (Sexp.field sexp "ci_p");
+    min_class_samples = Sexp.to_int (Sexp.field sexp "min_class_samples");
+    seed = Sexp.to_int (Sexp.field sexp "seed");
+  }
+
+let to_sexp t =
+  Sexp.record
+    [
+      ("app", Sexp.string t.app.App.name);
+      ("n_phases", Sexp.int t.n_phases);
+      ("config", config_to_sexp t.config);
+      ("classes", Cfmodel.to_sexp t.classes);
+      ( "per_class",
+        Sexp.list
+          (Array.to_list
+             (Array.map
+                (fun phases ->
+                  Sexp.list (Array.to_list (Array.map phase_models_to_sexp phases)))
+                t.per_class)) );
+    ]
+
+let of_sexp ~resolve sexp =
+  {
+    app = resolve (Sexp.to_string_atom (Sexp.field sexp "app"));
+    n_phases = Sexp.to_int (Sexp.field sexp "n_phases");
+    config = config_of_sexp (Sexp.field sexp "config");
+    classes = Cfmodel.of_sexp (Sexp.field sexp "classes");
+    per_class =
+      Array.of_list
+        (List.map
+           (fun phases ->
+             Array.of_list (List.map phase_models_of_sexp (Sexp.to_list phases)))
+           (Sexp.to_list (Sexp.field sexp "per_class")));
+  }

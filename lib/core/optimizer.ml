@@ -1,0 +1,188 @@
+module App = Opprox_sim.App
+module Schedule = Opprox_sim.Schedule
+module Config_space = Opprox_sim.Config_space
+
+let log_src = Logs.Src.create "opprox.optimizer" ~doc:"OPPROX phase optimizer"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type phase_choice = {
+  phase : int;
+  levels : int array;
+  predicted : Models.prediction;
+  sub_budget : float;
+}
+
+type plan = {
+  schedule : Schedule.t;
+  choices : phase_choice list;
+  predicted_speedup : float;
+  predicted_qos : float;
+  budget : float;
+}
+
+type search = Enumerate | Greedy
+
+let compose_speedup speedups =
+  let savings =
+    List.fold_left (fun acc s -> acc +. (1.0 -. (1.0 /. Float.max 0.01 s))) 0.0 speedups
+  in
+  1.0 /. Float.max 0.05 (1.0 -. savings)
+
+(* Exact enumeration of one phase's AL space: keep the configuration with
+   the best conservative speedup whose conservative QoS fits the budget. *)
+let enumerate_phase ~predict ~input ~phase ~budget abs =
+  let best = ref None in
+  List.iter
+    (fun levels ->
+      let p = predict ~input ~phase ~levels in
+      if p.Models.qos_hi <= budget then
+        match !best with
+        | Some (_, best_p) when best_p.Models.speedup_lo >= p.Models.speedup_lo -> ()
+        | _ -> best := Some (levels, p))
+    (Config_space.all abs);
+  !best
+
+(* Greedy coordinate ascent: repeatedly take the single-AB level change
+   that most improves conservative speedup while staying within budget. *)
+let greedy_phase ~predict ~input ~phase ~budget abs =
+  let n = Array.length abs in
+  let current = Array.make n 0 in
+  let current_pred = ref (predict ~input ~phase ~levels:current) in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let best_step = ref None in
+    for ab = 0 to n - 1 do
+      List.iter
+        (fun delta ->
+          let l = current.(ab) + delta in
+          if l >= 0 && l <= abs.(ab).Opprox_sim.Ab.max_level && l <> current.(ab) then begin
+            let candidate = Array.copy current in
+            candidate.(ab) <- l;
+            let p = predict ~input ~phase ~levels:candidate in
+            if
+              p.Models.qos_hi <= budget
+              && p.Models.speedup_lo > !current_pred.Models.speedup_lo +. 1e-9
+            then
+              match !best_step with
+              | Some (_, bp) when bp.Models.speedup_lo >= p.Models.speedup_lo -> ()
+              | _ -> best_step := Some (candidate, p)
+          end)
+        [ 1; -1 ]
+    done;
+    match !best_step with
+    | Some (candidate, p) ->
+        Array.blit candidate 0 current 0 n;
+        current_pred := p;
+        improved := true
+    | None -> ()
+  done;
+  if !current_pred.Models.qos_hi <= budget then Some (Array.copy current, !current_pred) else None
+
+let optimize ?search ?(enumeration_limit = 20000) ~models ~roi ~input ~budget () =
+  if budget < 0.0 then invalid_arg "Optimizer.optimize: negative budget";
+  let n_phases = Models.n_phases models in
+  if Array.length roi <> n_phases then invalid_arg "Optimizer.optimize: roi arity mismatch";
+  let abs = (Models.app models).App.abs in
+  (* Memoize predictions: the sweeps below re-visit the same (phase,
+     levels) points many times. *)
+  let cache = Hashtbl.create 4096 in
+  let predict_cached ~input ~phase ~levels =
+    let key = (phase, Array.to_list levels) in
+    match Hashtbl.find_opt cache key with
+    | Some p -> p
+    | None ->
+        let p = Models.predict models ~input ~phase ~levels in
+        Hashtbl.replace cache key p;
+        p
+  in
+  let search =
+    match search with
+    | Some s -> s
+    | None -> if Config_space.count abs <= enumeration_limit then Enumerate else Greedy
+  in
+  let order = Roi.descending_order roi in
+  let n_abs = Array.length abs in
+  let schedule_levels = Array.init n_phases (fun _ -> Array.make n_abs 0) in
+  (* Per-phase budgets and what each phase's current choice consumes. *)
+  let allocated = Array.make n_phases 0.0 in
+  let consumed = Array.make n_phases 0.0 in
+  let chosen = Array.init n_phases (fun _ -> None) in
+  let total_consumed () = Array.fold_left ( +. ) 0.0 consumed in
+  let sweep () =
+    (* One Algorithm-2 pass: distribute the unconsumed budget over phases
+       in decreasing-ROI order and re-optimize each phase with its grown
+       allocation.  Leftovers from earlier phases flow to later ones. *)
+    let remaining = ref (Float.max 0.0 (budget -. total_consumed ())) in
+    let remaining_roi = ref (Array.fold_left ( +. ) 0.0 roi) in
+    let changed = ref false in
+    List.iter
+      (fun phase ->
+        let share = if !remaining_roi > 0.0 then roi.(phase) /. !remaining_roi else 0.0 in
+        let extra = Float.max 0.0 (!remaining *. share) in
+        allocated.(phase) <- allocated.(phase) +. extra;
+        remaining := !remaining -. extra;
+        remaining_roi := !remaining_roi -. roi.(phase);
+        let result =
+          match search with
+          | Enumerate -> enumerate_phase ~predict:predict_cached ~input ~phase ~budget:allocated.(phase) abs
+          | Greedy -> greedy_phase ~predict:predict_cached ~input ~phase ~budget:allocated.(phase) abs
+        in
+        match result with
+        | Some (levels, p) ->
+            let better =
+              match chosen.(phase) with
+              | Some (_, prev) -> p.Models.speedup_lo > prev.Models.speedup_lo +. 1e-9
+              | None -> true
+            in
+            if better then begin
+              chosen.(phase) <- Some (levels, p);
+              changed := true
+            end;
+            (match chosen.(phase) with
+            | Some (_, p) ->
+                let c = Float.max 0.0 p.Models.qos_hi in
+                (* Unused allocation flows back into the next sweep. *)
+                remaining := !remaining +. Float.max 0.0 (allocated.(phase) -. Float.max c consumed.(phase));
+                allocated.(phase) <- Float.max c consumed.(phase);
+                consumed.(phase) <- Float.max c consumed.(phase)
+            | None -> ())
+        | None -> ())
+      order;
+    !changed
+  in
+  let sweeps = ref 0 in
+  while sweep () && !sweeps < 5 do
+    incr sweeps
+  done;
+  Log.debug (fun m ->
+      m "budget %.2f settled after %d sweep(s); consumed %.2f" budget (!sweeps + 1)
+        (total_consumed ()));
+  let choices =
+    List.map
+      (fun phase ->
+        let levels, predicted =
+          match chosen.(phase) with
+          | Some (levels, p) -> (levels, p)
+          | None ->
+              let levels = Array.make n_abs 0 in
+              (levels, predict_cached ~input ~phase ~levels)
+        in
+        schedule_levels.(phase) <- levels;
+        { phase; levels; predicted; sub_budget = allocated.(phase) })
+      order
+  in
+  let predicted_speedup =
+    compose_speedup (List.map (fun c -> c.predicted.Models.speedup) choices)
+  in
+  let predicted_qos =
+    List.fold_left (fun acc c -> acc +. c.predicted.Models.qos_hi) 0.0 choices
+  in
+  {
+    schedule = Schedule.make schedule_levels;
+    choices;
+    predicted_speedup;
+    predicted_qos;
+    budget;
+  }

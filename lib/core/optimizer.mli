@@ -1,0 +1,54 @@
+(** Phase-specific trade-off optimization (paper Sec. 3.8, Algorithm 2).
+
+    Given the per-phase models, a QoS degradation budget and an input,
+    the optimizer visits phases in decreasing-ROI order, allocates each
+    phase a sub-budget proportional to its normalized ROI over the budget
+    still unspent, and solves
+
+    {v maximize   S(A)   subject to  qos_hi(A) <= sub-budget v}
+
+    over the discrete AL-vector space of the phase, using the models'
+    conservative bounds (upper-CI QoS, lower-CI speedup).  Whatever a
+    phase does not consume flows to the phases visited after it.
+
+    AL spaces here are small (at most 6^4 = 1296), so the search is exact
+    enumeration by default; a greedy coordinate-ascent fallback handles
+    hypothetically larger spaces and is property-tested against
+    enumeration. *)
+
+type phase_choice = {
+  phase : int;
+  levels : int array;
+  predicted : Models.prediction;
+  sub_budget : float;
+}
+
+type plan = {
+  schedule : Opprox_sim.Schedule.t;
+  choices : phase_choice list;  (** in the visit (descending-ROI) order *)
+  predicted_speedup : float;  (** composed whole-run speedup estimate *)
+  predicted_qos : float;  (** sum of per-phase conservative QoS estimates *)
+  budget : float;
+}
+
+type search = Enumerate | Greedy
+
+val optimize :
+  ?search:search ->
+  ?enumeration_limit:int ->
+  models:Models.t ->
+  roi:float array ->
+  input:float array ->
+  budget:float ->
+  unit ->
+  plan
+(** Run Algorithm 2.  [enumeration_limit] (default 20000) switches to the
+    greedy search when the per-phase space is larger.  The returned
+    schedule always satisfies the models' conservative per-phase
+    constraints; the all-exact schedule is the fallback when no setting
+    fits a sub-budget. *)
+
+val compose_speedup : float list -> float
+(** Combine per-phase whole-run speedups: each phase contributes work
+    savings [1 - 1/s]; savings add, so the composed speedup is
+    [1 / (1 - sum savings)] (capped to keep the result finite). *)

@@ -1,0 +1,45 @@
+module App = Opprox_sim.App
+module Driver = Opprox_sim.Driver
+module Schedule = Opprox_sim.Schedule
+module Config_space = Opprox_sim.Config_space
+
+type result = { levels : int array; evaluation : Driver.evaluation }
+
+let cache : (string * float list, (int array * Driver.evaluation) list) Hashtbl.t =
+  Hashtbl.create 16
+
+let clear_cache () = Hashtbl.reset cache
+
+let measured_space (app : App.t) ~input =
+  let key = (app.App.name, Array.to_list input) in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+      let exact = Driver.run_exact app input in
+      let measured =
+        List.map
+          (fun levels ->
+            let ev = Driver.evaluate ~exact app (Schedule.uniform ~n_phases:1 levels) input in
+            (levels, ev))
+          (Config_space.all app.App.abs)
+      in
+      Hashtbl.replace cache key measured;
+      measured
+
+let search app ~input ~budget =
+  if budget < 0.0 then invalid_arg "Oracle.search: negative budget";
+  let best = ref None in
+  List.iter
+    (fun (levels, (ev : Driver.evaluation)) ->
+      if ev.qos_degradation <= budget then
+        match !best with
+        | Some (_, (b : Driver.evaluation)) when b.speedup >= ev.speedup -> ()
+        | _ -> best := Some (levels, ev))
+    (measured_space app ~input);
+  match !best with
+  | Some (levels, evaluation) -> { levels; evaluation }
+  | None ->
+      (* Unreachable: the all-zero configuration has zero degradation. *)
+      let levels = Config_space.zero app.App.abs in
+      let evaluation = Driver.evaluate app (Schedule.uniform ~n_phases:1 levels) input in
+      { levels; evaluation }

@@ -1,0 +1,25 @@
+(** Phase-agnostic oracle baseline (paper Sec. 5.3).
+
+    Exhaustive search over whole-run approximation settings, scored by
+    {e actual} (measured) executions: the best achievable result for any
+    phase-agnostic technique, as used by prior work (Sidiroglou et al.
+    [43], Capri [44]) for their idealized comparison.  Because it measures
+    rather than predicts, it never violates the budget — but it can only
+    apply one AL vector to the whole execution. *)
+
+type result = {
+  levels : int array;  (** the chosen whole-run AL vector *)
+  evaluation : Opprox_sim.Driver.evaluation;  (** its measured effect *)
+}
+
+val search : Opprox_sim.App.t -> input:float array -> budget:float -> result
+(** [search app ~input ~budget] measures every configuration (memoized
+    per (app, input) across calls within a process) and returns the one
+    with maximum speedup among those with measured QoS degradation within
+    [budget].  The all-exact configuration (speedup 1, QoS 0) is always
+    feasible, so the search never fails. *)
+
+val measured_space : Opprox_sim.App.t -> input:float array -> (int array * Opprox_sim.Driver.evaluation) list
+(** All measured configurations (useful for scatter figures). *)
+
+val clear_cache : unit -> unit

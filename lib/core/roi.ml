@@ -1,0 +1,24 @@
+module Stats = Opprox_util.Stats
+
+let of_training ?(epsilon = 0.05) (t : Training.t) =
+  Array.init t.n_phases (fun phase ->
+      let samples = Training.samples_of_phase t phase in
+      if Array.length samples = 0 then 0.0
+      else
+        Stats.mean
+          (Array.map
+             (fun (s : Training.sample) -> s.speedup /. Float.max epsilon s.qos)
+             samples))
+
+let normalize roi =
+  let total = Array.fold_left ( +. ) 0.0 roi in
+  if total <= 0.0 then Array.make (Array.length roi) (1.0 /. float_of_int (Array.length roi))
+  else Array.map (fun r -> r /. total) roi
+
+let allocate ~roi ~budget =
+  if budget < 0.0 then invalid_arg "Roi.allocate: negative budget";
+  Array.map (fun share -> share *. budget) (normalize roi)
+
+let descending_order roi =
+  let indexed = List.init (Array.length roi) (fun i -> (i, roi.(i))) in
+  List.map fst (List.sort (fun (_, a) (_, b) -> compare b a) indexed)

@@ -1,0 +1,26 @@
+(** Return-on-investment budget allocation (paper Sec. 3.8, Eq. 1).
+
+    For each phase, the ROI is the mean over that phase's training samples
+    of (speedup / QoS degradation) — a statistical estimate of how much
+    speedup a unit of error budget buys in that phase.  The total QoS
+    budget is split across phases in proportion to normalized ROI. *)
+
+val of_training : ?epsilon:float -> Training.t -> float array
+(** [of_training t] is the per-phase ROI vector.  Degradations below
+    [epsilon] (default [0.05]%) are floored to avoid division blow-ups
+    (a phase where approximation is free would otherwise absorb the whole
+    budget; the floor keeps ROI finite while still favoring it). *)
+
+val normalize : float array -> float array
+(** ROI vector scaled to sum to 1 (uniform if all-zero). *)
+
+val allocate : roi:float array -> budget:float -> float array
+(** [allocate ~roi ~budget] is the initial per-phase sub-budget split,
+    [budget * normalized roi] (paper: "divides the overall QoS degradation
+    budget across all the phases of execution in proportion to their
+    corresponding ROI values"). *)
+
+val descending_order : float array -> int list
+(** Phase indices sorted by decreasing ROI — the order in which the
+    optimizer visits phases (leftover budget flows to later-visited,
+    lower-ROI phases). *)

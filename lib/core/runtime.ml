@@ -1,0 +1,97 @@
+module App = Opprox_sim.App
+module Driver = Opprox_sim.Driver
+module Schedule = Opprox_sim.Schedule
+
+type job = {
+  app_name : string;
+  budget : float;
+  model_path : string;
+  input : float array option;
+}
+
+let parse_config content =
+  let table = Hashtbl.create 8 in
+  List.iteri
+    (fun lineno line ->
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let line = String.trim line in
+      if line <> "" then
+        match String.index_opt line '=' with
+        | None -> failwith (Printf.sprintf "Runtime.parse_config: line %d: missing '='" (lineno + 1))
+        | Some i ->
+            let key = String.trim (String.sub line 0 i) in
+            let value = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+            if key = "" then
+              failwith (Printf.sprintf "Runtime.parse_config: line %d: empty key" (lineno + 1));
+            Hashtbl.replace table key value)
+    (String.split_on_char '\n' content);
+  let required key =
+    match Hashtbl.find_opt table key with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "Runtime.parse_config: missing key %s" key)
+  in
+  let budget_str = required "budget" in
+  let budget =
+    match float_of_string_opt budget_str with
+    | Some b when b >= 0.0 -> b
+    | Some _ -> failwith "Runtime.parse_config: negative budget"
+    | None -> failwith (Printf.sprintf "Runtime.parse_config: bad budget %S" budget_str)
+  in
+  let input =
+    match Hashtbl.find_opt table "input" with
+    | None -> None
+    | Some v ->
+        let parts = List.map String.trim (String.split_on_char ',' v) in
+        Some
+          (Array.of_list
+             (List.map
+                (fun p ->
+                  match float_of_string_opt p with
+                  | Some f -> f
+                  | None -> failwith (Printf.sprintf "Runtime.parse_config: bad input value %S" p))
+                parts))
+  in
+  { app_name = required "app"; budget; model_path = required "models"; input }
+
+let load_config path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  parse_config content
+
+let env_var_name ~phase ~ab_name =
+  let sanitized =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' -> Char.uppercase_ascii c
+        | 'A' .. 'Z' | '0' .. '9' -> c
+        | _ -> '_')
+      ab_name
+  in
+  Printf.sprintf "OPPROX_P%d_%s" (phase + 1) sanitized
+
+let plan_env_vars ~app (plan : Optimizer.plan) =
+  let sched = plan.Optimizer.schedule in
+  let n_phases = Schedule.n_phases sched in
+  let per_setting =
+    List.concat
+      (List.init n_phases (fun phase ->
+           List.init (App.n_abs app) (fun ab ->
+               let name = env_var_name ~phase ~ab_name:(App.ab_names app).(ab) in
+               (name, string_of_int (Schedule.level sched ~phase ~ab)))))
+  in
+  ("OPPROX_PHASES", string_of_int n_phases) :: per_setting
+
+type submission = {
+  job : job;
+  plan : Optimizer.plan;
+  env : (string * string) list;
+  outcome : Driver.evaluation;
+}
+

@@ -1,0 +1,43 @@
+(** Runtime job submission (paper Sec. 4.2, "What happens at the runtime").
+
+    In the paper's deployment, trained models live on disk; the user
+    submits a job with a target error budget in a configuration file, a
+    runtime script loads the models, runs the optimizer, and passes the
+    phase-specific approximation settings to the job through environment
+    variables before invoking the SLURM scheduler.  This module is that
+    runtime script: config parsing, model loading, and the env-var
+    encoding of a plan. *)
+
+type job = {
+  app_name : string;
+  budget : float;  (** percent QoS degradation *)
+  model_path : string;  (** file written by [Opprox.save] *)
+  input : float array option;  (** production input; [None] = app default *)
+}
+
+val parse_config : string -> job
+(** Parse a [key = value] configuration (one pair per line; [#] starts a
+    comment).  Required keys: [app], [budget], [models].  Optional:
+    [input] (comma-separated floats).  Raises [Failure] on missing or
+    malformed keys. *)
+
+val load_config : string -> job
+(** {!parse_config} on a file's contents. *)
+
+val env_var_name : phase:int -> ab_name:string -> string
+(** The variable carrying one (phase, AB) setting:
+    [OPPROX_P<phase>_<AB-NAME-UPPERCASED>] (1-based phase). *)
+
+val plan_env_vars : app:Opprox_sim.App.t -> Optimizer.plan -> (string * string) list
+(** Encode a plan as the environment the job is launched with, one
+    variable per (phase, AB), plus [OPPROX_PHASES] with the phase count. *)
+
+type submission = {
+  job : job;
+  plan : Optimizer.plan;
+  env : (string * string) list;
+  outcome : Opprox_sim.Driver.evaluation;
+      (** measured result of executing the job under the plan (our
+          "scheduler" runs the simulated application directly) *)
+}
+(** Produced by [Opprox.submit]. *)

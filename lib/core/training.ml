@@ -1,0 +1,135 @@
+module App = Opprox_sim.App
+module Driver = Opprox_sim.Driver
+module Schedule = Opprox_sim.Schedule
+module Config_space = Opprox_sim.Config_space
+module Rng = Opprox_util.Rng
+
+let log_src = Logs.Src.create "opprox.training" ~doc:"OPPROX training sampler"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type sample = {
+  input : float array;
+  phase : int;
+  levels : int array;
+  speedup : float;
+  qos : float;
+  iters_ratio : float;
+  trace_class : int;
+}
+
+type t = {
+  app : App.t;
+  n_phases : int;
+  samples : sample array;
+  classes : Cfmodel.t;
+}
+
+type config = {
+  joint_samples_per_phase : int;
+  inputs : float array array option;
+  seed : int;
+}
+
+let default_config = { joint_samples_per_phase = 12; inputs = None; seed = 0xDA7A }
+
+let evaluate_sample ~classes ~app ~n_phases ~input ~phase levels =
+  let exact = Driver.run_exact app input in
+  let sched = Schedule.single_phase_active ~n_phases ~phase levels in
+  let ev = Driver.evaluate ~exact app sched input in
+  {
+    input;
+    phase;
+    levels;
+    speedup = ev.speedup;
+    qos = ev.qos_degradation;
+    iters_ratio = float_of_int ev.outer_iters /. float_of_int (Stdlib.max 1 exact.iters);
+    trace_class = Cfmodel.class_of_trace classes ev.trace;
+  }
+
+let collect ?(config = default_config) app ~n_phases =
+  if n_phases < 1 then invalid_arg "Training.collect: n_phases must be >= 1";
+  let inputs = match config.inputs with Some i -> i | None -> app.App.training_inputs in
+  let classes = Cfmodel.build app ~inputs in
+  let rng = Rng.create config.seed in
+  let samples = ref [] in
+  Array.iter
+    (fun input ->
+      for phase = 0 to n_phases - 1 do
+        (* Exhaustive local sweeps: one AB at a time (paper: "for each AB
+           it exhaustively covers the corresponding AL-space, while
+           executing all other ABs accurately"). *)
+        List.iter
+          (fun (_ab, levels) ->
+            samples := evaluate_sample ~classes ~app ~n_phases ~input ~phase levels :: !samples)
+          (Config_space.local_sweeps app.App.abs);
+        (* Sparse random joint samples for the interaction models. *)
+        for _ = 1 to config.joint_samples_per_phase do
+          let levels = Config_space.random_nonzero rng app.App.abs in
+          samples := evaluate_sample ~classes ~app ~n_phases ~input ~phase levels :: !samples
+        done
+      done)
+    inputs;
+  let samples = Array.of_list (List.rev !samples) in
+  Log.info (fun m ->
+      m "collected %d profiling runs for %s (%d phases, %d inputs)" (Array.length samples)
+        app.App.name n_phases (Array.length inputs));
+  { app; n_phases; samples; classes }
+
+let samples_of_phase t phase =
+  Array.of_seq (Seq.filter (fun s -> s.phase = phase) (Array.to_seq t.samples))
+
+let local_samples t ~ab ~phase =
+  let is_local s =
+    s.phase = phase
+    && s.levels.(ab) > 0
+    && Array.for_all (fun l -> l = 0) (Array.mapi (fun i l -> if i = ab then 0 else l) s.levels)
+  in
+  Array.of_seq (Seq.filter is_local (Array.to_seq t.samples))
+
+let n_runs t = Array.length t.samples
+
+(* -------------------------------------------------------- serialization *)
+
+module Sexp = Opprox_util.Sexp
+
+let sample_to_sexp (s : sample) =
+  Sexp.record
+    [
+      ("input", Sexp.float_array s.input);
+      ("phase", Sexp.int s.phase);
+      ("levels", Sexp.int_array s.levels);
+      ("speedup", Sexp.float s.speedup);
+      ("qos", Sexp.float s.qos);
+      ("iters_ratio", Sexp.float s.iters_ratio);
+      ("trace_class", Sexp.int s.trace_class);
+    ]
+
+let sample_of_sexp sexp =
+  {
+    input = Sexp.to_float_array (Sexp.field sexp "input");
+    phase = Sexp.to_int (Sexp.field sexp "phase");
+    levels = Sexp.to_int_array (Sexp.field sexp "levels");
+    speedup = Sexp.to_float (Sexp.field sexp "speedup");
+    qos = Sexp.to_float (Sexp.field sexp "qos");
+    iters_ratio = Sexp.to_float (Sexp.field sexp "iters_ratio");
+    trace_class = Sexp.to_int (Sexp.field sexp "trace_class");
+  }
+
+let to_sexp t =
+  Sexp.record
+    [
+      ("app", Sexp.string t.app.App.name);
+      ("n_phases", Sexp.int t.n_phases);
+      ("samples", Sexp.list (Array.to_list (Array.map sample_to_sexp t.samples)));
+      ("classes", Cfmodel.to_sexp t.classes);
+    ]
+
+let of_sexp ~resolve sexp =
+  {
+    app = resolve (Sexp.to_string_atom (Sexp.field sexp "app"));
+    n_phases = Sexp.to_int (Sexp.field sexp "n_phases");
+    samples =
+      Array.of_list (List.map sample_of_sexp (Sexp.to_list (Sexp.field sexp "samples")));
+    classes = Cfmodel.of_sexp (Sexp.field sexp "classes");
+  }

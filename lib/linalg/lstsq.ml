@@ -1,0 +1,42 @@
+let normal_equations ?(ridge = 0.0) x y =
+  let xt = Matrix.transpose x in
+  let xtx = Matrix.mul xt x in
+  let n = Matrix.rows xtx in
+  let lhs =
+    if ridge = 0.0 then xtx else Matrix.add xtx (Matrix.scale (Matrix.identity n) ridge)
+  in
+  let rhs = Matrix.mul_vec xt y in
+  Matrix.solve lhs rhs
+
+let fit ?(ridge = 0.0) x y =
+  if Matrix.rows x <> Array.length y then invalid_arg "Lstsq.fit: dimension mismatch";
+  (* Preferred route: Householder QR (works on the design matrix directly,
+     so the conditioning is not squared).  Rank-deficient systems fall back
+     to ridge-stabilized normal equations, escalating the penalty —
+     degree-6 polynomial bases over near-collinear features routinely
+     defeat unregularized solves. *)
+  let qr_solution =
+    if Matrix.rows x >= Matrix.cols x then
+      let qr = Qr.decompose x in
+      if Qr.rank_deficient qr then None
+      else match Qr.solve qr y with w -> Some w | exception Failure _ -> None
+    else None
+  in
+  match qr_solution with
+  | Some w -> w
+  | None ->
+      let rec attempt ridge =
+        match normal_equations ~ridge x y with
+        | w -> w
+        | exception Failure _ ->
+            let next = if ridge = 0.0 then 1e-8 else ridge *. 100.0 in
+            if next > 1.0 then failwith "Lstsq.fit: singular even with ridge"
+            else attempt next
+      in
+      attempt (Float.max ridge 1e-8)
+
+let predict x w = Matrix.mul_vec x w
+
+let fit_predict ?ridge x y =
+  let w = fit ?ridge x y in
+  (w, predict x w)

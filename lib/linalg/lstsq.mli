@@ -1,0 +1,19 @@
+(** Linear least squares.
+
+    Solves [min_w ||X w - y||^2] by Householder QR ({!Qr}) when the design
+    matrix is full-rank and at least as tall as wide; otherwise by the
+    normal equations [(X'X + lambda I) w = X'y] with geometrically
+    escalating ridge penalties (polynomial design matrices become
+    ill-conditioned as the degree grows). *)
+
+val fit : ?ridge:float -> Matrix.t -> float array -> float array
+(** [fit x y] returns the coefficient vector [w].  [ridge] (default [0.])
+    is the initial penalty; on singularity the solver escalates the penalty
+    up to [1.0] and raises [Failure] only if even that fails.  Requires
+    [rows x = length y] and [rows x >= 1]. *)
+
+val predict : Matrix.t -> float array -> float array
+(** [predict x w] is [X w]. *)
+
+val fit_predict : ?ridge:float -> Matrix.t -> float array -> float array * float array
+(** Convenience: [(w, X w)]. *)

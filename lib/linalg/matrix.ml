@@ -1,0 +1,129 @@
+type t = { nrows : int; ncols : int; data : float array }
+
+let create nrows ncols =
+  if nrows <= 0 || ncols <= 0 then invalid_arg "Matrix.create: non-positive dimension";
+  { nrows; ncols; data = Array.make (nrows * ncols) 0.0 }
+
+let rows m = m.nrows
+let cols m = m.ncols
+
+let get m i j =
+  if i < 0 || i >= m.nrows || j < 0 || j >= m.ncols then invalid_arg "Matrix.get: out of bounds";
+  m.data.((i * m.ncols) + j)
+
+let set m i j v =
+  if i < 0 || i >= m.nrows || j < 0 || j >= m.ncols then invalid_arg "Matrix.set: out of bounds";
+  m.data.((i * m.ncols) + j) <- v
+
+let init nrows ncols f =
+  let m = create nrows ncols in
+  for i = 0 to nrows - 1 do
+    for j = 0 to ncols - 1 do
+      m.data.((i * ncols) + j) <- f i j
+    done
+  done;
+  m
+
+let of_rows arr =
+  let nrows = Array.length arr in
+  if nrows = 0 then invalid_arg "Matrix.of_rows: no rows";
+  let ncols = Array.length arr.(0) in
+  if ncols = 0 then invalid_arg "Matrix.of_rows: empty row";
+  Array.iter
+    (fun r -> if Array.length r <> ncols then invalid_arg "Matrix.of_rows: ragged rows")
+    arr;
+  init nrows ncols (fun i j -> arr.(i).(j))
+
+let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+
+let row m i = Array.init m.ncols (fun j -> get m i j)
+let col m j = Array.init m.nrows (fun i -> get m i j)
+
+let transpose m = init m.ncols m.nrows (fun i j -> get m j i)
+
+let mul a b =
+  if a.ncols <> b.nrows then invalid_arg "Matrix.mul: dimension mismatch";
+  let c = create a.nrows b.ncols in
+  for i = 0 to a.nrows - 1 do
+    for k = 0 to a.ncols - 1 do
+      let aik = a.data.((i * a.ncols) + k) in
+      if aik <> 0.0 then
+        for j = 0 to b.ncols - 1 do
+          c.data.((i * c.ncols) + j) <-
+            c.data.((i * c.ncols) + j) +. (aik *. b.data.((k * b.ncols) + j))
+        done
+    done
+  done;
+  c
+
+let mul_vec a v =
+  if a.ncols <> Array.length v then invalid_arg "Matrix.mul_vec: dimension mismatch";
+  Array.init a.nrows (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to a.ncols - 1 do
+        acc := !acc +. (a.data.((i * a.ncols) + j) *. v.(j))
+      done;
+      !acc)
+
+let add a b =
+  if a.nrows <> b.nrows || a.ncols <> b.ncols then invalid_arg "Matrix.add: dimension mismatch";
+  { a with data = Array.mapi (fun i x -> x +. b.data.(i)) a.data }
+
+let scale a s = { a with data = Array.map (fun x -> x *. s) a.data }
+
+let copy m = { m with data = Array.copy m.data }
+
+let solve a b =
+  if a.nrows <> a.ncols then invalid_arg "Matrix.solve: matrix not square";
+  if a.nrows <> Array.length b then invalid_arg "Matrix.solve: rhs dimension mismatch";
+  let n = a.nrows in
+  let m = copy a and x = Array.copy b in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: pick the row with the largest entry in column k. *)
+    let pivot = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (get m i k) > Float.abs (get m !pivot k) then pivot := i
+    done;
+    if Float.abs (get m !pivot k) < 1e-12 then failwith "Matrix.solve: singular";
+    if !pivot <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = get m k j in
+        set m k j (get m !pivot j);
+        set m !pivot j tmp
+      done;
+      let tmp = x.(k) in
+      x.(k) <- x.(!pivot);
+      x.(!pivot) <- tmp
+    end;
+    for i = k + 1 to n - 1 do
+      let factor = get m i k /. get m k k in
+      if factor <> 0.0 then begin
+        for j = k to n - 1 do
+          set m i j (get m i j -. (factor *. get m k j))
+        done;
+        x.(i) <- x.(i) -. (factor *. x.(k))
+      end
+    done
+  done;
+  for i = n - 1 downto 0 do
+    let acc = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      acc := !acc -. (get m i j *. x.(j))
+    done;
+    x.(i) <- !acc /. get m i i
+  done;
+  x
+
+let equal ?(eps = 1e-9) a b =
+  a.nrows = b.nrows && a.ncols = b.ncols
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= eps) a.data b.data
+
+let pp ppf m =
+  for i = 0 to m.nrows - 1 do
+    Format.fprintf ppf "[";
+    for j = 0 to m.ncols - 1 do
+      if j > 0 then Format.fprintf ppf " ";
+      Format.fprintf ppf "%.6g" (get m i j)
+    done;
+    Format.fprintf ppf "]@\n"
+  done

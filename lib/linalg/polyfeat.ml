@@ -1,0 +1,84 @@
+type t = { arity : int; degree : int; exponents : int array array }
+
+(* Enumerate exponent vectors with total degree <= d, graded order:
+   constant first, then degree 1 monomials, etc. *)
+let enumerate_exponents arity degree =
+  let acc = ref [] in
+  let current = Array.make arity 0 in
+  let rec go pos remaining =
+    if pos = arity then acc := Array.copy current :: !acc
+    else
+      for e = 0 to remaining do
+        current.(pos) <- e;
+        go (pos + 1) (remaining - e);
+        current.(pos) <- 0
+      done
+  in
+  go 0 degree;
+  let all = Array.of_list (List.rev !acc) in
+  let total v = Array.fold_left ( + ) 0 v in
+  (* Stable sort by total degree keeps a deterministic, readable order. *)
+  let indexed = Array.mapi (fun i v -> (i, v)) all in
+  Array.sort
+    (fun (i, a) (j, b) ->
+      match compare (total a) (total b) with 0 -> compare i j | c -> c)
+    indexed;
+  Array.map snd indexed
+
+let create ?caps ~arity ~degree () =
+  if arity < 1 then invalid_arg "Polyfeat.create: arity must be >= 1";
+  if degree < 0 then invalid_arg "Polyfeat.create: degree must be >= 0";
+  let exponents = enumerate_exponents arity degree in
+  let exponents =
+    match caps with
+    | None -> exponents
+    | Some caps ->
+        if Array.length caps <> arity then invalid_arg "Polyfeat.create: caps arity mismatch";
+        Array.of_seq
+          (Seq.filter
+             (fun expv ->
+               let ok = ref true in
+               Array.iteri (fun j e -> if e > caps.(j) then ok := false) expv;
+               !ok)
+             (Array.to_seq exponents))
+  in
+  { arity; degree; exponents }
+
+let of_exponents exponents =
+  let n = Array.length exponents in
+  if n = 0 then invalid_arg "Polyfeat.of_exponents: empty";
+  let arity = Array.length exponents.(0) in
+  if arity = 0 then invalid_arg "Polyfeat.of_exponents: zero arity";
+  Array.iter
+    (fun e -> if Array.length e <> arity then invalid_arg "Polyfeat.of_exponents: ragged")
+    exponents;
+  let degree =
+    Array.fold_left (fun acc e -> Stdlib.max acc (Array.fold_left ( + ) 0 e)) 0 exponents
+  in
+  { arity; degree; exponents = Array.map Array.copy exponents }
+
+let arity t = t.arity
+let degree t = t.degree
+let output_dim t = Array.length t.exponents
+let exponents t = Array.to_list (Array.map Array.copy t.exponents)
+
+let pow x n =
+  let rec go acc x n =
+    if n = 0 then acc
+    else if n land 1 = 1 then go (acc *. x) (x *. x) (n lsr 1)
+    else go acc (x *. x) (n lsr 1)
+  in
+  go 1.0 x n
+
+let apply t raw =
+  if Array.length raw <> t.arity then invalid_arg "Polyfeat.apply: arity mismatch";
+  Array.map
+    (fun expv ->
+      let acc = ref 1.0 in
+      Array.iteri (fun i e -> if e > 0 then acc := !acc *. pow raw.(i) e) expv;
+      !acc)
+    t.exponents
+
+let design_matrix t rows =
+  if Array.length rows = 0 then invalid_arg "Polyfeat.design_matrix: no rows";
+  Matrix.of_rows (Array.map (apply t) rows)

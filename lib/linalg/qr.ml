@@ -1,0 +1,90 @@
+type t = {
+  m : int;
+  n : int;
+  (* Compact storage: the upper triangle holds R; each column's lower
+     part holds the essential part of its Householder vector. *)
+  a : float array array;
+  beta : float array; (* 2 / (v'v) per reflector *)
+  v0 : float array; (* leading component of each Householder vector *)
+}
+
+let decompose matrix =
+  let m = Matrix.rows matrix and n = Matrix.cols matrix in
+  if m < n then invalid_arg "Qr.decompose: need rows >= cols";
+  let a = Array.init m (fun i -> Array.init n (fun j -> Matrix.get matrix i j)) in
+  let beta = Array.make n 0.0 and v0 = Array.make n 0.0 in
+  for k = 0 to n - 1 do
+    (* Householder vector annihilating a.(k+1..m-1).(k). *)
+    let norm = ref 0.0 in
+    for i = k to m - 1 do
+      norm := !norm +. (a.(i).(k) *. a.(i).(k))
+    done;
+    let norm = sqrt !norm in
+    if norm > 0.0 then begin
+      let alpha = if a.(k).(k) >= 0.0 then -.norm else norm in
+      let v_head = a.(k).(k) -. alpha in
+      let vtv = ref (v_head *. v_head) in
+      for i = k + 1 to m - 1 do
+        vtv := !vtv +. (a.(i).(k) *. a.(i).(k))
+      done;
+      if !vtv > 0.0 then begin
+        let b = 2.0 /. !vtv in
+        beta.(k) <- b;
+        v0.(k) <- v_head;
+        (* Apply the reflector to the remaining columns. *)
+        for j = k to n - 1 do
+          let dot = ref (v_head *. a.(k).(j)) in
+          for i = k + 1 to m - 1 do
+            dot := !dot +. (a.(i).(k) *. a.(i).(j))
+          done;
+          let s = b *. !dot in
+          a.(k).(j) <- a.(k).(j) -. (s *. v_head);
+          for i = k + 1 to m - 1 do
+            if j = k then () else a.(i).(j) <- a.(i).(j) -. (s *. a.(i).(k))
+          done
+        done;
+        (* Column k below the diagonal keeps the Householder tail. *)
+        a.(k).(k) <- alpha
+      end
+    end
+  done;
+  { m; n; a; beta; v0 }
+
+let r t =
+  Matrix.init t.n t.n (fun i j -> if j >= i then t.a.(i).(j) else 0.0)
+
+let q_transpose_vec t b =
+  if Array.length b <> t.m then invalid_arg "Qr.q_transpose_vec: length mismatch";
+  let y = Array.copy b in
+  for k = 0 to t.n - 1 do
+    if t.beta.(k) <> 0.0 then begin
+      let dot = ref (t.v0.(k) *. y.(k)) in
+      for i = k + 1 to t.m - 1 do
+        dot := !dot +. (t.a.(i).(k) *. y.(i))
+      done;
+      let s = t.beta.(k) *. !dot in
+      y.(k) <- y.(k) -. (s *. t.v0.(k));
+      for i = k + 1 to t.m - 1 do
+        y.(i) <- y.(i) -. (s *. t.a.(i).(k))
+      done
+    end
+  done;
+  Array.sub y 0 t.n
+
+let rank_deficient ?(tolerance = 1e-10) t =
+  let diag = Array.init t.n (fun i -> Float.abs t.a.(i).(i)) in
+  let largest = Array.fold_left Float.max 0.0 diag in
+  largest = 0.0 || Array.exists (fun d -> d < tolerance *. largest) diag
+
+let solve t b =
+  let y = q_transpose_vec t b in
+  let x = Array.make t.n 0.0 in
+  for i = t.n - 1 downto 0 do
+    let acc = ref y.(i) in
+    for j = i + 1 to t.n - 1 do
+      acc := !acc -. (t.a.(i).(j) *. x.(j))
+    done;
+    if Float.abs t.a.(i).(i) < 1e-12 then failwith "Qr.solve: rank deficient";
+    x.(i) <- !acc /. t.a.(i).(i)
+  done;
+  x

@@ -1,0 +1,32 @@
+(** Householder QR decomposition.
+
+    The normal equations square a design matrix's condition number; QR
+    works on the matrix directly and is the numerically preferred route
+    for least squares.  {!Lstsq} uses this solver for well-shaped systems
+    and falls back to ridge-stabilized normal equations when the matrix
+    is rank-deficient. *)
+
+type t
+(** A factorization [A = Q R] of an [m x n] matrix with [m >= n],
+    stored in compact Householder form. *)
+
+val decompose : Matrix.t -> t
+(** Factorize.  Requires [rows >= cols].  Never fails: rank deficiency
+    surfaces later as a small diagonal entry of [R]. *)
+
+val r : t -> Matrix.t
+(** The [n x n] upper-triangular factor. *)
+
+val q_transpose_vec : t -> float array -> float array
+(** [q_transpose_vec qr b] applies [Q'] to a length-[m] vector,
+    returning the first [n] components (all that back-substitution
+    needs). *)
+
+val solve : t -> float array -> float array
+(** Least-squares solution of [A x = b]: back-substitution of
+    [R x = Q' b].  Raises [Failure "Qr.solve: rank deficient"] when a
+    diagonal entry of [R] underflows. *)
+
+val rank_deficient : ?tolerance:float -> t -> bool
+(** Whether any diagonal of [R] is below [tolerance] (default [1e-10])
+    times the largest diagonal. *)

@@ -1,0 +1,20 @@
+module Stats = Opprox_util.Stats
+
+type t = { e : float }
+
+let of_residuals ?(p = 0.99) resid =
+  if p < 0.0 || p > 1.0 then invalid_arg "Confidence.of_residuals: p outside [0,1]";
+  if Array.length resid = 0 then { e = 0.0 }
+  else { e = Stats.quantile (Array.map Float.abs resid) p }
+
+let of_model ?p model = of_residuals ?p (Polyreg.residuals model)
+
+let half_width t = t.e
+let interval t q = (q -. t.e, q +. t.e)
+let upper t q = q +. t.e
+let lower t q = q -. t.e
+
+module Sexp = Opprox_util.Sexp
+
+let to_sexp t = Sexp.float t.e
+let of_sexp sexp = { e = Sexp.to_float sexp }

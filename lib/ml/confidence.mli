@@ -1,0 +1,31 @@
+(** Empirical confidence intervals for model predictions (paper Sec. 3.6).
+
+    OPPROX interprets a prediction [Q] as lying anywhere in [\[Q - e, Q + e\]]
+    where a fraction [p] of modeling errors stay within [e].  To remain
+    conservative it uses the upper limit for QoS degradation and the lower
+    limit for speedup.  [e] here is the [p]-quantile of the absolute
+    training residuals. *)
+
+type t
+
+val of_residuals : ?p:float -> float array -> t
+(** [of_residuals resid] estimates the half-width from signed residuals.
+    [p] defaults to [0.99].  An empty residual array yields a zero-width
+    interval. *)
+
+val of_model : ?p:float -> Polyreg.t -> t
+(** Shortcut over {!Polyreg.residuals}. *)
+
+val half_width : t -> float
+
+val interval : t -> float -> float * float
+(** [interval t q] is [(q - e, q + e)]. *)
+
+val upper : t -> float -> float
+(** Conservative bound used for QoS-degradation predictions. *)
+
+val lower : t -> float -> float
+(** Conservative bound used for speedup predictions. *)
+
+val to_sexp : t -> Opprox_util.Sexp.t
+val of_sexp : Opprox_util.Sexp.t -> t

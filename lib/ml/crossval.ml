@@ -1,0 +1,53 @@
+module Rng = Opprox_util.Rng
+module Stats = Opprox_util.Stats
+
+let fold_indices ~rng ~n ~k =
+  if k < 2 || k > n then invalid_arg "Crossval.fold_indices: need 2 <= k <= n";
+  let idx = Array.init n (fun i -> i) in
+  Rng.shuffle rng idx;
+  let base = n / k and extra = n mod k in
+  let folds = Array.make k [||] in
+  let pos = ref 0 in
+  for f = 0 to k - 1 do
+    let size = base + if f < extra then 1 else 0 in
+    folds.(f) <- Array.sub idx !pos size;
+    pos := !pos + size
+  done;
+  folds
+
+let split xs ~test =
+  let n = Array.length xs in
+  let in_test = Array.make n false in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n then invalid_arg "Crossval.split: index out of range";
+      in_test.(i) <- true)
+    test;
+  let train = ref [] in
+  for i = n - 1 downto 0 do
+    if not in_test.(i) then train := xs.(i) :: !train
+  done;
+  let sorted_test = Array.copy test in
+  Array.sort compare sorted_test;
+  (Array.of_list !train, Array.map (fun i -> xs.(i)) sorted_test)
+
+let score ~rng ~k ~fit ~predict xs ys =
+  let n = Array.length xs in
+  if Array.length ys <> n then invalid_arg "Crossval.score: length mismatch";
+  let folds = fold_indices ~rng ~n ~k in
+  let scores = ref [] in
+  Array.iter
+    (fun test ->
+      if Array.length test >= 2 then begin
+        let train_x, test_x = split xs ~test in
+        let train_y, test_y = split ys ~test in
+        match fit train_x train_y with
+        | model ->
+            let predicted = Array.map (predict model) test_x in
+            scores := Stats.r2_score ~actual:test_y ~predicted :: !scores
+        | exception Failure _ -> ()
+      end)
+    folds;
+  match !scores with
+  | [] -> neg_infinity
+  | ss -> Stats.mean (Array.of_list ss)

@@ -1,0 +1,27 @@
+(** k-fold cross-validation (paper Sec. 3.7).
+
+    The training data is shuffled and split into [k] folds; each fold serves
+    once as the held-out test set while the remaining folds train the model.
+    Scores are averaged across folds. *)
+
+val fold_indices : rng:Opprox_util.Rng.t -> n:int -> k:int -> int array array
+(** [fold_indices ~rng ~n ~k] partitions [0 .. n-1] into [k] disjoint
+    shuffled folds whose sizes differ by at most one.  Requires
+    [2 <= k <= n]. *)
+
+val split : 'a array -> test:int array -> 'a array * 'a array
+(** [split xs ~test] is [(train, held_out)] where [held_out] collects the
+    elements at the [test] indices (in index order) and [train] the rest. *)
+
+val score :
+  rng:Opprox_util.Rng.t ->
+  k:int ->
+  fit:(float array array -> float array -> 'm) ->
+  predict:('m -> float array -> float) ->
+  float array array ->
+  float array ->
+  float
+(** [score ~rng ~k ~fit ~predict xs ys] is the mean R2 over [k] folds.
+    When a fold has fewer than two test points or [fit] fails numerically
+    the fold is skipped; if every fold is skipped the result is
+    [neg_infinity]. *)

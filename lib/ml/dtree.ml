@@ -1,0 +1,191 @@
+type config = { max_depth : int; min_samples_split : int; min_gain : float }
+
+let default_config = { max_depth = 12; min_samples_split = 2; min_gain = 0.0 }
+
+type node =
+  | Leaf of int
+  | Node of { feature : int; threshold : float; left : node; right : node }
+
+type t = { root : node; arity : int }
+
+let gini labels =
+  let n = Array.length labels in
+  if n = 0 then 0.0
+  else begin
+    let counts = Hashtbl.create 8 in
+    Array.iter
+      (fun l ->
+        Hashtbl.replace counts l (1 + Option.value ~default:0 (Hashtbl.find_opt counts l)))
+      labels;
+    let fn = float_of_int n in
+    Hashtbl.fold
+      (fun _ c acc ->
+        let p = float_of_int c /. fn in
+        acc -. (p *. p))
+      counts 1.0
+  end
+
+let majority labels =
+  let counts = Hashtbl.create 8 in
+  Array.iter
+    (fun l ->
+      Hashtbl.replace counts l (1 + Option.value ~default:0 (Hashtbl.find_opt counts l)))
+    labels;
+  (* Deterministic tie-break: smallest label among the most frequent. *)
+  Hashtbl.fold
+    (fun l c (best_l, best_c) ->
+      if c > best_c || (c = best_c && l < best_l) then (l, c) else (best_l, best_c))
+    counts (max_int, 0)
+  |> fst
+
+let pure labels = Array.for_all (fun l -> l = labels.(0)) labels
+
+(* Best threshold split of one feature: sort by value, sweep boundaries
+   between distinct values, track class counts incrementally. *)
+let best_split_on_feature rows labels feature =
+  let n = Array.length rows in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare rows.(a).(feature) rows.(b).(feature)) order;
+  let left_counts = Hashtbl.create 8 and right_counts = Hashtbl.create 8 in
+  Array.iter
+    (fun i ->
+      Hashtbl.replace right_counts labels.(i)
+        (1 + Option.value ~default:0 (Hashtbl.find_opt right_counts labels.(i))))
+    order;
+  let gini_of counts total =
+    if total = 0 then 0.0
+    else
+      let ft = float_of_int total in
+      Hashtbl.fold
+        (fun _ c acc ->
+          let p = float_of_int c /. ft in
+          acc -. (p *. p))
+        counts 1.0
+  in
+  let best = ref None in
+  let fn = float_of_int n in
+  for k = 0 to n - 2 do
+    let i = order.(k) in
+    let l = labels.(i) in
+    Hashtbl.replace left_counts l (1 + Option.value ~default:0 (Hashtbl.find_opt left_counts l));
+    Hashtbl.replace right_counts l (Option.get (Hashtbl.find_opt right_counts l) - 1);
+    let v = rows.(i).(feature) and v' = rows.(order.(k + 1)).(feature) in
+    if v < v' then begin
+      let n_left = k + 1 in
+      let n_right = n - n_left in
+      let impurity =
+        (float_of_int n_left /. fn *. gini_of left_counts n_left)
+        +. (float_of_int n_right /. fn *. gini_of right_counts n_right)
+      in
+      let threshold = (v +. v') /. 2.0 in
+      match !best with
+      | Some (_, best_impurity) when best_impurity <= impurity -> ()
+      | _ -> best := Some (threshold, impurity)
+    end
+  done;
+  !best
+
+let rec build ~config rows labels depth =
+  let n = Array.length rows in
+  if n = 0 then Leaf 0
+  else if pure labels || depth >= config.max_depth || n < config.min_samples_split then
+    Leaf (majority labels)
+  else begin
+    let arity = Array.length rows.(0) in
+    let parent_gini = gini labels in
+    let best = ref None in
+    for feature = 0 to arity - 1 do
+      match best_split_on_feature rows labels feature with
+      | None -> ()
+      | Some (threshold, impurity) -> (
+          match !best with
+          | Some (_, _, best_impurity) when best_impurity <= impurity -> ()
+          | _ -> best := Some (feature, threshold, impurity))
+    done;
+    match !best with
+    | Some (feature, threshold, impurity) when parent_gini -. impurity >= config.min_gain ->
+        let left_idx = ref [] and right_idx = ref [] in
+        for i = n - 1 downto 0 do
+          if rows.(i).(feature) <= threshold then left_idx := i :: !left_idx
+          else right_idx := i :: !right_idx
+        done;
+        let take idxs arr = Array.of_list (List.map (fun i -> arr.(i)) idxs) in
+        let left =
+          build ~config (take !left_idx rows) (take !left_idx labels) (depth + 1)
+        in
+        let right =
+          build ~config (take !right_idx rows) (take !right_idx labels) (depth + 1)
+        in
+        Node { feature; threshold; left; right }
+    | Some _ | None -> Leaf (majority labels)
+  end
+
+let fit ?(config = default_config) rows labels =
+  let n = Array.length rows in
+  if n = 0 then invalid_arg "Dtree.fit: no rows";
+  if Array.length labels <> n then invalid_arg "Dtree.fit: label length mismatch";
+  let arity = Array.length rows.(0) in
+  if arity = 0 then invalid_arg "Dtree.fit: zero-arity features";
+  Array.iter
+    (fun r -> if Array.length r <> arity then invalid_arg "Dtree.fit: ragged features")
+    rows;
+  { root = build ~config rows labels 0; arity }
+
+let predict t row =
+  if Array.length row <> t.arity then invalid_arg "Dtree.predict: arity mismatch";
+  let rec go = function
+    | Leaf l -> l
+    | Node { feature; threshold; left; right } ->
+        if row.(feature) <= threshold then go left else go right
+  in
+  go t.root
+
+let depth t =
+  let rec go = function
+    | Leaf _ -> 0
+    | Node { left; right; _ } -> 1 + Stdlib.max (go left) (go right)
+  in
+  go t.root
+
+let n_leaves t =
+  let rec go = function Leaf _ -> 1 | Node { left; right; _ } -> go left + go right in
+  go t.root
+
+let accuracy t rows labels =
+  if Array.length rows = 0 then invalid_arg "Dtree.accuracy: no rows";
+  if Array.length rows <> Array.length labels then invalid_arg "Dtree.accuracy: length mismatch";
+  let correct = ref 0 in
+  Array.iteri (fun i row -> if predict t row = labels.(i) then incr correct) rows;
+  float_of_int !correct /. float_of_int (Array.length rows)
+
+(* -------------------------------------------------------- serialization *)
+
+module Sexp = Opprox_util.Sexp
+
+let rec node_to_sexp = function
+  | Leaf l -> Sexp.list [ Sexp.atom "leaf"; Sexp.int l ]
+  | Node { feature; threshold; left; right } ->
+      Sexp.list
+        [ Sexp.atom "node"; Sexp.int feature; Sexp.float threshold; node_to_sexp left;
+          node_to_sexp right ]
+
+let rec node_of_sexp sexp =
+  match Sexp.to_list sexp with
+  | [ Sexp.Atom "leaf"; l ] -> Leaf (Sexp.to_int l)
+  | [ Sexp.Atom "node"; f; thr; l; r ] ->
+      Node
+        {
+          feature = Sexp.to_int f;
+          threshold = Sexp.to_float thr;
+          left = node_of_sexp l;
+          right = node_of_sexp r;
+        }
+  | _ -> failwith "Dtree.of_sexp: malformed node"
+
+let to_sexp t = Sexp.record [ ("arity", Sexp.int t.arity); ("root", node_to_sexp t.root) ]
+
+let of_sexp sexp =
+  {
+    arity = Sexp.to_int (Sexp.field sexp "arity");
+    root = node_of_sexp (Sexp.field sexp "root");
+  }

@@ -1,0 +1,46 @@
+(** CART decision-tree classifier.
+
+    OPPROX predicts the application's control flow — which sequence of
+    approximable-block call-contexts the run will follow — from the input
+    parameters with a decision tree (paper Sec. 3.4, citing Quinlan).  The
+    classifier here is a binary CART: numeric features, threshold splits
+    chosen to minimize weighted Gini impurity, leaves labelled by majority
+    class. *)
+
+type t
+
+type config = {
+  max_depth : int;  (** default 12 *)
+  min_samples_split : int;  (** minimum node size to attempt a split; default 2 *)
+  min_gain : float;
+      (** minimum impurity decrease to accept a split; default 0 — zero-gain
+          splits are allowed so XOR-like labelings stay learnable *)
+}
+
+val default_config : config
+
+val fit : ?config:config -> float array array -> int array -> t
+(** [fit features labels] trains a tree.  Labels are arbitrary
+    non-negative class ids.  Requires at least one row, rectangular
+    features, and matching lengths. *)
+
+val predict : t -> float array -> int
+(** Classify a feature vector.  Arity must match training arity. *)
+
+val depth : t -> int
+(** Actual depth of the trained tree (a single leaf has depth 0). *)
+
+val n_leaves : t -> int
+
+val accuracy : t -> float array array -> int array -> float
+(** Fraction of rows classified correctly. *)
+
+val gini : int array -> float
+(** Gini impurity of a label multiset ([0.] when pure).  Exposed for
+    testing. *)
+
+val to_sexp : t -> Opprox_util.Sexp.t
+(** Serialize a trained tree. *)
+
+val of_sexp : Opprox_util.Sexp.t -> t
+(** Inverse of {!to_sexp}; raises [Failure] on malformed input. *)

@@ -1,0 +1,83 @@
+let log2 x = log x /. log 2.0
+
+let mutual_information bx by ~nx ~ny =
+  let n = Array.length bx in
+  if Array.length by <> n then invalid_arg "Mic.mutual_information: length mismatch";
+  if n = 0 then 0.0
+  else begin
+    let joint = Array.make (nx * ny) 0 in
+    let mx = Array.make nx 0 and my = Array.make ny 0 in
+    for i = 0 to n - 1 do
+      let x = bx.(i) and y = by.(i) in
+      if x < 0 || x >= nx || y < 0 || y >= ny then
+        invalid_arg "Mic.mutual_information: bin index out of range";
+      joint.((x * ny) + y) <- joint.((x * ny) + y) + 1;
+      mx.(x) <- mx.(x) + 1;
+      my.(y) <- my.(y) + 1
+    done;
+    let fn = float_of_int n in
+    let mi = ref 0.0 in
+    for x = 0 to nx - 1 do
+      for y = 0 to ny - 1 do
+        let c = joint.((x * ny) + y) in
+        if c > 0 then begin
+          let pxy = float_of_int c /. fn in
+          let px = float_of_int mx.(x) /. fn in
+          let py = float_of_int my.(y) /. fn in
+          mi := !mi +. (pxy *. log2 (pxy /. (px *. py)))
+        end
+      done
+    done;
+    Float.max 0.0 !mi
+  end
+
+let equal_frequency_bins xs b =
+  if b <= 0 then invalid_arg "Mic.equal_frequency_bins: bins must be positive";
+  let n = Array.length xs in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare (xs.(i), i) (xs.(j), j)) order;
+  let bins = Array.make n 0 in
+  Array.iteri (fun rank idx -> bins.(idx) <- rank * b / n) order;
+  bins
+
+let compute xs ys =
+  let n = Array.length xs in
+  if Array.length ys <> n then invalid_arg "Mic.compute: length mismatch";
+  let constant arr = n = 0 || Array.for_all (fun v -> v = arr.(0)) arr in
+  if n < 4 || constant xs || constant ys then 0.0
+  else begin
+    let budget = int_of_float (Float.pow (float_of_int n) 0.6) in
+    let budget = Stdlib.max budget 4 in
+    let best = ref 0.0 in
+    let max_axis = Stdlib.min n (Stdlib.max 2 (budget / 2)) in
+    for a = 2 to max_axis do
+      let b_max = Stdlib.min max_axis (budget / a) in
+      if b_max >= 2 then begin
+        let bx = equal_frequency_bins xs a in
+        for b = 2 to b_max do
+          let by = equal_frequency_bins ys b in
+          let mi = mutual_information bx by ~nx:a ~ny:b in
+          let norm = log2 (float_of_int (Stdlib.min a b)) in
+          if norm > 0.0 then best := Float.max !best (mi /. norm)
+        done
+      end
+    done;
+    Float.min 1.0 !best
+  end
+
+let filter_features ~threshold rows target =
+  if Array.length rows = 0 then invalid_arg "Mic.filter_features: no rows";
+  let arity = Array.length rows.(0) in
+  let mic_of j = compute (Array.map (fun r -> r.(j)) rows) target in
+  let scored = List.init arity (fun j -> (j, mic_of j)) in
+  let kept = List.filter (fun (_, s) -> s >= threshold) scored in
+  match kept with
+  | _ :: _ -> List.map fst kept
+  | [] ->
+      (* Keep the best single feature so downstream regression has input. *)
+      let best, _ =
+        List.fold_left
+          (fun (bj, bs) (j, s) -> if s > bs then (j, s) else (bj, bs))
+          (0, -1.0) scored
+      in
+      [ best ]

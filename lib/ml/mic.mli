@@ -1,0 +1,30 @@
+(** Maximal Information Coefficient, grid approximation.
+
+    OPPROX uses MIC (Reshef et al., Science 2011) to screen model features:
+    inputs whose MIC against the target falls below a threshold are dropped
+    before regression (paper Sec. 3.7).  Computing exact MIC requires
+    optimizing over all grid partitions; following common practice we
+    approximate it by restricting both axes to equal-frequency partitions
+    and maximizing normalized mutual information over all grid shapes
+    [(a, b)] with [a * b <= n^0.6].  This preserves the screening behaviour
+    MIC is used for here: near-1 scores for (noisy) functional relationships
+    of any shape, near-0 scores for independent variables. *)
+
+val mutual_information : int array -> int array -> nx:int -> ny:int -> float
+(** Mutual information (in bits) between two discrete assignments given as
+    bin indices; [nx]/[ny] are the bin counts.  Requires equal lengths. *)
+
+val equal_frequency_bins : float array -> int -> int array
+(** [equal_frequency_bins xs b] assigns each value a bin in [\[0, b)] such
+    that bins have near-equal population (ties broken by value order). *)
+
+val compute : float array -> float array -> float
+(** [compute xs ys] is the approximate MIC in [\[0, 1\]].  Returns [0.] for
+    arrays shorter than 4 or for constant inputs. *)
+
+val filter_features :
+  threshold:float -> float array array -> float array -> int list
+(** [filter_features ~threshold rows target] returns the indices of feature
+    columns whose MIC against [target] is at least [threshold] — the
+    feature-screening step.  If no column passes, the column with the
+    highest MIC is kept so the regression always has at least one input. *)

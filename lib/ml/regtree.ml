@@ -1,0 +1,196 @@
+module Stats = Opprox_util.Stats
+module Matrix = Opprox_linalg.Matrix
+module Lstsq = Opprox_linalg.Lstsq
+module Sexp = Opprox_util.Sexp
+
+type config = { max_depth : int; min_samples_leaf : int; min_variance_gain : float }
+
+let default_config = { max_depth = 6; min_samples_leaf = 8; min_variance_gain = 0.01 }
+
+type leaf_model = {
+  weights : float array; (* intercept followed by one weight per feature *)
+  lo : float array;
+  hi : float array;
+}
+
+type node =
+  | Leaf of leaf_model
+  | Node of { feature : int; threshold : float; left : node; right : node }
+
+type t = { root : node; arity : int }
+
+let variance_of targets =
+  if Array.length targets = 0 then 0.0 else Stats.variance targets
+
+(* Fit the linear model of one leaf; degenerate systems (constant columns,
+   too few rows) fall back to predicting the mean. *)
+let fit_leaf rows targets =
+  let arity = Array.length rows.(0) in
+  let lo = Array.init arity (fun j -> Array.fold_left (fun a r -> Float.min a r.(j)) infinity rows) in
+  let hi =
+    Array.init arity (fun j -> Array.fold_left (fun a r -> Float.max a r.(j)) neg_infinity rows)
+  in
+  let mean = Stats.mean targets in
+  let fallback = { weights = Array.append [| mean |] (Array.make arity 0.0); lo; hi } in
+  if Array.length rows <= arity + 1 then fallback
+  else
+    let design = Matrix.of_rows (Array.map (fun r -> Array.append [| 1.0 |] r) rows) in
+    match Lstsq.fit design targets with
+    | weights when Array.for_all Float.is_finite weights -> { weights; lo; hi }
+    | _ -> fallback
+    | exception Failure _ -> fallback
+
+let predict_leaf leaf row =
+  let acc = ref leaf.weights.(0) in
+  Array.iteri
+    (fun j x ->
+      let x = Float.max leaf.lo.(j) (Float.min leaf.hi.(j) x) in
+      acc := !acc +. (leaf.weights.(j + 1) *. x))
+    row;
+  !acc
+
+(* Best variance-reducing threshold on one feature (midpoints between
+   distinct sorted values, respecting the leaf-size minimum). *)
+let best_split_on_feature ~config rows targets feature =
+  let n = Array.length rows in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare rows.(a).(feature) rows.(b).(feature)) order;
+  (* Prefix sums of targets in sorted order for O(n) variance sweep. *)
+  let sum = ref 0.0 and sum2 = ref 0.0 in
+  let prefix = Array.make (n + 1) (0.0, 0.0) in
+  Array.iteri
+    (fun k i ->
+      sum := !sum +. targets.(i);
+      sum2 := !sum2 +. (targets.(i) *. targets.(i));
+      prefix.(k + 1) <- (!sum, !sum2))
+    order;
+  let total_sum, total_sum2 = prefix.(n) in
+  let sse count s s2 = if count = 0 then 0.0 else s2 -. (s *. s /. float_of_int count) in
+  let best = ref None in
+  for k = config.min_samples_leaf to n - config.min_samples_leaf do
+    let i = order.(k - 1) and i' = order.(k) in
+    let v = rows.(i).(feature) and v' = rows.(i').(feature) in
+    if v < v' then begin
+      let ls, ls2 = prefix.(k) in
+      let cost = sse k ls ls2 +. sse (n - k) (total_sum -. ls) (total_sum2 -. ls2) in
+      match !best with
+      | Some (_, best_cost) when best_cost <= cost -> ()
+      | _ -> best := Some ((v +. v') /. 2.0, cost)
+    end
+  done;
+  !best
+
+let rec build ~config rows targets depth =
+  let n = Array.length rows in
+  let parent_sse = variance_of targets *. float_of_int n in
+  if depth >= config.max_depth || n < 2 * config.min_samples_leaf || parent_sse < 1e-12 then
+    Leaf (fit_leaf rows targets)
+  else begin
+    let arity = Array.length rows.(0) in
+    let best = ref None in
+    for feature = 0 to arity - 1 do
+      match best_split_on_feature ~config rows targets feature with
+      | None -> ()
+      | Some (threshold, cost) -> (
+          match !best with
+          | Some (_, _, best_cost) when best_cost <= cost -> ()
+          | _ -> best := Some (feature, threshold, cost))
+    done;
+    match !best with
+    | Some (feature, threshold, cost)
+      when parent_sse -. cost >= config.min_variance_gain *. parent_sse ->
+        let left_idx = ref [] and right_idx = ref [] in
+        for i = n - 1 downto 0 do
+          if rows.(i).(feature) <= threshold then left_idx := i :: !left_idx
+          else right_idx := i :: !right_idx
+        done;
+        let take idxs arr = Array.of_list (List.map (fun i -> arr.(i)) idxs) in
+        Node
+          {
+            feature;
+            threshold;
+            left = build ~config (take !left_idx rows) (take !left_idx targets) (depth + 1);
+            right = build ~config (take !right_idx rows) (take !right_idx targets) (depth + 1);
+          }
+    | Some _ | None -> Leaf (fit_leaf rows targets)
+  end
+
+let fit ?(config = default_config) rows targets =
+  let n = Array.length rows in
+  if n = 0 then invalid_arg "Regtree.fit: no rows";
+  if Array.length targets <> n then invalid_arg "Regtree.fit: target length mismatch";
+  let arity = Array.length rows.(0) in
+  if arity = 0 then invalid_arg "Regtree.fit: zero-arity features";
+  Array.iter
+    (fun r -> if Array.length r <> arity then invalid_arg "Regtree.fit: ragged features")
+    rows;
+  { root = build ~config rows targets 0; arity }
+
+let predict t row =
+  if Array.length row <> t.arity then invalid_arg "Regtree.predict: arity mismatch";
+  let rec go = function
+    | Leaf leaf -> predict_leaf leaf row
+    | Node { feature; threshold; left; right } ->
+        if row.(feature) <= threshold then go left else go right
+  in
+  go t.root
+
+let depth t =
+  let rec go = function
+    | Leaf _ -> 0
+    | Node { left; right; _ } -> 1 + Stdlib.max (go left) (go right)
+  in
+  go t.root
+
+let n_leaves t =
+  let rec go = function Leaf _ -> 1 | Node { left; right; _ } -> go left + go right in
+  go t.root
+
+let r2 t rows targets =
+  let predicted = Array.map (predict t) rows in
+  Stats.r2_score ~actual:targets ~predicted
+
+(* -------------------------------------------------------- serialization *)
+
+let leaf_to_sexp leaf =
+  Sexp.record
+    [
+      ("weights", Sexp.float_array leaf.weights);
+      ("lo", Sexp.float_array leaf.lo);
+      ("hi", Sexp.float_array leaf.hi);
+    ]
+
+let leaf_of_sexp sexp =
+  {
+    weights = Sexp.to_float_array (Sexp.field sexp "weights");
+    lo = Sexp.to_float_array (Sexp.field sexp "lo");
+    hi = Sexp.to_float_array (Sexp.field sexp "hi");
+  }
+
+let rec node_to_sexp = function
+  | Leaf leaf -> Sexp.list [ Sexp.atom "leaf"; leaf_to_sexp leaf ]
+  | Node { feature; threshold; left; right } ->
+      Sexp.list
+        [ Sexp.atom "node"; Sexp.int feature; Sexp.float threshold; node_to_sexp left;
+          node_to_sexp right ]
+
+let rec node_of_sexp sexp =
+  match Sexp.to_list sexp with
+  | [ Sexp.Atom "leaf"; leaf ] -> Leaf (leaf_of_sexp leaf)
+  | [ Sexp.Atom "node"; f; thr; l; r ] ->
+      Node
+        {
+          feature = Sexp.to_int f;
+          threshold = Sexp.to_float thr;
+          left = node_of_sexp l;
+          right = node_of_sexp r;
+        }
+  | _ -> failwith "Regtree.of_sexp: malformed node"
+
+let to_sexp t = Sexp.record [ ("arity", Sexp.int t.arity); ("root", node_to_sexp t.root) ]
+
+let of_sexp sexp =
+  {
+    arity = Sexp.to_int (Sexp.field sexp "arity");
+    root = node_of_sexp (Sexp.field sexp "root");
+  }

@@ -1,0 +1,38 @@
+(** M5-style regression tree with linear leaf models.
+
+    Capri (ASPLOS 2016), the closest prior system to OPPROX, models
+    performance and accuracy with Quinlan's M5 algorithm; this module
+    provides a compact variant — a binary variance-reducing tree whose
+    leaves hold linear least-squares models — so the model-type choice can
+    be ablated against {!Polyreg} (see the bench harness's
+    [ablate_model] experiment). *)
+
+type t
+
+type config = {
+  max_depth : int;  (** default 6 *)
+  min_samples_leaf : int;  (** minimum rows per leaf; default 8 *)
+  min_variance_gain : float;
+      (** minimum fractional variance reduction to accept a split; default 0.01 *)
+}
+
+val default_config : config
+
+val fit : ?config:config -> float array array -> float array -> t
+(** [fit rows targets] grows the tree by variance-reduction splits, then
+    fits a linear model over all features in each leaf (constant-fallback
+    when the local system is degenerate).  Requires matching non-zero
+    lengths and rectangular rows. *)
+
+val predict : t -> float array -> float
+(** Route to a leaf and evaluate its linear model.  Features clamp to the
+    leaf's training range, as in {!Polyreg.predict}. *)
+
+val depth : t -> int
+val n_leaves : t -> int
+
+val r2 : t -> float array array -> float array -> float
+(** R2 of the tree over a dataset. *)
+
+val to_sexp : t -> Opprox_util.Sexp.t
+val of_sexp : Opprox_util.Sexp.t -> t

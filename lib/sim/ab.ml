@@ -1,0 +1,17 @@
+type technique = Perforation | Truncation | Memoization | Parameter_tuning
+
+type t = { name : string; technique : technique; max_level : int }
+
+let make ~name ~technique ~max_level =
+  if max_level < 1 then invalid_arg "Ab.make: max_level must be >= 1";
+  if String.length name = 0 then invalid_arg "Ab.make: empty name";
+  { name; technique; max_level }
+
+let technique_name = function
+  | Perforation -> "loop perforation"
+  | Truncation -> "loop truncation"
+  | Memoization -> "memoization"
+  | Parameter_tuning -> "parameter tuning"
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%s, AL 0..%d)" t.name (technique_name t.technique) t.max_level

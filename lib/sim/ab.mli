@@ -1,0 +1,26 @@
+(** Approximable-block descriptors.
+
+    An approximable block (AB) is a compute-intensive kernel that tolerates
+    approximation, together with the technique applied to it and the range
+    of its approximation-level (AL) knob.  Level [0] always means exact
+    execution; [max_level] is the most aggressive setting (paper Sec. 2:
+    "levels from 0 to 5"). *)
+
+type technique =
+  | Perforation  (** skip loop iterations with a stride *)
+  | Truncation  (** drop trailing loop iterations *)
+  | Memoization  (** reuse a cached result for most iterations *)
+  | Parameter_tuning  (** scale an accuracy-controlling input parameter *)
+
+type t = {
+  name : string;  (** kernel name, e.g. ["forces_on_elements"] *)
+  technique : technique;
+  max_level : int;  (** highest AL; must be >= 1 *)
+}
+
+val make : name:string -> technique:technique -> max_level:int -> t
+(** Raises [Invalid_argument] if [max_level < 1] or the name is empty. *)
+
+val technique_name : technique -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+type report_metric = Distortion | Psnr
+
+type t = {
+  name : string;
+  description : string;
+  param_names : string array;
+  abs : Ab.t array;
+  default_input : float array;
+  training_inputs : float array array;
+  run : Env.t -> float array -> float array;
+  report_metric : report_metric;
+  seed : int;
+}
+
+let make ~name ~description ~param_names ~abs ~default_input ~training_inputs ~run
+    ?(report_metric = Distortion) ?seed () =
+  if String.length name = 0 then invalid_arg "App.make: empty name";
+  if Array.length abs = 0 then invalid_arg "App.make: no approximable blocks";
+  let arity = Array.length param_names in
+  if arity = 0 then invalid_arg "App.make: no parameters";
+  let check_input label input =
+    if Array.length input <> arity then
+      invalid_arg (Printf.sprintf "App.make: %s arity mismatch for %s" label name);
+    Array.iter
+      (fun v ->
+        if not (Float.is_finite v) then
+          invalid_arg (Printf.sprintf "App.make: non-finite %s value for %s" label name))
+      input
+  in
+  check_input "default input" default_input;
+  Array.iter (check_input "training input") training_inputs;
+  if Array.length training_inputs = 0 then invalid_arg "App.make: no training inputs";
+  let seed = match seed with Some s -> s | None -> Hashtbl.hash name in
+  {
+    name;
+    description;
+    param_names;
+    abs;
+    default_input;
+    training_inputs;
+    run;
+    report_metric;
+    seed;
+  }
+
+let n_abs t = Array.length t.abs
+let max_levels t = Array.map (fun (ab : Ab.t) -> ab.max_level) t.abs
+let ab_names t = Array.map (fun (ab : Ab.t) -> ab.name) t.abs

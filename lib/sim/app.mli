@@ -1,0 +1,49 @@
+(** Application descriptor.
+
+    An application bundles everything OPPROX needs to profile and optimize
+    it: the parameter space of its inputs, its approximable blocks, and a
+    [run] function that executes the (simulated) computation under a
+    phase-aware schedule carried by an {!Env.t}.
+
+    Inputs are flat parameter vectors; [param_names] gives the vector
+    components meaning (e.g. LULESH: mesh length and region count).
+    Outputs are flat float vectors the QoS metrics compare. *)
+
+type report_metric =
+  | Distortion  (** percent relative distortion; lower is better *)
+  | Psnr  (** PSNR in dB for reporting (video); higher is better *)
+
+type t = private {
+  name : string;
+  description : string;
+  param_names : string array;
+  abs : Ab.t array;
+  default_input : float array;
+  training_inputs : float array array;
+  run : Env.t -> float array -> float array;
+  report_metric : report_metric;
+  seed : int;
+}
+
+val make :
+  name:string ->
+  description:string ->
+  param_names:string array ->
+  abs:Ab.t array ->
+  default_input:float array ->
+  training_inputs:float array array ->
+  run:(Env.t -> float array -> float array) ->
+  ?report_metric:report_metric ->
+  ?seed:int ->
+  unit ->
+  t
+(** Validates that there is at least one AB and one parameter, that every
+    input vector matches [param_names]'s arity, and that the default input
+    appears sane (finite values).  [report_metric] defaults to
+    [Distortion]; [seed] defaults to a hash of the name. *)
+
+val n_abs : t -> int
+val max_levels : t -> int array
+(** Per-AB maximum approximation level. *)
+
+val ab_names : t -> string array

@@ -1,0 +1,72 @@
+let check_level level = if level < 0 then invalid_arg "Approx: negative level"
+let check_n n = if n < 0 then invalid_arg "Approx: negative iteration count"
+
+let perforate ?(offset = 0) ~level n f =
+  check_level level;
+  check_n n;
+  if offset < 0 then invalid_arg "Approx.perforate: negative offset";
+  let stride = level + 1 in
+  let i = ref (offset mod stride) in
+  while !i < n do
+    f !i;
+    i := !i + stride
+  done
+
+let perforated_count ?(offset = 0) ~level n =
+  check_level level;
+  check_n n;
+  let stride = level + 1 in
+  let first = offset mod stride in
+  if first >= n then 0 else ((n - 1 - first) / stride) + 1
+
+let truncated_count ~level ~max_level n =
+  check_level level;
+  check_n n;
+  if max_level < 1 then invalid_arg "Approx.truncate: max_level must be >= 1";
+  if level > max_level then invalid_arg "Approx.truncate: level above max_level";
+  n - (n * level / (2 * max_level))
+
+let truncate ~level ~max_level n f =
+  let keep = truncated_count ~level ~max_level n in
+  for i = 0 to keep - 1 do
+    f i
+  done
+
+let memoize ?(offset = 0) ~level n ~compute ~use =
+  check_level level;
+  check_n n;
+  if offset < 0 then invalid_arg "Approx.memoize: negative offset";
+  let period = level + 1 in
+  let cache = ref None in
+  for i = 0 to n - 1 do
+    let v =
+      if i mod period = offset mod period || Option.is_none !cache then begin
+        let v = compute i in
+        cache := Some v;
+        v
+      end
+      else
+        match !cache with
+        | Some v -> v
+        | None -> assert false (* i = 0 always computes *)
+    in
+    use i v
+  done
+
+let memoized_compute_count ?(offset = 0) ~level n =
+  check_level level;
+  check_n n;
+  let period = level + 1 in
+  let target = offset mod period in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if i mod period = target || (i = 0 && target <> 0) then incr count
+  done;
+  !count
+
+let tune_parameter ~level ~max_level p =
+  check_level level;
+  if max_level < 1 then invalid_arg "Approx.tune_parameter: max_level must be >= 1";
+  if level > max_level then invalid_arg "Approx.tune_parameter: level above max_level";
+  let factor = 1.0 -. (float_of_int level /. float_of_int (2 * max_level)) in
+  Float.max 0.0 (p *. factor)

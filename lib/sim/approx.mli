@@ -1,0 +1,54 @@
+(** The four approximation techniques (paper Sec. 3.2).
+
+    Each combinator drives an inner loop of [n] iterations under an
+    approximation level.  Level [0] is always exact; higher levels do
+    strictly less computation.  The level-to-knob scaling is fixed here so
+    every application interprets ALs uniformly:
+
+    - {b perforation}: stride [level + 1] (level 0 visits every iteration);
+    - {b truncation}: drops [n * level / (2 * max_level)] trailing
+      iterations (the paper drops "the last few"; scaling by the loop
+      length keeps the knob meaningful across loop sizes);
+    - {b memoization}: recomputes every [level + 1]-th iteration and
+      replays the cached value in between;
+    - {b parameter tuning}: scales an accuracy-controlling numeric
+      parameter by [1 - level / (2 * max_level)].
+
+    All combinators raise [Invalid_argument] on a negative level or
+    negative [n]. *)
+
+val perforate : ?offset:int -> level:int -> int -> (int -> unit) -> unit
+(** [perforate ~level n f] calls [f i] for [i = o, o+s, o+2s, ... < n] with
+    stride [s = level + 1] and start [o = offset mod s] (default 0).
+    Kernels that persist state across outer-loop iterations pass the outer
+    iteration index as [offset], rotating which inner iterations execute so
+    staleness stays bounded ("interleaved" perforation). *)
+
+val perforated_count : ?offset:int -> level:int -> int -> int
+(** Number of iterations {!perforate} will execute. *)
+
+val truncate : level:int -> max_level:int -> int -> (int -> unit) -> unit
+(** [truncate ~level ~max_level n f] calls [f] on a prefix of [0..n-1];
+    level [max_level] halves the loop. *)
+
+val truncated_count : level:int -> max_level:int -> int -> int
+
+val memoize :
+  ?offset:int ->
+  level:int ->
+  int ->
+  compute:(int -> 'a) ->
+  use:(int -> 'a -> unit) ->
+  unit
+(** [memoize ~level n ~compute ~use] calls [compute i] when
+    [i mod (level + 1) = offset mod (level + 1)] (and always at [i = 0], so
+    the cache is never empty) and otherwise replays the last computed
+    value; [use i v] consumes the (fresh or cached) value at every
+    iteration. *)
+
+val memoized_compute_count : ?offset:int -> level:int -> int -> int
+(** Number of [compute] calls {!memoize} will make. *)
+
+val tune_parameter : level:int -> max_level:int -> float -> float
+(** Scaled-down accuracy parameter; identity at level [0], halved at
+    [max_level].  The result is never scaled below zero. *)

@@ -1,0 +1,79 @@
+module Rng = Opprox_util.Rng
+
+type exact_run = { output : float array; work : int; iters : int; trace : int list }
+
+type evaluation = {
+  sched : Schedule.t;
+  qos_degradation : float;
+  psnr : float option;
+  speedup : float;
+  work : int;
+  outer_iters : int;
+  exact_iters : int;
+  trace : int list;
+  work_per_ab : int array;
+  work_per_phase : int array;
+}
+
+let cache : (string * float list, exact_run) Hashtbl.t = Hashtbl.create 64
+
+let clear_cache () = Hashtbl.reset cache
+
+let seed_for (app : App.t) input =
+  (* Same seed for exact and approximate runs of one input: QoS differences
+     must come from the approximation alone, not from RNG divergence. *)
+  app.seed lxor Hashtbl.hash (Array.to_list input)
+
+let execute (app : App.t) sched ~expected_iters input =
+  let rng = Rng.create (seed_for app input) in
+  let env = Env.create ~rng ~sched ~expected_iters ~n_abs:(App.n_abs app) in
+  let output = app.run env input in
+  (env, output)
+
+let run_exact (app : App.t) input =
+  let key = (app.name, Array.to_list input) in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+      let sched = Schedule.exact ~n_abs:(App.n_abs app) in
+      let env, output = execute app sched ~expected_iters:0 input in
+      let r =
+        {
+          output;
+          work = Env.total_work env;
+          iters = Env.outer_iters env;
+          trace = Env.trace env;
+        }
+      in
+      Hashtbl.replace cache key r;
+      r
+
+let evaluate ?exact (app : App.t) sched input =
+  if Schedule.n_abs sched <> App.n_abs app then
+    invalid_arg "Driver.evaluate: schedule AB count mismatch";
+  let exact = match exact with Some e -> e | None -> run_exact app input in
+  let env, output = execute app sched ~expected_iters:exact.iters input in
+  let work = Env.total_work env in
+  let psnr, qos_degradation =
+    match app.report_metric with
+    | App.Distortion ->
+        (None, Qos.relative_distortion ~exact:exact.output ~approx:output)
+    | App.Psnr ->
+        let p = Qos.psnr ~exact:exact.output ~approx:output in
+        (Some p, Qos.psnr_to_degradation p)
+  in
+  {
+    sched;
+    qos_degradation;
+    psnr;
+    speedup = float_of_int exact.work /. float_of_int (Stdlib.max work 1);
+    work;
+    outer_iters = Env.outer_iters env;
+    exact_iters = exact.iters;
+    trace = Env.trace env;
+    work_per_ab = Array.init (App.n_abs app) (Env.work_of_ab env);
+    work_per_phase = Env.work_per_phase env;
+  }
+
+let evaluate_uniform app levels input =
+  evaluate app (Schedule.uniform ~n_phases:1 levels) input

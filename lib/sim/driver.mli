@@ -1,0 +1,49 @@
+(** Running applications and measuring speedup / QoS degradation.
+
+    The driver owns the protocol the whole system depends on: for a given
+    input, first obtain the {e exact} run (golden output, instruction-count
+    baseline, and outer-loop iteration count); then execute approximate
+    runs whose phase boundaries are derived from the exact iteration count,
+    and score them against the golden output.
+
+    Exact runs are memoized per (application, input) — they are pure
+    functions of both — so repeated experiments do not pay for re-running
+    the golden configuration. *)
+
+type exact_run = {
+  output : float array;
+  work : int;
+  iters : int;  (** outer-loop iterations of the exact run *)
+  trace : int list;  (** AB call-context sequence (control-flow signature) *)
+}
+
+type evaluation = {
+  sched : Schedule.t;
+  qos_degradation : float;  (** percent, >= 0, 0 = golden *)
+  psnr : float option;  (** only for [Psnr] applications *)
+  speedup : float;  (** exact work / approximate work *)
+  work : int;
+  outer_iters : int;
+  exact_iters : int;
+  trace : int list;
+  work_per_ab : int array;
+  work_per_phase : int array;
+}
+
+val run_exact : App.t -> float array -> exact_run
+(** Memoized exact execution of one input. *)
+
+val evaluate : ?exact:exact_run -> App.t -> Schedule.t -> float array -> evaluation
+(** [evaluate app sched input] runs [app] on [input] under [sched] and
+    scores it against the exact run (computed, or supplied via [?exact] to
+    bypass the cache).  The schedule's AB count must match the app's. *)
+
+val evaluate_uniform : App.t -> int array -> float array -> evaluation
+(** Phase-agnostic convenience: apply one AL vector for the whole run. *)
+
+val clear_cache : unit -> unit
+(** Drop memoized exact runs (used by timing benchmarks). *)
+
+val seed_for : App.t -> float array -> int
+(** The deterministic RNG seed the driver uses for a given input; exposed
+    so tests can reproduce runs. *)

@@ -1,0 +1,63 @@
+module Rng = Opprox_util.Rng
+
+type t = {
+  rng : Rng.t;
+  sched : Schedule.t;
+  expected_iters : int;
+  meter : Workmeter.t;
+  work_per_ab : int array;
+  work_per_phase : int array;
+  mutable trace_rev : int list;
+  mutable iters : int;
+  mutable phase : int;
+}
+
+let create ~rng ~sched ~expected_iters ~n_abs =
+  if n_abs <> Schedule.n_abs sched then invalid_arg "Env.create: schedule AB count mismatch";
+  if expected_iters < 0 then invalid_arg "Env.create: negative expected_iters";
+  {
+    rng;
+    sched;
+    expected_iters;
+    meter = Workmeter.create ();
+    work_per_ab = Array.make n_abs 0;
+    work_per_phase = Array.make (Schedule.n_phases sched) 0;
+    trace_rev = [];
+    iters = 0;
+    phase = 0;
+  }
+
+let rng t = t.rng
+
+let level t ~iter ~ab =
+  let phase = Schedule.phase_of_iter t.sched ~expected_iters:t.expected_iters ~iter in
+  Schedule.level t.sched ~phase ~ab
+
+let current_level t ~ab = Schedule.level t.sched ~phase:t.phase ~ab
+
+let begin_outer_iter t =
+  let i = t.iters in
+  t.iters <- i + 1;
+  t.phase <- Schedule.phase_of_iter t.sched ~expected_iters:t.expected_iters ~iter:i;
+  i
+
+let outer_iters t = t.iters
+
+let enter_ab t ~ab =
+  if ab < 0 || ab >= Array.length t.work_per_ab then invalid_arg "Env.enter_ab: bad ab";
+  t.trace_rev <- ab :: t.trace_rev
+
+let charge t ~ab n =
+  Workmeter.add t.meter n;
+  t.work_per_ab.(ab) <- t.work_per_ab.(ab) + n;
+  t.work_per_phase.(t.phase) <- t.work_per_phase.(t.phase) + n
+
+let charge_base t n =
+  Workmeter.add t.meter n;
+  t.work_per_phase.(t.phase) <- t.work_per_phase.(t.phase) + n
+
+let total_work t = Workmeter.total t.meter
+let work_of_ab t ab = t.work_per_ab.(ab)
+let work_per_phase t = Array.copy t.work_per_phase
+let trace t = List.rev t.trace_rev
+let current_phase t = t.phase

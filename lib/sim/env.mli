@@ -1,0 +1,56 @@
+(** Per-run execution environment handed to application kernels.
+
+    The environment carries everything the simulated application's main
+    loop needs from the harness: the phase-aware approximation schedule,
+    the work meter, a deterministic RNG, and the instrumentation sinks
+    (call-context trace, per-AB work, outer-iteration counter) that play
+    the role of the paper's log-based profiling. *)
+
+type t
+
+val create :
+  rng:Opprox_util.Rng.t ->
+  sched:Schedule.t ->
+  expected_iters:int ->
+  n_abs:int ->
+  t
+(** [expected_iters] is the exact run's outer-loop iteration count for this
+    input, used to map iterations onto phases; pass [0] when unknown (the
+    exact run itself — every level is then 0 anyway). *)
+
+val rng : t -> Opprox_util.Rng.t
+
+val level : t -> iter:int -> ab:int -> int
+(** AL of AB [ab] during outer-loop iteration [iter], resolved through the
+    schedule's phase map. *)
+
+val current_level : t -> ab:int -> int
+(** AL of AB [ab] in the phase of the most recently begun outer iteration —
+    the usual lookup from inside a kernel. *)
+
+val begin_outer_iter : t -> int
+(** Mark the start of an outer-loop iteration; returns its index (0-based).
+    Applications call this exactly once per outer iteration. *)
+
+val outer_iters : t -> int
+(** Iterations begun so far. *)
+
+val enter_ab : t -> ab:int -> unit
+(** Record an AB call-context in the execution trace. *)
+
+val charge : t -> ab:int -> int -> unit
+(** Charge work units to the meter, attributed to AB [ab]. *)
+
+val charge_base : t -> int -> unit
+(** Charge non-approximable (base) work. *)
+
+val total_work : t -> int
+val work_of_ab : t -> int -> int
+val work_per_phase : t -> int array
+(** Work charged while each phase was active (length = schedule phases). *)
+
+val trace : t -> int list
+(** AB call-context ids in execution order. *)
+
+val current_phase : t -> int
+(** Phase of the most recently begun outer iteration. *)

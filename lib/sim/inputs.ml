@@ -1,0 +1,18 @@
+let grid axes =
+  if axes = [] then invalid_arg "Inputs.grid: no axes";
+  List.iter (fun axis -> if axis = [] then invalid_arg "Inputs.grid: empty axis") axes;
+  let rec go = function
+    | [] -> [ [] ]
+    | axis :: rest ->
+        let tails = go rest in
+        List.concat_map (fun v -> List.map (fun tail -> v :: tail) tails) axis
+  in
+  Array.of_list (List.map Array.of_list (go axes))
+
+let with_default default inputs =
+  if Array.exists (fun i -> i = default) inputs then inputs
+  else Array.append inputs [| default |]
+
+let count axes =
+  if axes = [] then invalid_arg "Inputs.count: no axes";
+  List.fold_left (fun acc axis -> acc * List.length axis) 1 axes

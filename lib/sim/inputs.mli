@@ -1,0 +1,20 @@
+(** Input-space construction helpers.
+
+    OPPROX trains on "a set of representative inputs that exercise the
+    application's desired functionality" (paper Sec. 1).  Applications
+    describe their training inputs as a grid over per-parameter value
+    lists; these combinators build the cartesian product and keep the
+    production (default) input inside the training set so the models never
+    extrapolate at the point that matters. *)
+
+val grid : float list list -> float array array
+(** [grid [xs; ys; ...]] is the cartesian product in row-major order
+    (the first parameter varies slowest).  Raises [Invalid_argument] on an
+    empty axis list or an empty axis. *)
+
+val with_default : float array -> float array array -> float array array
+(** Append the default input unless an identical vector is already
+    present. *)
+
+val count : float list list -> int
+(** Size of the grid without building it. *)

@@ -1,0 +1,39 @@
+let check_pair name exact approx =
+  let n = Array.length exact in
+  if n = 0 then invalid_arg (Printf.sprintf "Qos.%s: empty output" name);
+  if Array.length approx <> n then invalid_arg (Printf.sprintf "Qos.%s: length mismatch" name)
+
+let relative_distortion ~exact ~approx =
+  check_pair "relative_distortion" exact approx;
+  let num = ref 0.0 and den = ref 0.0 in
+  Array.iteri
+    (fun i e ->
+      num := !num +. Float.abs (approx.(i) -. e);
+      den := !den +. Float.abs e)
+    exact;
+  100.0 *. !num /. Float.max !den 1e-12
+
+let mse ~exact ~approx =
+  check_pair "mse" exact approx;
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i e ->
+      let d = approx.(i) -. e in
+      acc := !acc +. (d *. d))
+    exact;
+  !acc /. float_of_int (Array.length exact)
+
+let peak = 255.0
+
+let psnr ~exact ~approx =
+  let m = mse ~exact ~approx in
+  if m = 0.0 then infinity else 10.0 *. log10 (peak *. peak /. m)
+
+let psnr_to_degradation ?(reference_psnr = 50.0) value =
+  if Float.is_nan value then invalid_arg "Qos.psnr_to_degradation: nan";
+  if value >= reference_psnr then 0.0
+  else 100.0 *. (reference_psnr -. Float.max 0.0 value) /. reference_psnr
+
+let degradation_to_psnr ?(reference_psnr = 50.0) degradation =
+  if degradation < 0.0 then invalid_arg "Qos.degradation_to_psnr: negative degradation";
+  Float.max 0.0 (reference_psnr *. (1.0 -. (degradation /. 100.0)))

@@ -1,0 +1,27 @@
+(** Quality-of-service metrics.
+
+    QoS degradation is expressed uniformly as a non-negative percentage
+    (0 = identical to exact output).  Applications without a domain metric
+    use the relative scaled distortion of Rinard (ICS 2006); video uses
+    PSNR for reporting, with {!psnr_to_degradation} mapping PSNR targets
+    onto the uniform degradation scale for the optimizer. *)
+
+val relative_distortion : exact:float array -> approx:float array -> float
+(** [100 * sum_i |a_i - e_i| / max(sum_i |e_i|, eps)], i.e. percent
+    relative L1 distortion.  Requires equal non-zero lengths. *)
+
+val mse : exact:float array -> approx:float array -> float
+(** Mean squared error. *)
+
+val psnr : exact:float array -> approx:float array -> float
+(** Peak signal-to-noise ratio in dB, [10 log10 (255^2 / mse)] for 8-bit
+    pixel signals.  Identical signals yield [infinity]. *)
+
+val psnr_to_degradation : ?reference_psnr:float -> float -> float
+(** Map a PSNR value onto the percent-degradation scale:
+    [0] at or above [reference_psnr] (default 50 dB, visually lossless)
+    and growing linearly as PSNR decreases, reaching 100 at 0 dB. *)
+
+val degradation_to_psnr : ?reference_psnr:float -> float -> float
+(** Inverse of {!psnr_to_degradation} on its linear segment: the PSNR
+    value corresponding to a percent degradation. *)

@@ -1,0 +1,53 @@
+type t = { levels : int array array }
+
+let make levels =
+  let n_phases = Array.length levels in
+  if n_phases = 0 then invalid_arg "Schedule.make: no phases";
+  let n_abs = Array.length levels.(0) in
+  if n_abs = 0 then invalid_arg "Schedule.make: no ABs";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n_abs then invalid_arg "Schedule.make: ragged rows";
+      Array.iter (fun l -> if l < 0 then invalid_arg "Schedule.make: negative level") row)
+    levels;
+  { levels = Array.map Array.copy levels }
+
+let exact ~n_abs = make [| Array.make n_abs 0 |]
+
+let uniform ~n_phases levels =
+  if n_phases < 1 then invalid_arg "Schedule.uniform: n_phases must be >= 1";
+  make (Array.init n_phases (fun _ -> Array.copy levels))
+
+let single_phase_active ~n_phases ~phase levels =
+  if phase < 0 || phase >= n_phases then invalid_arg "Schedule.single_phase_active: bad phase";
+  make
+    (Array.init n_phases (fun p ->
+         if p = phase then Array.copy levels else Array.make (Array.length levels) 0))
+
+let n_phases t = Array.length t.levels
+let n_abs t = Array.length t.levels.(0)
+
+let level t ~phase ~ab =
+  if phase < 0 || phase >= n_phases t then invalid_arg "Schedule.level: bad phase";
+  if ab < 0 || ab >= n_abs t then invalid_arg "Schedule.level: bad ab";
+  t.levels.(phase).(ab)
+
+let levels_of_phase t p =
+  if p < 0 || p >= n_phases t then invalid_arg "Schedule.levels_of_phase: bad phase";
+  Array.copy t.levels.(p)
+
+let phase_of_iter t ~expected_iters ~iter =
+  if iter < 0 then invalid_arg "Schedule.phase_of_iter: negative iteration";
+  let n = n_phases t in
+  if expected_iters <= 0 then 0 else Stdlib.min (n - 1) (iter * n / expected_iters)
+
+let is_exact t = Array.for_all (fun row -> Array.for_all (fun l -> l = 0) row) t.levels
+
+let equal a b = a.levels = b.levels
+
+let pp ppf t =
+  Array.iteri
+    (fun p row ->
+      Format.fprintf ppf "phase %d: [%s]@\n" p
+        (String.concat "; " (Array.to_list (Array.map string_of_int row))))
+    t.levels

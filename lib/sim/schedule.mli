@@ -1,0 +1,45 @@
+(** Phase-specific approximation schedules.
+
+    A schedule assigns an approximation level to every (phase, AB) pair.
+    Phases partition the outer loop's iterations into [n_phases] equal
+    segments of the {e exact} run's iteration count [I]; iteration [k]
+    belongs to phase [min (k * n_phases / I) (n_phases - 1)], so the
+    remainder — and any extra iterations an approximate run performs beyond
+    [I] — lands in the final phase (paper footnote 2). *)
+
+type t
+
+val make : int array array -> t
+(** [make levels] with [levels.(p).(a)] the AL of AB [a] during phase [p].
+    Requires at least one phase, rectangular rows with at least one AB, and
+    non-negative levels. *)
+
+val exact : n_abs:int -> t
+(** Single phase, every AB at level 0. *)
+
+val uniform : n_phases:int -> int array -> t
+(** [uniform ~n_phases levels] applies the same AL vector in every phase —
+    the phase-agnostic setting prior work is restricted to. *)
+
+val single_phase_active : n_phases:int -> phase:int -> int array -> t
+(** AL vector active only during [phase]; all other phases run exact.
+    This is the probe schedule behind the paper's Figs. 4, 5, 9, 10. *)
+
+val n_phases : t -> int
+val n_abs : t -> int
+
+val level : t -> phase:int -> ab:int -> int
+
+val levels_of_phase : t -> int -> int array
+(** Copy of the AL vector of one phase. *)
+
+val phase_of_iter : t -> expected_iters:int -> iter:int -> int
+(** Phase of outer-loop iteration [iter] given the exact run's iteration
+    count.  [expected_iters <= 0] (unknown; happens only during the exact
+    run itself) maps everything to phase 0. *)
+
+val is_exact : t -> bool
+(** True when every level in every phase is 0. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

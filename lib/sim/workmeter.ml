@@ -1,0 +1,11 @@
+type t = { mutable total : int }
+
+let create () = { total = 0 }
+
+let add t n =
+  if n < 0 then invalid_arg "Workmeter.add: negative work";
+  t.total <- t.total + n
+
+let total t = t.total
+
+let reset t = t.total <- 0

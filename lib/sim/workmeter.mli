@@ -1,0 +1,18 @@
+(** Abstract work-unit accounting.
+
+    The paper measures "speedup" as the ratio of instructions executed by
+    the exact run to instructions executed by the approximate run
+    (Sec. 3.6).  Our simulated kernels charge work units to a meter at
+    every inner-loop step; the ratio of meter totals plays the role of the
+    instruction-count ratio. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** Charge [n >= 0] work units. *)
+
+val total : t -> int
+
+val reset : t -> unit

@@ -1,0 +1,91 @@
+type series = { label : string; points : (float * float) array; glyph : char }
+
+let series ?(glyph = 'o') label points = { label; points; glyph }
+
+let glyph_cycle = [| 'o'; 'x'; '+'; '*'; '#'; '@'; '%' |]
+
+let auto_glyphs point_sets labels =
+  List.mapi
+    (fun i (points, label) ->
+      { label; points; glyph = glyph_cycle.(i mod Array.length glyph_cycle) })
+    (List.combine point_sets labels)
+
+let finite_points s =
+  Array.of_seq
+    (Seq.filter
+       (fun (x, y) -> Float.is_finite x && Float.is_finite y)
+       (Array.to_seq s.points))
+
+let render ?(width = 64) ?(height = 16) ?(x_label = "") ?(y_label = "") all_series =
+  let cleaned = List.map (fun s -> { s with points = finite_points s }) all_series in
+  let everything = Array.concat (List.map (fun s -> s.points) cleaned) in
+  if Array.length everything = 0 then ""
+  else begin
+    let xs = Array.map fst everything and ys = Array.map snd everything in
+    let pad lo hi =
+      let range = hi -. lo in
+      if range <= 0.0 then (lo -. 1.0, hi +. 1.0)
+      else (lo -. (0.05 *. range), hi +. (0.05 *. range))
+    in
+    let x_lo, x_hi = pad (Stats.min xs) (Stats.max xs) in
+    let y_lo, y_hi = pad (Stats.min ys) (Stats.max ys) in
+    let grid = Array.make_matrix height width ' ' in
+    List.iter
+      (fun s ->
+        Array.iter
+          (fun (x, y) ->
+            let col =
+              int_of_float (Float.round ((x -. x_lo) /. (x_hi -. x_lo) *. float_of_int (width - 1)))
+            in
+            let row =
+              int_of_float (Float.round ((y -. y_lo) /. (y_hi -. y_lo) *. float_of_int (height - 1)))
+            in
+            let col = Stdlib.max 0 (Stdlib.min (width - 1) col) in
+            let row = Stdlib.max 0 (Stdlib.min (height - 1) row) in
+            (* Row 0 of the grid is the TOP of the plot. *)
+            let cell = grid.(height - 1 - row).(col) in
+            grid.(height - 1 - row).(col) <- (if cell = ' ' || cell = s.glyph then s.glyph else '?'))
+          s.points)
+      cleaned;
+    let buf = Buffer.create ((width + 12) * (height + 4)) in
+    let y_hi_label = Printf.sprintf "%.3g" y_hi and y_lo_label = Printf.sprintf "%.3g" y_lo in
+    let margin = Stdlib.max (String.length y_hi_label) (String.length y_lo_label) in
+    if y_label <> "" then begin
+      Buffer.add_string buf y_label;
+      Buffer.add_char buf '\n'
+    end;
+    Array.iteri
+      (fun i row ->
+        let tick =
+          if i = 0 then y_hi_label else if i = height - 1 then y_lo_label else ""
+        in
+        Buffer.add_string buf (Printf.sprintf "%*s |" margin tick);
+        Array.iter (Buffer.add_char buf) row;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (Printf.sprintf "%*s +%s\n" margin "" (String.make width '-'));
+    let x_lo_label = Printf.sprintf "%.3g" x_lo and x_hi_label = Printf.sprintf "%.3g" x_hi in
+    let gap =
+      Stdlib.max 1 (width - String.length x_lo_label - String.length x_hi_label)
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%*s  %s%s%s\n" margin "" x_lo_label (String.make gap ' ') x_hi_label);
+    if x_label <> "" then
+      Buffer.add_string buf (Printf.sprintf "%*s  [x: %s]\n" margin "" x_label);
+    let legend =
+      String.concat "   "
+        (List.filter_map
+           (fun s -> if s.label = "" then None else Some (Printf.sprintf "%c = %s" s.glyph s.label))
+           cleaned)
+    in
+    if legend <> "" then Buffer.add_string buf ("  " ^ legend ^ "\n");
+    Buffer.contents buf
+  end
+
+let print ?width ?height ?x_label ?y_label ?title all_series =
+  (match title with
+  | None -> ()
+  | Some t ->
+      print_endline t;
+      print_endline (String.make (String.length t) '-'));
+  print_string (render ?width ?height ?x_label ?y_label all_series)

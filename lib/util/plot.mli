@@ -1,0 +1,47 @@
+(** ASCII scatter plots.
+
+    The paper's evaluation artifacts are figures; the bench harness prints
+    each one as a table {e and} as a terminal scatter plot so the shape
+    (who wins, where the knee is) is visible at a glance without leaving
+    the terminal.
+
+    Plots are plain character grids: distinct glyphs per series, axes with
+    min/max tick labels, and an optional legend.  Rendering is pure —
+    the functions return strings. *)
+
+type series = {
+  label : string;
+  points : (float * float) array;
+  glyph : char;  (** the character drawn for this series' points *)
+}
+
+val series : ?glyph:char -> string -> (float * float) array -> series
+(** Build a series; when [glyph] is omitted, callers typically rely on
+    {!auto_glyphs}. *)
+
+val auto_glyphs : (float * float) array list -> string list -> series list
+(** Zip point sets with labels, assigning the default glyph cycle
+    [o x + * # @ %]. *)
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  series list ->
+  string
+(** Render a scatter plot ([width] x [height] interior, defaults 64 x 16).
+    Returns the empty string for an empty or degenerate (no finite points)
+    input.  Points outside the computed range cannot occur (the range is
+    computed from the data); x and y ranges pad by 5% so extreme points
+    do not sit on the border. *)
+
+val print :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  ?title:string ->
+  series list ->
+  unit
+(** {!render} to stdout with an optional underlined title. *)

@@ -1,0 +1,67 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* Mixing function from SplitMix64: two xor-shift-multiply rounds. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix64 s }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Mask to OCaml's 63-bit non-negative range before reducing. *)
+  let r = Int64.to_int (bits64 t) land max_int in
+  r mod bound
+
+let uniform t =
+  (* 53 random bits scaled into [0,1). *)
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  r *. (1.0 /. 9007199254740992.0)
+
+let float t bound = uniform t *. bound
+
+let range t lo hi = lo +. (uniform t *. (hi -. lo))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let gaussian t =
+  (* Box–Muller; discards the second deviate for statelessness. *)
+  let rec nonzero () =
+    let u = uniform t in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = uniform t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let gaussian_scaled t ~mean ~sigma = mean +. (sigma *. gaussian t)
+
+let choice t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choice: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  let idx = Array.init n (fun i -> i) in
+  shuffle t idx;
+  Array.to_list (Array.sub idx 0 k)

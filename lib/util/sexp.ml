@@ -1,0 +1,211 @@
+type t = Atom of string | List of t list
+
+let atom s = Atom s
+let list l = List l
+
+let int i = Atom (string_of_int i)
+let float f = Atom (Printf.sprintf "%.17g" f)
+let string s = Atom s
+
+let shape_error what sexp =
+  let head =
+    match sexp with
+    | Atom a -> Printf.sprintf "atom %S" a
+    | List l -> Printf.sprintf "list of %d" (List.length l)
+  in
+  failwith (Printf.sprintf "Sexp: expected %s, got %s" what head)
+
+let to_int = function
+  | Atom a as s -> ( match int_of_string_opt a with Some i -> i | None -> shape_error "int" s)
+  | s -> shape_error "int" s
+
+let to_float = function
+  | Atom a as s -> (
+      match float_of_string_opt a with Some f -> f | None -> shape_error "float" s)
+  | s -> shape_error "float" s
+
+let to_string_atom = function Atom a -> a | s -> shape_error "atom" s
+let to_list = function List l -> l | s -> shape_error "list" s
+
+let int_array a = List (Array.to_list (Array.map int a))
+let float_array a = List (Array.to_list (Array.map float a))
+let to_int_array s = Array.of_list (List.map to_int (to_list s))
+let to_float_array s = Array.of_list (List.map to_float (to_list s))
+
+let record fields = List (List.map (fun (name, v) -> List [ Atom name; v ]) fields)
+
+let field_opt sexp name =
+  match sexp with
+  | List fields ->
+      List.find_map
+        (function List [ Atom n; v ] when n = name -> Some v | _ -> None)
+        fields
+  | Atom _ -> None
+
+let field sexp name =
+  match field_opt sexp name with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "Sexp: missing field %s" name)
+
+(* ------------------------------------------------------------- printing *)
+
+let bare_atom_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' | '+' | '*' | '/' | '<' | '>' | '='
+  | '!' | '?' | '%' | '@' | ':' ->
+      true
+  | _ -> false
+
+let needs_quoting s = s = "" || not (String.for_all bare_atom_char s)
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let rec write buf = function
+  | Atom a -> Buffer.add_string buf (if needs_quoting a then quote a else a)
+  | List items ->
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ' ';
+          write buf item)
+        items;
+      Buffer.add_char buf ')'
+
+let to_string sexp =
+  let buf = Buffer.create 1024 in
+  (match sexp with
+  | List fields
+    when List.for_all (function List (Atom _ :: _) -> true | _ -> false) fields
+         && List.length fields > 1 ->
+      (* Record-ish top level: one field per line for readability. *)
+      Buffer.add_string buf "(";
+      List.iteri
+        (fun i f ->
+          if i > 0 then Buffer.add_string buf "\n ";
+          write buf f)
+        fields;
+      Buffer.add_string buf ")"
+  | s -> write buf s);
+  Buffer.contents buf
+
+(* -------------------------------------------------------------- parsing *)
+
+type parser_state = { input : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let parse_error st msg = failwith (Printf.sprintf "Sexp: %s at byte %d" msg st.pos)
+
+let rec skip_blank st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_blank st
+  | Some ';' ->
+      (* line comment *)
+      let rec to_eol () =
+        match peek st with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance st;
+            to_eol ()
+      in
+      to_eol ();
+      skip_blank st
+  | Some _ | None -> ()
+
+let parse_quoted st =
+  advance st (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> parse_error st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some 'n' -> Buffer.add_char buf '\n'; advance st; go ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance st; go ()
+        | Some c -> Buffer.add_char buf c; advance st; go ()
+        | None -> parse_error st "dangling escape")
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ();
+  Atom (Buffer.contents buf)
+
+let parse_bare st =
+  let start = st.pos in
+  let rec go () =
+    match peek st with
+    | Some c when bare_atom_char c ->
+        advance st;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  if st.pos = start then parse_error st "empty atom";
+  Atom (String.sub st.input start (st.pos - start))
+
+let rec parse_exp st =
+  skip_blank st;
+  match peek st with
+  | None -> parse_error st "unexpected end of input"
+  | Some '(' ->
+      advance st;
+      let items = ref [] in
+      let rec items_loop () =
+        skip_blank st;
+        match peek st with
+        | Some ')' -> advance st
+        | None -> parse_error st "unterminated list"
+        | Some _ ->
+            items := parse_exp st :: !items;
+            items_loop ()
+      in
+      items_loop ();
+      List (List.rev !items)
+  | Some ')' -> parse_error st "unexpected )"
+  | Some '"' -> parse_quoted st
+  | Some _ -> parse_bare st
+
+let of_string input =
+  let st = { input; pos = 0 } in
+  let result = parse_exp st in
+  skip_blank st;
+  (match peek st with None -> () | Some _ -> parse_error st "trailing input");
+  result
+
+let save path sexp =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try output_string oc (to_string sexp)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc;
+  Sys.rename tmp path
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  of_string content

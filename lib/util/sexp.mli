@@ -1,0 +1,55 @@
+(** Minimal S-expressions: the on-disk format for trained models.
+
+    OPPROX's workflow separates offline training from pre-run optimization
+    (the paper stores trained models in Python's pickle format and loads
+    them at job-submission time).  This module provides the equivalent:
+    a tiny, dependency-free S-expression type with a printer and parser,
+    plus typed helpers used by the model serializers.
+
+    Grammar: an expression is an atom or a parenthesized list.  Atoms are
+    bare words ([A-Za-z0-9._+-] and a few more) or double-quoted strings
+    with [\\] escapes.  Whitespace separates expressions; [;] starts a
+    line comment. *)
+
+type t = Atom of string | List of t list
+
+val atom : string -> t
+val list : t list -> t
+
+val int : int -> t
+val float : float -> t
+(** Floats print with 17 significant digits, enough to round-trip. *)
+
+val string : string -> t
+
+val to_int : t -> int
+(** Raises [Failure] with a descriptive message on the wrong shape. *)
+
+val to_float : t -> float
+val to_string_atom : t -> string
+val to_list : t -> t list
+
+val int_array : int array -> t
+val float_array : float array -> t
+val to_int_array : t -> int array
+val to_float_array : t -> float array
+
+val record : (string * t) list -> t
+(** [(field value) ...] — a list of two-element field lists. *)
+
+val field : t -> string -> t
+(** Look a field up in a {!record}; raises [Failure] when missing. *)
+
+val field_opt : t -> string -> t option
+
+val to_string : t -> string
+(** Render with minimal quoting, line-wrapped at top-level record fields. *)
+
+val of_string : string -> t
+(** Parse one expression; raises [Failure] on syntax errors (with byte
+    position) and on trailing garbage. *)
+
+val save : string -> t -> unit
+(** Write to a file (atomically via a temp file + rename). *)
+
+val load : string -> t

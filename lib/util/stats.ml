@@ -1,0 +1,108 @@
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (Printf.sprintf "Stats.%s: empty array" name)
+
+let sum xs =
+  (* Kahan summation: modeling matrices accumulate many small residuals. *)
+  let total = ref 0.0 and comp = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let y = x -. !comp in
+      let t = !total +. y in
+      comp := t -. !total -. y;
+      total := t)
+    xs;
+  !total
+
+let mean xs =
+  check_nonempty "mean" xs;
+  sum xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  check_nonempty "variance" xs;
+  let m = mean xs in
+  let sq = Array.map (fun x -> (x -. m) *. (x -. m)) xs in
+  sum sq /. float_of_int (Array.length xs)
+
+let stddev xs = sqrt (variance xs)
+
+let min xs =
+  check_nonempty "min" xs;
+  Array.fold_left Stdlib.min xs.(0) xs
+
+let max xs =
+  check_nonempty "max" xs;
+  Array.fold_left Stdlib.max xs.(0) xs
+
+let sorted_copy xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let quantile xs p =
+  check_nonempty "quantile" xs;
+  if p < 0.0 || p > 1.0 then invalid_arg "Stats.quantile: p outside [0,1]";
+  let ys = sorted_copy xs in
+  let n = Array.length ys in
+  let pos = p *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then ys.(lo)
+  else
+    let frac = pos -. float_of_int lo in
+    ((1.0 -. frac) *. ys.(lo)) +. (frac *. ys.(hi))
+
+let median xs = quantile xs 0.5
+
+let pearson xs ys =
+  if Array.length xs <> Array.length ys then invalid_arg "Stats.pearson: length mismatch";
+  check_nonempty "pearson" xs;
+  let mx = mean xs and my = mean ys in
+  let cov = ref 0.0 and vx = ref 0.0 and vy = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let dx = x -. mx and dy = ys.(i) -. my in
+      cov := !cov +. (dx *. dy);
+      vx := !vx +. (dx *. dx);
+      vy := !vy +. (dy *. dy))
+    xs;
+  if !vx = 0.0 || !vy = 0.0 then 0.0 else !cov /. sqrt (!vx *. !vy)
+
+let r2_score ~actual ~predicted =
+  if Array.length actual <> Array.length predicted then
+    invalid_arg "Stats.r2_score: length mismatch";
+  check_nonempty "r2_score" actual;
+  let m = mean actual in
+  let ss_res = ref 0.0 and ss_tot = ref 0.0 in
+  Array.iteri
+    (fun i a ->
+      let r = a -. predicted.(i) in
+      ss_res := !ss_res +. (r *. r);
+      let d = a -. m in
+      ss_tot := !ss_tot +. (d *. d))
+    actual;
+  if !ss_tot = 0.0 then if !ss_res = 0.0 then 1.0 else 0.0
+  else 1.0 -. (!ss_res /. !ss_tot)
+
+let mae ~actual ~predicted =
+  if Array.length actual <> Array.length predicted then invalid_arg "Stats.mae: length mismatch";
+  check_nonempty "mae" actual;
+  let errs = Array.mapi (fun i a -> Float.abs (a -. predicted.(i))) actual in
+  mean errs
+
+let rmse ~actual ~predicted =
+  if Array.length actual <> Array.length predicted then invalid_arg "Stats.rmse: length mismatch";
+  check_nonempty "rmse" actual;
+  let errs = Array.mapi (fun i a -> (a -. predicted.(i)) ** 2.0) actual in
+  sqrt (mean errs)
+
+let geometric_mean xs =
+  check_nonempty "geometric_mean" xs;
+  Array.iter (fun x -> if x <= 0.0 then invalid_arg "Stats.geometric_mean: non-positive value") xs;
+  exp (mean (Array.map log xs))
+
+let normalize xs =
+  check_nonempty "normalize" xs;
+  Array.iter (fun x -> if x < 0.0 then invalid_arg "Stats.normalize: negative value") xs;
+  let s = sum xs in
+  if s = 0.0 then Array.make (Array.length xs) (1.0 /. float_of_int (Array.length xs))
+  else Array.map (fun x -> x /. s) xs

@@ -1,0 +1,50 @@
+(** Descriptive statistics over float arrays.
+
+    These are the primitives the modeling layer (R2 scores, residual
+    quantiles, ROI statistics) and the benchmark reports are built from.
+    All functions raise [Invalid_argument] on empty input unless stated
+    otherwise. *)
+
+val mean : float array -> float
+(** Arithmetic mean. *)
+
+val variance : float array -> float
+(** Population variance (divides by [n]). *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val min : float array -> float
+val max : float array -> float
+
+val sum : float array -> float
+(** Kahan-compensated sum; [sum [||] = 0.]. *)
+
+val median : float array -> float
+(** Median (average of middle two for even length).  Does not mutate. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs p] for [p] in [\[0, 1\]], linear interpolation between
+    order statistics.  Does not mutate. *)
+
+val pearson : float array -> float array -> float
+(** Pearson correlation coefficient.  Returns [0.] when either side has
+    zero variance.  Requires equal lengths. *)
+
+val r2_score : actual:float array -> predicted:float array -> float
+(** Coefficient of determination [1 - SS_res / SS_tot].  When the actuals
+    have zero variance, returns [1.] if predictions match exactly and
+    [0.] otherwise.  Requires equal non-zero lengths. *)
+
+val mae : actual:float array -> predicted:float array -> float
+(** Mean absolute error. *)
+
+val rmse : actual:float array -> predicted:float array -> float
+(** Root mean squared error. *)
+
+val geometric_mean : float array -> float
+(** Geometric mean of strictly positive values. *)
+
+val normalize : float array -> float array
+(** Scale a non-negative array so it sums to 1.  If the sum is zero,
+    returns the uniform distribution. *)

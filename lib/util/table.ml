@@ -1,0 +1,90 @@
+type align = Left | Right
+
+type t = {
+  headers : string array;
+  aligns : align array;
+  mutable rows : string array list; (* reverse order *)
+}
+
+let default_aligns n = Array.init n (fun i -> if i = 0 then Left else Right)
+
+let create ?aligns headers =
+  let headers = Array.of_list headers in
+  let n = Array.length headers in
+  if n = 0 then invalid_arg "Table.create: no columns";
+  let aligns =
+    match aligns with
+    | None -> default_aligns n
+    | Some a ->
+        if List.length a <> n then invalid_arg "Table.create: aligns width mismatch";
+        Array.of_list a
+  in
+  { headers; aligns; rows = [] }
+
+let add_row t row =
+  let row = Array.of_list row in
+  if Array.length row <> Array.length t.headers then
+    invalid_arg "Table.add_row: row width mismatch";
+  t.rows <- row :: t.rows
+
+let fmt_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.4f" x
+
+let add_float_row t label xs = add_row t (label :: List.map fmt_float xs)
+
+let render t =
+  let rows = List.rev t.rows in
+  let n = Array.length t.headers in
+  let widths = Array.map String.length t.headers in
+  List.iter
+    (fun row -> Array.iteri (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell)) row)
+    rows;
+  let pad i cell =
+    let w = widths.(i) in
+    match t.aligns.(i) with
+    | Left -> Printf.sprintf "%-*s" w cell
+    | Right -> Printf.sprintf "%*s" w cell
+  in
+  let line row = String.concat "  " (List.mapi pad (Array.to_list row)) in
+  let sep = String.concat "  " (List.init n (fun i -> String.make widths.(i) '-')) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line t.headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print ?title t =
+  (match title with
+  | None -> ()
+  | Some s ->
+      print_endline s;
+      print_endline (String.make (String.length s) '='));
+  print_string (render t);
+  print_newline ()
+
+let csv_cell cell =
+  let needs_quotes =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') cell
+  in
+  if not needs_quotes then cell
+  else begin
+    let buf = Buffer.create (String.length cell + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      cell;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let to_csv t =
+  let line row = String.concat "," (List.map csv_cell (Array.to_list row)) in
+  String.concat "\n" (line t.headers :: List.map line (List.rev t.rows)) ^ "\n"

@@ -1,0 +1,39 @@
+(** Plain-text table rendering for benchmark and experiment reports.
+
+    The bench harness prints every reproduced paper table/figure as an
+    aligned monospace table; this module owns the formatting so all reports
+    look uniform. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction: a header row plus data rows. *)
+
+val create : ?aligns:align list -> string list -> t
+(** [create headers] starts a table.  [aligns] defaults to [Left] for the
+    first column and [Right] for the rest, the usual layout for a label
+    column followed by numeric columns. *)
+
+val add_row : t -> string list -> unit
+(** Append a data row.  Raises [Invalid_argument] if the row width differs
+    from the header width. *)
+
+val add_float_row : t -> string -> float list -> unit
+(** [add_float_row t label xs] appends a row with a text label followed by
+    numbers formatted with {!fmt_float}. *)
+
+val render : t -> string
+(** Render with a separator line under the header, columns padded to the
+    widest cell. *)
+
+val print : ?title:string -> t -> unit
+(** Render to stdout, optionally preceded by an underlined title and
+    followed by a blank line. *)
+
+val to_csv : t -> string
+(** RFC-4180-style CSV rendering (quotes doubled, cells with commas,
+    quotes or newlines wrapped in quotes), header row first. *)
+
+val fmt_float : float -> string
+(** Compact numeric formatting used across reports: integers render without
+    a fractional part, everything else with four significant decimals. *)

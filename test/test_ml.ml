@@ -1,0 +1,367 @@
+(* Tests for Opprox_ml: Crossval, Mic, Polyreg, Dtree, Confidence. *)
+
+module Crossval = Opprox_ml.Crossval
+module Mic = Opprox_ml.Mic
+module Polyreg = Opprox_ml.Polyreg
+module Dtree = Opprox_ml.Dtree
+module Confidence = Opprox_ml.Confidence
+module Rng = Opprox_util.Rng
+module Stats = Opprox_util.Stats
+open Fixtures
+
+(* ------------------------------------------------------------- Crossval *)
+
+let test_folds_partition () =
+  let rng = Rng.create 1 in
+  let folds = Crossval.fold_indices ~rng ~n:23 ~k:5 in
+  let all = Array.concat (Array.to_list folds) in
+  Array.sort compare all;
+  Alcotest.(check (array int)) "partition of 0..22" (Array.init 23 (fun i -> i)) all;
+  Array.iter
+    (fun f -> check_bool "balanced" true (Array.length f >= 4 && Array.length f <= 5))
+    folds
+
+let test_folds_invalid () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "k > n" (Invalid_argument "Crossval.fold_indices: need 2 <= k <= n")
+    (fun () -> ignore (Crossval.fold_indices ~rng ~n:3 ~k:5))
+
+let test_split () =
+  let train, test = Crossval.split [| 10; 20; 30; 40 |] ~test:[| 2; 0 |] in
+  Alcotest.(check (array int)) "test in index order" [| 10; 30 |] test;
+  Alcotest.(check (array int)) "train keeps order" [| 20; 40 |] train
+
+let test_crossval_score_linear () =
+  let rng = Rng.create 2 in
+  let xs = Array.init 40 (fun i -> [| float_of_int i |]) in
+  let ys = Array.map (fun x -> (2.0 *. x.(0)) +. 1.0) xs in
+  let fit rows targets =
+    let x = Opprox_linalg.Matrix.of_rows (Array.map (fun r -> [| 1.0; r.(0) |]) rows) in
+    Opprox_linalg.Lstsq.fit x targets
+  in
+  let predict w row = w.(0) +. (w.(1) *. row.(0)) in
+  let score = Crossval.score ~rng ~k:5 ~fit ~predict xs ys in
+  check_bool "near-perfect CV score" true (score > 0.999)
+
+(* ------------------------------------------------------------------ Mic *)
+
+let test_equal_frequency_bins () =
+  let bins = Mic.equal_frequency_bins [| 5.0; 1.0; 3.0; 2.0 |] 2 in
+  Alcotest.(check (array int)) "median split" [| 1; 0; 1; 0 |] bins
+
+let test_mic_linear () =
+  let xs = Array.init 200 (fun i -> float_of_int i) in
+  let ys = Array.map (fun x -> (3.0 *. x) -. 7.0) xs in
+  check_bool "linear relation ~ 1" true (Mic.compute xs ys > 0.9)
+
+let test_mic_nonmonotone () =
+  (* MIC finds non-monotone functional relationships too. *)
+  let xs = Array.init 200 (fun i -> float_of_int i /. 20.0) in
+  let ys = Array.map (fun x -> sin x) xs in
+  check_bool "sine relation high" true (Mic.compute xs ys > 0.6)
+
+let test_mic_independent () =
+  let rng = Rng.create 33 in
+  let xs = Array.init 300 (fun _ -> Rng.uniform rng) in
+  let ys = Array.init 300 (fun _ -> Rng.uniform rng) in
+  check_bool "independent low" true (Mic.compute xs ys < 0.45)
+
+let test_mic_constant () =
+  check_float "constant input" 0.0 (Mic.compute (Array.make 50 1.0) (Array.init 50 float_of_int))
+
+let test_mic_short () = check_float "too short" 0.0 (Mic.compute [| 1.0; 2.0 |] [| 1.0; 2.0 |])
+
+let test_mic_symmetric_ballpark () =
+  let xs = Array.init 150 (fun i -> float_of_int i) in
+  let ys = Array.map (fun x -> x *. x) xs in
+  let a = Mic.compute xs ys and b = Mic.compute ys xs in
+  check_bool "roughly symmetric" true (Float.abs (a -. b) < 0.2)
+
+let test_mutual_information_identical () =
+  let bx = Array.init 100 (fun i -> i mod 4) in
+  let mi = Mic.mutual_information bx bx ~nx:4 ~ny:4 in
+  check_float_eps 1e-9 "H = 2 bits" 2.0 mi
+
+let test_filter_features () =
+  let rng = Rng.create 5 in
+  let rows =
+    Array.init 200 (fun i -> [| float_of_int i; Rng.uniform rng |])
+  in
+  let target = Array.map (fun r -> 2.0 *. r.(0)) rows in
+  let kept = Mic.filter_features ~threshold:0.5 rows target in
+  Alcotest.(check (list int)) "keeps informative column" [ 0 ] kept
+
+let test_filter_features_keeps_best () =
+  (* Nothing passes an impossible threshold: the best column survives. *)
+  let rng = Rng.create 6 in
+  let rows = Array.init 100 (fun _ -> [| Rng.uniform rng; Rng.uniform rng |]) in
+  let target = Array.init 100 (fun _ -> Rng.uniform rng) in
+  check_int "exactly one kept" 1 (List.length (Mic.filter_features ~threshold:2.0 rows target))
+
+(* -------------------------------------------------------------- Polyreg *)
+
+let test_polyreg_recovers_quadratic () =
+  let rng = Rng.create 7 in
+  let rows = Array.init 60 (fun i -> [| float_of_int i /. 10.0 |]) in
+  let ys = Array.map (fun r -> (1.5 *. r.(0) *. r.(0)) -. (2.0 *. r.(0)) +. 3.0) rows in
+  let m = Polyreg.fit ~rng rows ys in
+  check_bool "good cv" true (Polyreg.cv_r2 m > 0.99);
+  let pred = Polyreg.predict m [| 2.5 |] in
+  check_bool "interpolates" true (Float.abs (pred -. ((1.5 *. 6.25) -. 5.0 +. 3.0)) < 0.05)
+
+let test_polyreg_constant_target () =
+  let rng = Rng.create 8 in
+  let rows = Array.init 10 (fun i -> [| float_of_int i |]) in
+  let m = Polyreg.fit ~rng rows (Array.make 10 4.2) in
+  check_float_eps 1e-9 "constant model" 4.2 (Polyreg.predict m [| 100.0 |]);
+  check_int "degree 0" 0 (Polyreg.degree m)
+
+let test_polyreg_two_features () =
+  let rng = Rng.create 9 in
+  let rows =
+    Array.init 80 (fun i -> [| float_of_int (i mod 9); float_of_int (i / 9) |])
+  in
+  let ys = Array.map (fun r -> (r.(0) *. r.(1)) +. r.(0) |> Float.abs) rows in
+  let m = Polyreg.fit ~rng rows ys in
+  check_bool "captures interaction" true (Polyreg.cv_r2 m > 0.95)
+
+let test_polyreg_respects_distinct_value_cap () =
+  (* A feature with two observed values must not produce wild midpoint
+     predictions (the regression is linear in it). *)
+  let rng = Rng.create 10 in
+  let rows =
+    Array.init 40 (fun i -> [| (if i mod 2 = 0 then 0.0 else 1.0); float_of_int (i mod 7) |])
+  in
+  let ys = Array.map (fun r -> (3.0 *. r.(0)) +. r.(1)) rows in
+  let m = Polyreg.fit ~rng rows ys in
+  let mid = Polyreg.predict m [| 0.5; 3.0 |] in
+  check_bool "midpoint sane" true (Float.abs (mid -. 4.5) < 0.5)
+
+let test_polyreg_too_few_rows () =
+  let rng = Rng.create 11 in
+  Alcotest.check_raises "one row" (Invalid_argument "Polyreg.fit: need at least two rows")
+    (fun () -> ignore (Polyreg.fit ~rng [| [| 1.0 |] |] [| 1.0 |]))
+
+let test_polyreg_residuals_present () =
+  let rng = Rng.create 12 in
+  let rows = Array.init 30 (fun i -> [| float_of_int i |]) in
+  let ys = Array.map (fun r -> r.(0) +. Rng.range rng (-0.5) 0.5) rows in
+  let m = Polyreg.fit ~rng rows ys in
+  check_bool "has residuals" true (Array.length (Polyreg.residuals m) > 0)
+
+let test_polyreg_mic_screening () =
+  (* A pure-noise feature should be screened out. *)
+  let rng = Rng.create 13 in
+  let rows = Array.init 100 (fun i -> [| float_of_int i /. 10.0; Rng.uniform rng |]) in
+  let ys = Array.map (fun r -> 2.0 *. r.(0)) rows in
+  let config = { Polyreg.default_config with mic_threshold = Some 0.35 } in
+  let m = Polyreg.fit ~config ~rng rows ys in
+  check_bool "noise feature dropped" true (not (List.mem 1 (Polyreg.selected_features m)))
+
+let prop_polyreg_linear_family =
+  qcheck_case ~count:25 "fits arbitrary lines"
+    QCheck.(pair (float_range (-3.0) 3.0) (float_range (-3.0) 3.0))
+    (fun (a, b) ->
+      let rng = Rng.create 14 in
+      let rows = Array.init 30 (fun i -> [| float_of_int i /. 5.0 |]) in
+      let ys = Array.map (fun r -> (a *. r.(0)) +. b) rows in
+      let m = Polyreg.fit ~rng rows ys in
+      Float.abs (Polyreg.predict m [| 3.3 |] -. ((a *. 3.3) +. b)) < 0.05)
+
+(* ---------------------------------------------------------------- Dtree *)
+
+let test_gini_pure () = check_float "pure" 0.0 (Dtree.gini [| 1; 1; 1 |])
+let test_gini_even () = check_float "50/50" 0.5 (Dtree.gini [| 0; 1; 0; 1 |])
+let test_gini_empty () = check_float "empty" 0.0 (Dtree.gini [||])
+
+let test_dtree_separable () =
+  let rows = Array.init 20 (fun i -> [| float_of_int i |]) in
+  let labels = Array.init 20 (fun i -> if i < 10 then 0 else 1) in
+  let t = Dtree.fit rows labels in
+  check_float "train accuracy" 1.0 (Dtree.accuracy t rows labels);
+  check_int "predict left" 0 (Dtree.predict t [| 3.0 |]);
+  check_int "predict right" 1 (Dtree.predict t [| 15.0 |])
+
+let test_dtree_xor () =
+  (* XOR needs depth 2: single-feature splits cannot express it at depth 1. *)
+  let rows = [| [| 0.0; 0.0 |]; [| 0.0; 1.0 |]; [| 1.0; 0.0 |]; [| 1.0; 1.0 |] |] in
+  let labels = [| 0; 1; 1; 0 |] in
+  let t = Dtree.fit rows labels in
+  check_float "xor learned" 1.0 (Dtree.accuracy t rows labels);
+  check_bool "depth >= 2" true (Dtree.depth t >= 2)
+
+let test_dtree_single_class () =
+  let t = Dtree.fit [| [| 1.0 |]; [| 2.0 |] |] [| 7; 7 |] in
+  check_int "single leaf" 1 (Dtree.n_leaves t);
+  check_int "constant prediction" 7 (Dtree.predict t [| 0.0 |])
+
+let test_dtree_max_depth () =
+  let rows = Array.init 64 (fun i -> [| float_of_int i |]) in
+  let labels = Array.init 64 (fun i -> i mod 2) in
+  let t = Dtree.fit ~config:{ Dtree.default_config with max_depth = 2 } rows labels in
+  check_bool "depth bounded" true (Dtree.depth t <= 2)
+
+let test_dtree_multiclass () =
+  let rows = Array.init 30 (fun i -> [| float_of_int i |]) in
+  let labels = Array.init 30 (fun i -> i / 10) in
+  let t = Dtree.fit rows labels in
+  check_float "3-class accuracy" 1.0 (Dtree.accuracy t rows labels)
+
+let test_dtree_mismatch () =
+  Alcotest.check_raises "labels" (Invalid_argument "Dtree.fit: label length mismatch") (fun () ->
+      ignore (Dtree.fit [| [| 1.0 |] |] [| 1; 2 |]))
+
+let prop_dtree_training_accuracy =
+  (* With unlimited depth and distinct inputs the tree memorizes. *)
+  qcheck_case ~count:30 "memorizes distinct points" QCheck.(int_range 2 40) (fun n ->
+      let rng = Rng.create n in
+      let rows = Array.init n (fun i -> [| float_of_int i; Rng.uniform rng |]) in
+      let labels = Array.init n (fun _ -> Rng.int rng 3) in
+      let t = Dtree.fit ~config:{ Dtree.default_config with max_depth = 30 } rows labels in
+      Dtree.accuracy t rows labels = 1.0)
+
+(* -------------------------------------------------------------- Regtree *)
+
+module Regtree = Opprox_ml.Regtree
+
+let test_regtree_linear () =
+  (* A single global line: one leaf's linear model suffices. *)
+  let rows = Array.init 60 (fun i -> [| float_of_int i |]) in
+  let ys = Array.map (fun r -> (2.0 *. r.(0)) +. 1.0) rows in
+  let t = Regtree.fit rows ys in
+  check_bool "near-perfect" true (Regtree.r2 t rows ys > 0.999);
+  check_bool "prediction" true (Float.abs (Regtree.predict t [| 30.0 |] -. 61.0) < 0.1)
+
+let test_regtree_piecewise () =
+  (* Two regimes: the tree must split, linear leaves fit each side. *)
+  let rows = Array.init 80 (fun i -> [| float_of_int i |]) in
+  let ys = Array.map (fun r -> if r.(0) < 40.0 then r.(0) else 200.0 -. (2.0 *. r.(0))) rows in
+  let t = Regtree.fit rows ys in
+  check_bool "split happened" true (Regtree.n_leaves t >= 2);
+  check_bool "fits both regimes" true (Regtree.r2 t rows ys > 0.99)
+
+let test_regtree_constant () =
+  let rows = Array.init 20 (fun i -> [| float_of_int i |]) in
+  let t = Regtree.fit rows (Array.make 20 3.5) in
+  check_int "single leaf" 1 (Regtree.n_leaves t);
+  check_float_eps 1e-9 "constant" 3.5 (Regtree.predict t [| 7.0 |])
+
+let test_regtree_depth_bound () =
+  let rng = Rng.create 51 in
+  let rows = Array.init 200 (fun _ -> [| Rng.uniform rng; Rng.uniform rng |]) in
+  let ys = Array.map (fun r -> sin (10.0 *. r.(0)) +. r.(1)) rows in
+  let config = { Regtree.default_config with max_depth = 3 } in
+  let t = Regtree.fit ~config rows ys in
+  check_bool "depth bounded" true (Regtree.depth t <= 3)
+
+let test_regtree_clamps_extrapolation () =
+  let rows = Array.init 30 (fun i -> [| float_of_int i |]) in
+  let ys = Array.map (fun r -> 5.0 *. r.(0)) rows in
+  let t = Regtree.fit rows ys in
+  (* Far outside the data the prediction freezes at the boundary value. *)
+  check_bool "clamped" true (Float.abs (Regtree.predict t [| 1000.0 |] -. (5.0 *. 29.0)) < 1.0)
+
+let test_regtree_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Regtree.fit: no rows") (fun () ->
+      ignore (Regtree.fit [||] [||]))
+
+let test_regtree_roundtrip () =
+  let rng = Rng.create 52 in
+  let rows = Array.init 100 (fun _ -> [| Rng.uniform rng; Rng.uniform rng |]) in
+  let ys = Array.map (fun r -> if r.(0) > 0.5 then r.(1) else -.r.(1)) rows in
+  let t = Regtree.fit rows ys in
+  let back = Regtree.of_sexp (Opprox_util.Sexp.of_string (Opprox_util.Sexp.to_string (Regtree.to_sexp t))) in
+  Array.iter
+    (fun row ->
+      check_bool "same prediction" true
+        (Float.abs (Regtree.predict t row -. Regtree.predict back row) < 1e-9))
+    rows
+
+(* ----------------------------------------------------------- Confidence *)
+
+let test_confidence_quantile () =
+  let resid = Array.init 100 (fun i -> float_of_int (i + 1) /. 100.0) in
+  let ci = Confidence.of_residuals ~p:0.5 resid in
+  check_bool "median of |resid|" true (Float.abs (Confidence.half_width ci -. 0.505) < 0.01)
+
+let test_confidence_bounds () =
+  let ci = Confidence.of_residuals ~p:1.0 [| -2.0; 1.0 |] in
+  check_float "half width = max |r|" 2.0 (Confidence.half_width ci);
+  let lo, hi = Confidence.interval ci 10.0 in
+  check_float "lower" 8.0 lo;
+  check_float "upper" 12.0 hi;
+  check_float "upper fn" 12.0 (Confidence.upper ci 10.0);
+  check_float "lower fn" 8.0 (Confidence.lower ci 10.0)
+
+let test_confidence_empty () =
+  let ci = Confidence.of_residuals [||] in
+  check_float "zero width" 0.0 (Confidence.half_width ci)
+
+let test_confidence_invalid_p () =
+  Alcotest.check_raises "p" (Invalid_argument "Confidence.of_residuals: p outside [0,1]")
+    (fun () -> ignore (Confidence.of_residuals ~p:1.5 [| 1.0 |]))
+
+let suite =
+  [
+    ( "crossval",
+      [
+        Alcotest.test_case "folds partition" `Quick test_folds_partition;
+        Alcotest.test_case "folds invalid" `Quick test_folds_invalid;
+        Alcotest.test_case "split" `Quick test_split;
+        Alcotest.test_case "score linear" `Quick test_crossval_score_linear;
+      ] );
+    ( "mic",
+      [
+        Alcotest.test_case "equal frequency bins" `Quick test_equal_frequency_bins;
+        Alcotest.test_case "linear" `Quick test_mic_linear;
+        Alcotest.test_case "non-monotone" `Quick test_mic_nonmonotone;
+        Alcotest.test_case "independent" `Quick test_mic_independent;
+        Alcotest.test_case "constant" `Quick test_mic_constant;
+        Alcotest.test_case "short" `Quick test_mic_short;
+        Alcotest.test_case "symmetric ballpark" `Quick test_mic_symmetric_ballpark;
+        Alcotest.test_case "mutual information identical" `Quick test_mutual_information_identical;
+        Alcotest.test_case "filter features" `Quick test_filter_features;
+        Alcotest.test_case "filter keeps best" `Quick test_filter_features_keeps_best;
+      ] );
+    ( "polyreg",
+      [
+        Alcotest.test_case "recovers quadratic" `Quick test_polyreg_recovers_quadratic;
+        Alcotest.test_case "constant target" `Quick test_polyreg_constant_target;
+        Alcotest.test_case "two features" `Quick test_polyreg_two_features;
+        Alcotest.test_case "distinct-value cap" `Quick test_polyreg_respects_distinct_value_cap;
+        Alcotest.test_case "too few rows" `Quick test_polyreg_too_few_rows;
+        Alcotest.test_case "residuals present" `Quick test_polyreg_residuals_present;
+        Alcotest.test_case "mic screening" `Quick test_polyreg_mic_screening;
+        prop_polyreg_linear_family;
+      ] );
+    ( "dtree",
+      [
+        Alcotest.test_case "gini pure" `Quick test_gini_pure;
+        Alcotest.test_case "gini even" `Quick test_gini_even;
+        Alcotest.test_case "gini empty" `Quick test_gini_empty;
+        Alcotest.test_case "separable" `Quick test_dtree_separable;
+        Alcotest.test_case "xor" `Quick test_dtree_xor;
+        Alcotest.test_case "single class" `Quick test_dtree_single_class;
+        Alcotest.test_case "max depth" `Quick test_dtree_max_depth;
+        Alcotest.test_case "multiclass" `Quick test_dtree_multiclass;
+        Alcotest.test_case "length mismatch" `Quick test_dtree_mismatch;
+        prop_dtree_training_accuracy;
+      ] );
+    ( "regtree",
+      [
+        Alcotest.test_case "linear" `Quick test_regtree_linear;
+        Alcotest.test_case "piecewise" `Quick test_regtree_piecewise;
+        Alcotest.test_case "constant" `Quick test_regtree_constant;
+        Alcotest.test_case "depth bound" `Quick test_regtree_depth_bound;
+        Alcotest.test_case "clamps extrapolation" `Quick test_regtree_clamps_extrapolation;
+        Alcotest.test_case "validation" `Quick test_regtree_validation;
+        Alcotest.test_case "sexp roundtrip" `Quick test_regtree_roundtrip;
+      ] );
+    ( "confidence",
+      [
+        Alcotest.test_case "quantile" `Quick test_confidence_quantile;
+        Alcotest.test_case "bounds" `Quick test_confidence_bounds;
+        Alcotest.test_case "empty" `Quick test_confidence_empty;
+        Alcotest.test_case "invalid p" `Quick test_confidence_invalid_p;
+      ] );
+  ]

@@ -1,0 +1,110 @@
+(* Tests for the runtime job-submission layer (config parsing, env-var
+   encoding, end-to-end submit). *)
+
+module Runtime = Opprox.Runtime
+module Schedule = Opprox_sim.Schedule
+module App = Opprox_sim.App
+open Fixtures
+
+let test_parse_minimal () =
+  let job = Runtime.parse_config "app = toy\nbudget = 12.5\nmodels = /tmp/m.scm\n" in
+  Alcotest.(check string) "app" "toy" job.Runtime.app_name;
+  check_float "budget" 12.5 job.Runtime.budget;
+  Alcotest.(check string) "models" "/tmp/m.scm" job.Runtime.model_path;
+  check_bool "no input" true (job.Runtime.input = None)
+
+let test_parse_with_input_and_comments () =
+  let job =
+    Runtime.parse_config
+      "# production job\napp = toy # trailing comment\nbudget=5\nmodels=m.scm\ninput = 1.5, 2, 3.25\n\n"
+  in
+  match job.Runtime.input with
+  | Some input -> Alcotest.(check (array (float 1e-12))) "input" [| 1.5; 2.0; 3.25 |] input
+  | None -> Alcotest.fail "expected input"
+
+let test_parse_missing_key () =
+  Alcotest.check_raises "missing models" (Failure "Runtime.parse_config: missing key models")
+    (fun () -> ignore (Runtime.parse_config "app = toy\nbudget = 5\n"))
+
+let test_parse_bad_budget () =
+  Alcotest.check_raises "bad budget" (Failure "Runtime.parse_config: bad budget \"much\"")
+    (fun () -> ignore (Runtime.parse_config "app = toy\nbudget = much\nmodels = m\n"))
+
+let test_parse_negative_budget () =
+  Alcotest.check_raises "negative" (Failure "Runtime.parse_config: negative budget") (fun () ->
+      ignore (Runtime.parse_config "app = toy\nbudget = -3\nmodels = m\n"))
+
+let test_parse_missing_equals () =
+  Alcotest.check_raises "no =" (Failure "Runtime.parse_config: line 1: missing '='") (fun () ->
+      ignore (Runtime.parse_config "just words\n"))
+
+let test_env_var_name () =
+  Alcotest.(check string) "sanitized" "OPPROX_P2_FORCES_ON_ELEMENTS"
+    (Runtime.env_var_name ~phase:1 ~ab_name:"forces_on_elements");
+  Alcotest.(check string) "odd characters" "OPPROX_P1_A_B_3"
+    (Runtime.env_var_name ~phase:0 ~ab_name:"a b-3")
+
+let test_plan_env_vars () =
+  let trained =
+    Opprox.train ~config:{ Opprox.default_train_config with n_phases = Some 2 } toy
+  in
+  let plan = Opprox.optimize trained ~budget:10.0 in
+  let env = Runtime.plan_env_vars ~app:toy plan in
+  Alcotest.(check string) "phase count var" "2" (List.assoc "OPPROX_PHASES" env);
+  (* One variable per (phase, AB) plus the phase count. *)
+  check_int "variable count" (1 + (2 * App.n_abs toy)) (List.length env);
+  (* The encoded levels must match the schedule. *)
+  List.iter
+    (fun phase ->
+      Array.iteri
+        (fun ab name ->
+          let v = List.assoc (Runtime.env_var_name ~phase ~ab_name:name) env in
+          check_int "level matches schedule"
+            (Schedule.level plan.Opprox.Optimizer.schedule ~phase ~ab)
+            (int_of_string v))
+        (App.ab_names toy))
+    [ 0; 1 ]
+
+let test_submit_end_to_end () =
+  let trained =
+    Opprox.train ~config:{ Opprox.default_train_config with n_phases = Some 2 } toy
+  in
+  let path = Filename.temp_file "opprox_models" ".scm" in
+  Opprox.save path trained;
+  let job = { Runtime.app_name = "toy"; budget = 10.0; model_path = path; input = None } in
+  let submission =
+    Opprox.submit ~resolve:(fun name -> if name = "toy" then toy else raise Not_found) job
+  in
+  Sys.remove path;
+  check_bool "outcome measured" true (submission.Runtime.outcome.Opprox_sim.Driver.speedup >= 0.99);
+  check_bool "env non-empty" true (List.length submission.Runtime.env > 0)
+
+let test_submit_wrong_app () =
+  let trained =
+    Opprox.train ~config:{ Opprox.default_train_config with n_phases = Some 2 } toy
+  in
+  let path = Filename.temp_file "opprox_models" ".scm" in
+  Opprox.save path trained;
+  let job = { Runtime.app_name = "flow"; budget = 10.0; model_path = path; input = None } in
+  let resolve name = if name = "toy" then toy else if name = "flow" then flow else raise Not_found in
+  Alcotest.check_raises "mismatch"
+    (Failure "Opprox.submit: models were trained for toy, job says flow") (fun () ->
+      ignore (Opprox.submit ~resolve job));
+  Sys.remove path
+
+let suite =
+  [
+    ( "runtime",
+      [
+        Alcotest.test_case "parse minimal" `Quick test_parse_minimal;
+        Alcotest.test_case "parse input + comments" `Quick test_parse_with_input_and_comments;
+        Alcotest.test_case "missing key" `Quick test_parse_missing_key;
+        Alcotest.test_case "bad budget" `Quick test_parse_bad_budget;
+        Alcotest.test_case "negative budget" `Quick test_parse_negative_budget;
+        Alcotest.test_case "missing equals" `Quick test_parse_missing_equals;
+        Alcotest.test_case "env var name" `Quick test_env_var_name;
+        Alcotest.test_case "plan env vars" `Quick test_plan_env_vars;
+        Alcotest.test_case "submit end-to-end" `Quick test_submit_end_to_end;
+        Alcotest.test_case "submit wrong app" `Quick test_submit_wrong_app;
+      ] );
+  ]

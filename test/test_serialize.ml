@@ -1,0 +1,189 @@
+(* Tests for the S-expression codec and the model save/load round-trips. *)
+
+module Sexp = Opprox_util.Sexp
+module Polyreg = Opprox_ml.Polyreg
+module Dtree = Opprox_ml.Dtree
+module Confidence = Opprox_ml.Confidence
+module Rng = Opprox_util.Rng
+open Fixtures
+
+(* ----------------------------------------------------------------- Sexp *)
+
+let test_atom_roundtrip () =
+  List.iter
+    (fun s ->
+      let sexp = Sexp.atom s in
+      Alcotest.(check string) s s (Sexp.to_string_atom (Sexp.of_string (Sexp.to_string sexp))))
+    [ "hello"; "with space"; "quo\"te"; "back\\slash"; "line\nbreak"; "tab\tchar"; "" ]
+
+let test_int_float_roundtrip () =
+  List.iter
+    (fun i -> check_int "int" i (Sexp.to_int (Sexp.of_string (Sexp.to_string (Sexp.int i)))))
+    [ 0; -1; 42; max_int; min_int ];
+  List.iter
+    (fun f ->
+      check_float "float" f (Sexp.to_float (Sexp.of_string (Sexp.to_string (Sexp.float f)))))
+    [ 0.0; -1.5; 3.14159265358979312; 1e-300; 1e300; Float.min_float ]
+
+let test_nested_roundtrip () =
+  let sexp =
+    Sexp.list [ Sexp.atom "a"; Sexp.list [ Sexp.int 1; Sexp.float 2.5 ]; Sexp.atom "b c" ]
+  in
+  let back = Sexp.of_string (Sexp.to_string sexp) in
+  check_bool "structurally equal" true (back = sexp)
+
+let test_record_fields () =
+  let r = Sexp.record [ ("x", Sexp.int 1); ("y", Sexp.atom "two") ] in
+  check_int "x" 1 (Sexp.to_int (Sexp.field r "x"));
+  Alcotest.(check string) "y" "two" (Sexp.to_string_atom (Sexp.field r "y"));
+  check_bool "missing is None" true (Sexp.field_opt r "z" = None)
+
+let test_record_missing_field () =
+  let r = Sexp.record [ ("x", Sexp.int 1) ] in
+  Alcotest.check_raises "missing" (Failure "Sexp: missing field nope") (fun () ->
+      ignore (Sexp.field r "nope"))
+
+let test_comments_and_whitespace () =
+  let parsed = Sexp.of_string "  ; leading comment\n ( a ; mid\n b )  " in
+  check_bool "parsed" true (parsed = Sexp.list [ Sexp.atom "a"; Sexp.atom "b" ])
+
+let test_parse_errors () =
+  List.iter
+    (fun input ->
+      match Sexp.of_string input with
+      | _ -> Alcotest.failf "expected failure on %S" input
+      | exception Failure _ -> ())
+    [ "("; ")"; "(a"; "\"unterminated"; "a b"; "" ]
+
+let test_arrays_roundtrip () =
+  let ints = [| 1; -2; 3 |] and floats = [| 0.5; -1.25 |] in
+  Alcotest.(check (array int)) "ints" ints
+    (Sexp.to_int_array (Sexp.of_string (Sexp.to_string (Sexp.int_array ints))));
+  Alcotest.(check (array (float 0.0))) "floats" floats
+    (Sexp.to_float_array (Sexp.of_string (Sexp.to_string (Sexp.float_array floats))))
+
+let test_save_load_file () =
+  let path = Filename.temp_file "opprox_sexp" ".scm" in
+  let sexp = Sexp.record [ ("k", Sexp.float 1.5); ("l", Sexp.list [ Sexp.int 1 ]) ] in
+  Sexp.save path sexp;
+  let back = Sexp.load path in
+  Sys.remove path;
+  check_bool "file roundtrip" true (back = sexp)
+
+let prop_string_roundtrip =
+  qcheck_case "arbitrary strings survive quoting" QCheck.string (fun s ->
+      Sexp.of_string (Sexp.to_string (Sexp.string s)) = Sexp.Atom s)
+
+(* ------------------------------------------------------ model roundtrips *)
+
+let close a b = Float.abs (a -. b) < 1e-9 || (Float.is_nan a && Float.is_nan b)
+
+let test_polyreg_roundtrip () =
+  let rng = Rng.create 31 in
+  let rows = Array.init 50 (fun i -> [| float_of_int (i mod 10); float_of_int (i / 10) |]) in
+  let ys = Array.map (fun r -> (r.(0) *. r.(0)) +. (3.0 *. r.(1))) rows in
+  let m = Polyreg.fit ~rng rows ys in
+  let back = Polyreg.of_sexp (Sexp.of_string (Sexp.to_string (Polyreg.to_sexp m))) in
+  check_int "degree preserved" (Polyreg.degree m) (Polyreg.degree back);
+  check_float "cv preserved" (Polyreg.cv_r2 m) (Polyreg.cv_r2 back);
+  List.iter
+    (fun probe ->
+      check_bool "identical predictions" true
+        (close (Polyreg.predict m probe) (Polyreg.predict back probe)))
+    [ [| 0.0; 0.0 |]; [| 5.5; 2.5 |]; [| 9.0; 4.0 |]; [| 20.0; 20.0 |] ]
+
+let test_polyreg_split_roundtrip () =
+  (* Force a split model: a discontinuous target defeats low-degree fits. *)
+  let rng = Rng.create 32 in
+  let rows = Array.init 60 (fun i -> [| float_of_int i |]) in
+  let ys = Array.map (fun r -> if r.(0) < 30.0 then r.(0) else 1000.0 -. r.(0)) rows in
+  let config = { Polyreg.default_config with max_degree = 1; target_r2 = 0.999 } in
+  let m = Polyreg.fit ~config ~rng rows ys in
+  let back = Polyreg.of_sexp (Polyreg.to_sexp m) in
+  check_bool "same split-ness" true (Polyreg.is_split m = Polyreg.is_split back);
+  List.iter
+    (fun x ->
+      check_bool "identical predictions" true
+        (close (Polyreg.predict m [| x |]) (Polyreg.predict back [| x |])))
+    [ 0.0; 15.0; 29.9; 30.1; 59.0 ]
+
+let test_dtree_roundtrip () =
+  let rows = Array.init 40 (fun i -> [| float_of_int (i mod 8); float_of_int (i / 8) |]) in
+  let labels = Array.map (fun r -> (int_of_float r.(0) + int_of_float r.(1)) mod 3) rows in
+  let t = Dtree.fit rows labels in
+  let back = Dtree.of_sexp (Sexp.of_string (Sexp.to_string (Dtree.to_sexp t))) in
+  check_int "depth" (Dtree.depth t) (Dtree.depth back);
+  check_int "leaves" (Dtree.n_leaves t) (Dtree.n_leaves back);
+  Array.iter
+    (fun row -> check_int "same classification" (Dtree.predict t row) (Dtree.predict back row))
+    rows
+
+let test_confidence_roundtrip () =
+  let ci = Confidence.of_residuals ~p:0.9 [| 0.5; -1.5; 0.1 |] in
+  let back = Confidence.of_sexp (Confidence.to_sexp ci) in
+  check_float "half width" (Confidence.half_width ci) (Confidence.half_width back)
+
+let test_trained_roundtrip () =
+  let trained =
+    Opprox.train ~config:{ Opprox.default_train_config with n_phases = Some 2 } toy
+  in
+  let path = Filename.temp_file "opprox_trained" ".scm" in
+  Opprox.save path trained;
+  let back = Opprox.load ~resolve:(fun name -> if name = "toy" then toy else raise Not_found) path in
+  Sys.remove path;
+  Alcotest.(check (array (float 1e-12))) "roi preserved" trained.Opprox.roi back.Opprox.roi;
+  check_int "samples preserved"
+    (Opprox.Training.n_runs trained.Opprox.training)
+    (Opprox.Training.n_runs back.Opprox.training);
+  (* The loaded models must drive the optimizer to the same plan. *)
+  let plan a = Opprox.optimize a ~budget:10.0 in
+  let p1 = plan trained and p2 = plan back in
+  check_bool "same schedule" true
+    (Opprox_sim.Schedule.equal p1.Opprox.Optimizer.schedule p2.Opprox.Optimizer.schedule);
+  (* And to identical predictions everywhere in the space. *)
+  List.iter
+    (fun levels ->
+      for phase = 0 to 1 do
+        let a = Opprox.Models.predict trained.Opprox.models ~input:[| 1.5 |] ~phase ~levels in
+        let b = Opprox.Models.predict back.Opprox.models ~input:[| 1.5 |] ~phase ~levels in
+        check_bool "prediction match" true
+          (close a.Opprox.Models.qos b.Opprox.Models.qos
+          && close a.Opprox.Models.speedup b.Opprox.Models.speedup)
+      done)
+    [ [| 1; 0 |]; [| 2; 3 |]; [| 3; 3 |] ]
+
+let test_load_unknown_app () =
+  let trained =
+    Opprox.train ~config:{ Opprox.default_train_config with n_phases = Some 2 } toy
+  in
+  let path = Filename.temp_file "opprox_trained" ".scm" in
+  Opprox.save path trained;
+  Alcotest.check_raises "unresolvable" Not_found (fun () ->
+      ignore (Opprox.load ~resolve:(fun _ -> raise Not_found) path));
+  Sys.remove path
+
+let suite =
+  [
+    ( "sexp",
+      [
+        Alcotest.test_case "atom roundtrip" `Quick test_atom_roundtrip;
+        Alcotest.test_case "int/float roundtrip" `Quick test_int_float_roundtrip;
+        Alcotest.test_case "nested roundtrip" `Quick test_nested_roundtrip;
+        Alcotest.test_case "record fields" `Quick test_record_fields;
+        Alcotest.test_case "missing field" `Quick test_record_missing_field;
+        Alcotest.test_case "comments and whitespace" `Quick test_comments_and_whitespace;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "arrays" `Quick test_arrays_roundtrip;
+        Alcotest.test_case "file save/load" `Quick test_save_load_file;
+        prop_string_roundtrip;
+      ] );
+    ( "model-roundtrips",
+      [
+        Alcotest.test_case "polyreg" `Quick test_polyreg_roundtrip;
+        Alcotest.test_case "polyreg split" `Quick test_polyreg_split_roundtrip;
+        Alcotest.test_case "dtree" `Quick test_dtree_roundtrip;
+        Alcotest.test_case "confidence" `Quick test_confidence_roundtrip;
+        Alcotest.test_case "trained pipeline" `Quick test_trained_roundtrip;
+        Alcotest.test_case "unknown app" `Quick test_load_unknown_app;
+      ] );
+  ]
