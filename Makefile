@@ -1,0 +1,24 @@
+# Convenience aliases; dune is the build system.
+
+.PHONY: all check test bench fmt clean
+
+all:
+	dune build @all
+
+# Tier-1 verification in one command.
+check:
+	dune build && dune runtest
+
+test: check
+
+# Full experiment harness (reduced sampling); refreshes BENCH_pool.json.
+bench:
+	dune exec bench/main.exe -- --quick
+
+# Requires ocamlformat (version pinned in .ocamlformat); the build and
+# tests never depend on it.
+fmt:
+	dune build @fmt --auto-promote
+
+clean:
+	dune clean

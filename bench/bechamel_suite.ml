@@ -8,6 +8,9 @@ module Schedule = Opprox_sim.Schedule
 module Driver = Opprox_sim.Driver
 module App = Opprox_sim.App
 module Rng = Opprox_util.Rng
+module Pool = Opprox_util.Pool
+module Training = Opprox.Training
+module Oracle = Opprox.Oracle
 
 let app name = Opprox_apps.Registry.find name
 
@@ -67,6 +70,70 @@ let fit_dtree () =
   let rows, labels = Lazy.force dtree_payload in
   ignore (Opprox_ml.Dtree.fit rows labels)
 
+(* ---------------------------------------------------------- pool group *)
+
+(* Sequential vs 1/2/4-domain Training.collect and Oracle.measured_space.
+   The j1 pool exercises the sequential fast path (no domains, no locks);
+   j2/j4 measure real fan-out on multi-core hosts and scheduling overhead
+   on single-core ones.  Estimates land in BENCH_pool.json so later PRs
+   can track the trajectory. *)
+let pool_jobs = [ 1; 2; 4 ]
+let pool_table = lazy (List.map (fun j -> (j, Pool.create ~jobs:j ())) pool_jobs)
+let pool j = List.assoc j (Lazy.force pool_table)
+
+(* Two comd inputs keep one collect around a second; the shape (local
+   sweeps + joint samples over a flat task list) is the production one. *)
+let pool_training_config =
+  lazy
+    {
+      Training.default_config with
+      joint_samples_per_phase = 2;
+      inputs = Some (Array.sub (app "comd").App.training_inputs 0 2);
+    }
+
+let collect_with_pool j () =
+  ignore
+    (Training.collect ~config:(Lazy.force pool_training_config) ~pool:(pool j) (app "comd")
+       ~n_phases:2)
+
+let oracle_with_pool j () =
+  (* Clear the memo so every iteration measures the sweep, not a lookup;
+     the driver's exact-run cache stays warm (shared baseline).  ffmpeg
+     has the cheapest full enumeration (216 configs). *)
+  Oracle.clear_cache ();
+  let a = app "ffmpeg" in
+  ignore (Oracle.measured_space ~pool:(pool j) a ~input:a.App.default_input)
+
+let pool_tests =
+  List.concat_map
+    (fun j ->
+      [
+        Test.make
+          ~name:(Printf.sprintf "pool:training-collect-j%d" j)
+          (Staged.stage (collect_with_pool j));
+        Test.make
+          ~name:(Printf.sprintf "pool:oracle-space-j%d" j)
+          (Staged.stage (oracle_with_pool j));
+      ])
+    pool_jobs
+
+let pool_snapshot_file = "BENCH_pool.json"
+
+let write_pool_snapshot entries =
+  let oc = open_out pool_snapshot_file in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"host_recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
+  Printf.fprintf oc "  \"benchmarks\": [\n";
+  let n = List.length entries in
+  List.iteri
+    (fun i (name, est) ->
+      let value = match est with Some ns -> Printf.sprintf "%.1f" ns | None -> "null" in
+      Printf.fprintf oc "    { \"name\": %S, \"ns_per_run\": %s }%s\n" name value
+        (if i = n - 1 then "" else ","))
+    entries;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
+
 let tests =
   [
     Test.make ~name:"tab1:config-space-enumeration" (Staged.stage (fun () ->
@@ -92,6 +159,28 @@ let tests =
         ignore (Driver.run_exact a a.App.default_input)));
   ]
 
+(* Measure one test and return its (name, ns-per-run estimate) pairs. *)
+let measure cfg instances test =
+  let results = Benchmark.all cfg instances test in
+  Hashtbl.fold
+    (fun name raw acc ->
+      let est =
+        match
+          Analyze.one
+            (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+            Instance.monotonic_clock raw
+        with
+        | ols -> ( match Analyze.OLS.estimates ols with Some [ est ] -> Some est | _ -> None)
+        | exception _ -> None
+      in
+      (name, est) :: acc)
+    results []
+
+let print_entry (name, est) =
+  match est with
+  | Some est -> Printf.printf "  %-28s %12.1f ns/run\n%!" name est
+  | None -> Printf.printf "  %-28s (no estimate)\n%!" name
+
 let run () =
   print_endline "Bechamel micro-benchmarks (monotonic clock, OLS estimate per run):";
   (* Force payload construction (training, datasets) outside the measured
@@ -100,18 +189,16 @@ let run () =
   ignore (Lazy.force mic_payload);
   ignore (Lazy.force optimizer_payload);
   ignore (Lazy.force dtree_payload);
+  ignore (Lazy.force pool_table);
   let instances = [ Instance.monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) ~kde:None () in
-  List.iter
-    (fun test ->
-      let results = Benchmark.all cfg instances test in
-      Hashtbl.iter
-        (fun name raw ->
-          match Analyze.one (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) Instance.monotonic_clock raw with
-          | ols -> (
-              match Analyze.OLS.estimates ols with
-              | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/run\n%!" name est
-              | _ -> Printf.printf "  %-28s (no estimate)\n%!" name)
-          | exception _ -> Printf.printf "  %-28s (analysis failed)\n%!" name)
-        results)
-    tests
+  List.iter (fun test -> List.iter print_entry (measure cfg instances test)) tests;
+  let pool_entries = List.concat_map (measure cfg instances) pool_tests in
+  let pool_entries =
+    (* Hashtbl.fold order is unspecified; restore the declaration order. *)
+    List.sort (fun (a, _) (b, _) -> compare a b) pool_entries
+  in
+  List.iter print_entry pool_entries;
+  write_pool_snapshot pool_entries;
+  Printf.printf "  pool group snapshot -> %s\n%!" pool_snapshot_file;
+  List.iter (fun (_, p) -> Pool.shutdown p) (Lazy.force pool_table)

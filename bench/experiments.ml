@@ -365,7 +365,7 @@ let fig15 () =
           let cells =
             List.init 4 (fun phase ->
                 let evs =
-                  Array.map
+                  Pool.parallel_map ~chunk:1
                     (fun levels ->
                       Driver.evaluate app
                         (Schedule.single_phase_active ~n_phases:4 ~phase levels)

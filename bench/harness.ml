@@ -12,6 +12,7 @@ module Table = Opprox_util.Table
 module Plot = Opprox_util.Plot
 module Rng = Opprox_util.Rng
 module Stats = Opprox_util.Stats
+module Pool = Opprox_util.Pool
 
 let apps = Opprox_apps.Registry.paper
 let find_app = Opprox_apps.Registry.find
@@ -95,7 +96,9 @@ let probe_set ?(seed = 0xBE7C) app =
    [n_phases] ([phase = n_phases] means the whole run, the "All" column). *)
 let phase_profile app ~n_phases configs phase =
   let evaluations =
-    Array.map
+    (* Each probe configuration is an independent simulator run; fan the
+       sweep out across the domain pool (chunk 1: runs are coarse). *)
+    Pool.parallel_map ~chunk:1
       (fun levels ->
         let sched =
           if phase >= n_phases then Schedule.uniform ~n_phases levels

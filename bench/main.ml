@@ -8,7 +8,8 @@
      dune exec bench/main.exe -- --list         list experiment ids *)
 
 let usage () =
-  print_endline "usage: main.exe [--quick] [--list] [--bechamel] [--csv DIR] [--only <id> ...]";
+  print_endline
+    "usage: main.exe [--quick] [--list] [--bechamel] [--csv DIR] [--jobs N] [--only <id> ...]";
   print_endline "experiments:";
   List.iter (fun (id, desc, _) -> Printf.printf "  %-14s %s\n" id desc) Experiments.all
 
@@ -31,6 +32,13 @@ let () =
     | "--csv" :: dir :: rest ->
         if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
         Harness.csv_dir := Some dir;
+        parse rest
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some j when j >= 1 -> Opprox_util.Pool.set_default_jobs j
+        | _ ->
+            Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
+            exit 2);
         parse rest
     | arg :: _ ->
         Printf.eprintf "unknown argument %s\n" arg;

@@ -43,6 +43,27 @@ let budget_arg =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log the pipeline's progress.")
 
+(* Evaluated first in each command (the term is the leftmost [$ arg]):
+   sizes the shared domain pool before any simulator work starts. *)
+let jobs_arg =
+  let set = function
+    | None -> ()
+    | Some n ->
+        if n < 1 then (
+          Printf.eprintf "opprox: --jobs expects a positive integer\n";
+          exit 2)
+        else Opprox_util.Pool.set_default_jobs n
+  in
+  Term.(
+    const set
+    $ Arg.(
+        value
+        & opt (some int) None
+        & info [ "j"; "jobs" ] ~docv:"N"
+            ~doc:
+              "Number of domains for parallel training/oracle sweeps (default: \
+               $(b,OPPROX_JOBS) or the machine's recommended domain count)."))
+
 let phases_arg =
   Arg.(
     value
@@ -117,7 +138,7 @@ let train_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Where to store the trained pipeline.")
   in
-  let run (app : App.t) phases output verbose =
+  let run () (app : App.t) phases output verbose =
     setup_logs verbose;
     let config =
       match phases with
@@ -134,7 +155,7 @@ let train_cmd =
   in
   Cmd.v
     (Cmd.info "train" ~doc:"Run the offline stage and persist the trained pipeline.")
-    Term.(const run $ app_arg $ phases_arg $ output_arg $ verbose_arg)
+    Term.(const run $ jobs_arg $ app_arg $ phases_arg $ output_arg $ verbose_arg)
 
 (* -------------------------------------------------------------- optimize *)
 
@@ -146,7 +167,7 @@ let load_arg =
         ~doc:"Load a pipeline saved by $(b,train) instead of retraining.")
 
 let optimize_cmd =
-  let run (app : App.t) budget phases load verbose =
+  let run () (app : App.t) budget phases load verbose =
     setup_logs verbose;
     let trained =
       match load with
@@ -190,7 +211,7 @@ let optimize_cmd =
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Train OPPROX and execute the phase-aware plan for a budget.")
-    Term.(const run $ app_arg $ budget_arg $ phases_arg $ load_arg $ verbose_arg)
+    Term.(const run $ jobs_arg $ app_arg $ budget_arg $ phases_arg $ load_arg $ verbose_arg)
 
 (* ---------------------------------------------------------------- submit *)
 
@@ -219,7 +240,7 @@ let submit_cmd =
 (* ---------------------------------------------------------------- oracle *)
 
 let oracle_cmd =
-  let run (app : App.t) budget =
+  let run () (app : App.t) budget =
     let r = Opprox.run_oracle app ~budget in
     Printf.printf "%s phase-agnostic oracle at %.1f%% budget:\n" app.name budget;
     Printf.printf "  levels [%s], speedup %.3f, qos %.2f%%\n"
@@ -229,7 +250,7 @@ let oracle_cmd =
   in
   Cmd.v
     (Cmd.info "oracle" ~doc:"Run the phase-agnostic exhaustive baseline for a budget.")
-    Term.(const run $ app_arg $ budget_arg)
+    Term.(const run $ jobs_arg $ app_arg $ budget_arg)
 
 let () =
   let doc = "phase-aware optimization of approximate programs (OPPROX, CGO 2017)" in

@@ -44,14 +44,26 @@ let generate_frame_uncached ~t =
   done;
   frame
 
+(* Frames are deterministic in [t] and never mutated after generation, so
+   the cache may be shared across pool domains; the mutex only guards the
+   table structure itself. *)
 let frame_cache : (int, float array) Hashtbl.t = Hashtbl.create 64
+let frame_cache_mutex = Mutex.create ()
 
 let generate_frame ~t =
-  match Hashtbl.find_opt frame_cache t with
+  let cached =
+    Mutex.lock frame_cache_mutex;
+    let f = Hashtbl.find_opt frame_cache t in
+    Mutex.unlock frame_cache_mutex;
+    f
+  in
+  match cached with
   | Some f -> f
   | None ->
       let f = generate_frame_uncached ~t in
-      Hashtbl.replace frame_cache t f;
+      Mutex.lock frame_cache_mutex;
+      (if not (Hashtbl.mem frame_cache t) then Hashtbl.replace frame_cache t f);
+      Mutex.unlock frame_cache_mutex;
       f
 
 let at frame x y = frame.((y * frame_width) + x)

@@ -2,31 +2,51 @@ module App = Opprox_sim.App
 module Driver = Opprox_sim.Driver
 module Schedule = Opprox_sim.Schedule
 module Config_space = Opprox_sim.Config_space
+module Pool = Opprox_util.Pool
 
 type result = { levels : int array; evaluation : Driver.evaluation }
 
-let cache : (string * float list, (int array * Driver.evaluation) list) Hashtbl.t =
-  Hashtbl.create 16
+(* Measured spaces are memoized on the same stable (app, input-bits)
+   string key the driver uses, behind a mutex so the oracle can be
+   queried from several domains at once (e.g. the experiment harness). *)
+let cache : (string, (int array * Driver.evaluation) list) Hashtbl.t = Hashtbl.create 16
+let cache_mutex = Mutex.create ()
 
-let clear_cache () = Hashtbl.reset cache
+let clear_cache () =
+  Mutex.lock cache_mutex;
+  Hashtbl.reset cache;
+  Mutex.unlock cache_mutex
 
-let measured_space (app : App.t) ~input =
-  let key = (app.App.name, Array.to_list input) in
-  match Hashtbl.find_opt cache key with
+let measured_space ?pool (app : App.t) ~input =
+  let key = Driver.input_key app input in
+  let cached =
+    Mutex.lock cache_mutex;
+    let r = Hashtbl.find_opt cache key in
+    Mutex.unlock cache_mutex;
+    r
+  in
+  match cached with
   | Some r -> r
   | None ->
       let exact = Driver.run_exact app input in
-      let measured =
-        List.map
+      let configs = Array.of_list (Config_space.all app.App.abs) in
+      (* The exhaustive sweep is embarrassingly parallel: every
+         configuration is scored independently against the shared exact
+         baseline.  Index-preserving map keeps the enumeration order. *)
+      let evaluations =
+        Pool.parallel_map ?pool
           (fun levels ->
             let ev = Driver.evaluate ~exact app (Schedule.uniform ~n_phases:1 levels) input in
             (levels, ev))
-          (Config_space.all app.App.abs)
+          configs
       in
-      Hashtbl.replace cache key measured;
+      let measured = Array.to_list evaluations in
+      Mutex.lock cache_mutex;
+      (if not (Hashtbl.mem cache key) then Hashtbl.replace cache key measured);
+      Mutex.unlock cache_mutex;
       measured
 
-let search app ~input ~budget =
+let search ?pool app ~input ~budget =
   if budget < 0.0 then invalid_arg "Oracle.search: negative budget";
   let best = ref None in
   List.iter
@@ -35,7 +55,7 @@ let search app ~input ~budget =
         match !best with
         | Some (_, (b : Driver.evaluation)) when b.speedup >= ev.speedup -> ()
         | _ -> best := Some (levels, ev))
-    (measured_space app ~input);
+    (measured_space ?pool app ~input);
   match !best with
   | Some (levels, evaluation) -> { levels; evaluation }
   | None ->

@@ -12,14 +12,24 @@ type result = {
   evaluation : Opprox_sim.Driver.evaluation;  (** its measured effect *)
 }
 
-val search : Opprox_sim.App.t -> input:float array -> budget:float -> result
+val search :
+  ?pool:Opprox_util.Pool.t -> Opprox_sim.App.t -> input:float array -> budget:float -> result
 (** [search app ~input ~budget] measures every configuration (memoized
     per (app, input) across calls within a process) and returns the one
     with maximum speedup among those with measured QoS degradation within
     [budget].  The all-exact configuration (speedup 1, QoS 0) is always
     feasible, so the search never fails. *)
 
-val measured_space : Opprox_sim.App.t -> input:float array -> (int array * Opprox_sim.Driver.evaluation) list
-(** All measured configurations (useful for scatter figures). *)
+val measured_space :
+  ?pool:Opprox_util.Pool.t ->
+  Opprox_sim.App.t ->
+  input:float array ->
+  (int array * Opprox_sim.Driver.evaluation) list
+(** All measured configurations (useful for scatter figures).  The
+    exhaustive sweep fans out over [?pool] (default:
+    {!Opprox_util.Pool.default}); the returned list preserves
+    [Config_space.all]'s enumeration order.  Memoized on a stable string
+    key of the input vector's IEEE-754 bits; both the lookup and
+    {!clear_cache} are safe to call from multiple domains. *)
 
 val clear_cache : unit -> unit

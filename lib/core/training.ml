@@ -3,6 +3,7 @@ module Driver = Opprox_sim.Driver
 module Schedule = Opprox_sim.Schedule
 module Config_space = Opprox_sim.Config_space
 module Rng = Opprox_util.Rng
+module Pool = Opprox_util.Pool
 
 let log_src = Logs.Src.create "opprox.training" ~doc:"OPPROX training sampler"
 
@@ -33,8 +34,7 @@ type config = {
 
 let default_config = { joint_samples_per_phase = 12; inputs = None; seed = 0xDA7A }
 
-let evaluate_sample ~classes ~app ~n_phases ~input ~phase levels =
-  let exact = Driver.run_exact app input in
+let evaluate_sample ~exact ~classes ~app ~n_phases ~input ~phase levels =
   let sched = Schedule.single_phase_active ~n_phases ~phase levels in
   let ev = Driver.evaluate ~exact app sched input in
   {
@@ -43,44 +43,67 @@ let evaluate_sample ~classes ~app ~n_phases ~input ~phase levels =
     levels;
     speedup = ev.speedup;
     qos = ev.qos_degradation;
-    iters_ratio = float_of_int ev.outer_iters /. float_of_int (Stdlib.max 1 exact.iters);
+    iters_ratio =
+      float_of_int ev.outer_iters /. float_of_int (Stdlib.max 1 exact.Driver.iters);
     trace_class = Cfmodel.class_of_trace classes ev.trace;
   }
 
-let collect ?(config = default_config) app ~n_phases =
-  if n_phases < 1 then invalid_arg "Training.collect: n_phases must be >= 1";
-  let inputs = match config.inputs with Some i -> i | None -> app.App.training_inputs in
-  let classes = Cfmodel.build app ~inputs in
+(* One simulator run of the sampling plan.  [input_idx] indexes the hoisted
+   per-input exact baseline. *)
+type task = { input_idx : int; input : float array; phase : int; levels : int array }
+
+(* The flat sampling plan, in the exact order the sequential nested loops
+   used to visit it: input-major, then phase, local sweeps before joint
+   samples.  All RNG consumption happens here, sequentially, so the plan
+   (and therefore the collected dataset) is a function of the seed alone,
+   independent of how many domains later execute it. *)
+let sampling_plan ~config ~n_phases ~inputs abs =
   let rng = Rng.create config.seed in
-  let samples = ref [] in
-  Array.iter
-    (fun input ->
+  let tasks = ref [] in
+  Array.iteri
+    (fun input_idx input ->
       for phase = 0 to n_phases - 1 do
         (* Exhaustive local sweeps: one AB at a time (paper: "for each AB
            it exhaustively covers the corresponding AL-space, while
            executing all other ABs accurately"). *)
         List.iter
-          (fun (_ab, levels) ->
-            samples := evaluate_sample ~classes ~app ~n_phases ~input ~phase levels :: !samples)
-          (Config_space.local_sweeps app.App.abs);
+          (fun (_ab, levels) -> tasks := { input_idx; input; phase; levels } :: !tasks)
+          (Config_space.local_sweeps abs);
         (* Sparse random joint samples for the interaction models. *)
         for _ = 1 to config.joint_samples_per_phase do
-          let levels = Config_space.random_nonzero rng app.App.abs in
-          samples := evaluate_sample ~classes ~app ~n_phases ~input ~phase levels :: !samples
+          let levels = Config_space.random_nonzero rng abs in
+          tasks := { input_idx; input; phase; levels } :: !tasks
         done
       done)
     inputs;
-  let samples = Array.of_list (List.rev !samples) in
+  Array.of_list (List.rev !tasks)
+
+let collect ?(config = default_config) ?pool app ~n_phases =
+  if n_phases < 1 then invalid_arg "Training.collect: n_phases must be >= 1";
+  let inputs = match config.inputs with Some i -> i | None -> app.App.training_inputs in
+  (* Hoist the exact baseline: one golden run per input, computed up front
+     (in parallel across inputs) instead of being re-demanded by every
+     local-sweep and joint sample. *)
+  let exacts = Pool.parallel_map ?pool ~chunk:1 (Driver.run_exact app) inputs in
+  let classes = Cfmodel.build app ~inputs in
+  let plan = sampling_plan ~config ~n_phases ~inputs app.App.abs in
+  let samples =
+    Pool.parallel_map ?pool
+      (fun t ->
+        evaluate_sample ~exact:exacts.(t.input_idx) ~classes ~app ~n_phases ~input:t.input
+          ~phase:t.phase t.levels)
+      plan
+  in
   Log.info (fun m ->
       m "collected %d profiling runs for %s (%d phases, %d inputs)" (Array.length samples)
         app.App.name n_phases (Array.length inputs));
   { app; n_phases; samples; classes }
 
 let samples_of_phase t phase =
-  Array.of_seq (Seq.filter (fun s -> s.phase = phase) (Array.to_seq t.samples))
+  Array.of_seq (Seq.filter (fun (s : sample) -> s.phase = phase) (Array.to_seq t.samples))
 
 let local_samples t ~ab ~phase =
-  let is_local s =
+  let is_local (s : sample) =
     s.phase = phase
     && s.levels.(ab) > 0
     && Array.for_all (fun l -> l = 0) (Array.mapi (fun i l -> if i = ab then 0 else l) s.levels)

@@ -34,10 +34,14 @@ type config = {
 
 val default_config : config
 
-val collect : ?config:config -> Opprox_sim.App.t -> n_phases:int -> t
-(** Run the instrumented application over the sampling plan.  Exact runs
-    are memoized by the driver, so repeated collection over the same
-    inputs re-runs only approximate configurations. *)
+val collect : ?config:config -> ?pool:Opprox_util.Pool.t -> Opprox_sim.App.t -> n_phases:int -> t
+(** Run the instrumented application over the sampling plan.  The exact
+    baseline is executed {e once per input}, up front; every sample in the
+    plan is then evaluated against that hoisted baseline, fanned out over
+    [?pool] (default: {!Opprox_util.Pool.default}).  The plan itself —
+    including every random joint configuration — is drawn sequentially
+    from [config.seed] before any parallel execution starts, so the
+    collected dataset is bit-identical whatever the domain count. *)
 
 val samples_of_phase : t -> int -> sample array
 

@@ -15,9 +15,35 @@ type evaluation = {
   work_per_phase : int array;
 }
 
-let cache : (string * float list, exact_run) Hashtbl.t = Hashtbl.create 64
+(* Exact runs are memoized under a mutex so that pool workers (see
+   Opprox_util.Pool) can share the table.  The key is a stable string —
+   the application name plus the IEEE-754 bits of each input component —
+   rather than a polymorphic (string * float list) pair: cheap to hash,
+   no float-equality surprises, and identical across domains. *)
+let cache : (string, exact_run) Hashtbl.t = Hashtbl.create 64
+let cache_mutex = Mutex.create ()
 
-let clear_cache () = Hashtbl.reset cache
+(* Number of exact executions actually performed (cache misses).  Tests
+   use this to assert that training runs the golden configuration exactly
+   once per input. *)
+let exact_executions = Atomic.make 0
+let exact_run_count () = Atomic.get exact_executions
+let reset_exact_run_count () = Atomic.set exact_executions 0
+
+let input_key (app : App.t) input =
+  let b = Buffer.create 64 in
+  Buffer.add_string b app.name;
+  Array.iter
+    (fun x ->
+      Buffer.add_char b '|';
+      Buffer.add_string b (Int64.to_string (Int64.bits_of_float x)))
+    input;
+  Buffer.contents b
+
+let clear_cache () =
+  Mutex.lock cache_mutex;
+  Hashtbl.reset cache;
+  Mutex.unlock cache_mutex
 
 let seed_for (app : App.t) input =
   (* Same seed for exact and approximate runs of one input: QoS differences
@@ -31,10 +57,20 @@ let execute (app : App.t) sched ~expected_iters input =
   (env, output)
 
 let run_exact (app : App.t) input =
-  let key = (app.name, Array.to_list input) in
-  match Hashtbl.find_opt cache key with
+  let key = input_key app input in
+  let cached =
+    Mutex.lock cache_mutex;
+    let r = Hashtbl.find_opt cache key in
+    Mutex.unlock cache_mutex;
+    r
+  in
+  match cached with
   | Some r -> r
   | None ->
+      (* Computed outside the lock: two domains racing on the same input
+         duplicate a deterministic run instead of serializing every
+         distinct one behind it. *)
+      Atomic.incr exact_executions;
       let sched = Schedule.exact ~n_abs:(App.n_abs app) in
       let env, output = execute app sched ~expected_iters:0 input in
       let r =
@@ -45,7 +81,9 @@ let run_exact (app : App.t) input =
           trace = Env.trace env;
         }
       in
-      Hashtbl.replace cache key r;
+      Mutex.lock cache_mutex;
+      if not (Hashtbl.mem cache key) then Hashtbl.replace cache key r;
+      Mutex.unlock cache_mutex;
       r
 
 let evaluate ?exact (app : App.t) sched input =

@@ -42,7 +42,20 @@ val evaluate_uniform : App.t -> int array -> float array -> evaluation
 (** Phase-agnostic convenience: apply one AL vector for the whole run. *)
 
 val clear_cache : unit -> unit
-(** Drop memoized exact runs (used by timing benchmarks). *)
+(** Drop memoized exact runs (used by timing benchmarks).  Safe to call
+    concurrently with lookups from other domains. *)
+
+val exact_run_count : unit -> int
+(** Number of exact executions actually performed by this process (cache
+    misses, not lookups).  Training asserts "one exact run per input"
+    against this counter. *)
+
+val reset_exact_run_count : unit -> unit
+
+val input_key : App.t -> float array -> string
+(** Stable memo key for an (application, input) pair: the application
+    name plus the IEEE-754 bit pattern of every input component.  Shared
+    with {!Oracle}'s measured-space memo. *)
 
 val seed_for : App.t -> float array -> int
 (** The deterministic RNG seed the driver uses for a given input; exposed

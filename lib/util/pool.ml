@@ -1,0 +1,183 @@
+(* A small reusable domain pool.  Work arrives as thunks on a shared
+   queue; worker domains sleep on a condition variable between bursts.
+   The submitting domain participates in execution while it waits, which
+   also makes nested submissions from inside a task deadlock-free: the
+   worker that submits keeps draining the queue instead of blocking. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  pending : (unit -> unit) Queue.t;
+  wake : Condition.t;
+  mutable closing : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.pending && not t.closing do
+    Condition.wait t.wake t.mutex
+  done;
+  if Queue.is_empty t.pending then Mutex.unlock t.mutex (* closing *)
+  else begin
+    let task = Queue.pop t.pending in
+    Mutex.unlock t.mutex;
+    task ();
+    worker_loop t
+  end
+
+let default_jobs () =
+  match Sys.getenv_opt "OPPROX_JOBS" with
+  | Some s when (match int_of_string_opt (String.trim s) with Some n -> n >= 1 | None -> false)
+    ->
+      int_of_string (String.trim s)
+  | _ -> Stdlib.max 1 (Stdlib.min 64 (Domain.recommended_domain_count ()))
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      pending = Queue.create ();
+      wake = Condition.create ();
+      closing = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.closing <- true;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+(* Run every task and block until all have settled; re-raise the first
+   exception observed.  Callable from any domain, including a pool worker. *)
+let run_tasks t tasks =
+  let n = Array.length tasks in
+  if n = 0 then ()
+  else if t.jobs <= 1 || t.workers = [] || n = 1 then Array.iter (fun task -> task ()) tasks
+  else begin
+    let remaining = ref n in
+    let finished = Condition.create () in
+    let error = ref None in
+    let wrap task () =
+      (try task ()
+       with e ->
+         Mutex.lock t.mutex;
+         if !error = None then error := Some e;
+         Mutex.unlock t.mutex);
+      Mutex.lock t.mutex;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast finished;
+      Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    Array.iter (fun task -> Queue.push (wrap task) t.pending) tasks;
+    Condition.broadcast t.wake;
+    (* Help execute until every task of this submission has completed.
+       Helping may also pick up tasks from concurrent submissions; that
+       is harmless and keeps nested submissions live. *)
+    let rec help () =
+      if !remaining > 0 then
+        if not (Queue.is_empty t.pending) then begin
+          let task = Queue.pop t.pending in
+          Mutex.unlock t.mutex;
+          task ();
+          Mutex.lock t.mutex;
+          help ()
+        end
+        else begin
+          Condition.wait finished t.mutex;
+          help ()
+        end
+    in
+    help ();
+    Mutex.unlock t.mutex;
+    match !error with Some e -> raise e | None -> ()
+  end
+
+(* ---------------------------------------------------------- default pool *)
+
+let default_pool = ref None
+let default_lock = Mutex.create ()
+
+let default () =
+  Mutex.lock default_lock;
+  let pool =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+        let p = create () in
+        default_pool := Some p;
+        at_exit (fun () -> shutdown p);
+        p
+  in
+  Mutex.unlock default_lock;
+  pool
+
+let set_default_jobs n =
+  if n < 1 then invalid_arg "Pool.set_default_jobs: jobs must be >= 1";
+  Mutex.lock default_lock;
+  let old = !default_pool in
+  let p = create ~jobs:n () in
+  default_pool := Some p;
+  at_exit (fun () -> shutdown p);
+  Mutex.unlock default_lock;
+  match old with Some p -> shutdown p | None -> ()
+
+(* ----------------------------------------------------------- combinators *)
+
+let chunk_size ?chunk t n =
+  match chunk with
+  | Some c -> if c < 1 then invalid_arg "Pool.parallel_map: chunk must be >= 1" else c
+  | None -> Stdlib.max 1 (n / (t.jobs * 4))
+
+let chunk_tasks ~chunk n body =
+  let n_chunks = (n + chunk - 1) / chunk in
+  Array.init n_chunks (fun ci () ->
+      let lo = ci * chunk in
+      let hi = Stdlib.min n (lo + chunk) - 1 in
+      for i = lo to hi do
+        body i
+      done)
+
+let parallel_mapi ?pool ?chunk f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else
+    let t = match pool with Some p -> p | None -> default () in
+    if t.jobs <= 1 || t.workers = [] then Array.mapi f arr
+    else begin
+      let chunk = chunk_size ?chunk t n in
+      let out = Array.make n None in
+      run_tasks t (chunk_tasks ~chunk n (fun i -> out.(i) <- Some (f i arr.(i))));
+      Array.map (function Some v -> v | None -> assert false) out
+    end
+
+let parallel_map ?pool ?chunk f arr = parallel_mapi ?pool ?chunk (fun _ x -> f x) arr
+
+let parallel_iter ?pool ?chunk f arr =
+  let n = Array.length arr in
+  if n = 0 then ()
+  else
+    let t = match pool with Some p -> p | None -> default () in
+    if t.jobs <= 1 || t.workers = [] then Array.iter f arr
+    else
+      let chunk = chunk_size ?chunk t n in
+      run_tasks t (chunk_tasks ~chunk n (fun i -> f arr.(i)))
+
+let parallel_map_seeded ?pool ?chunk ~seed f arr =
+  (* Seed splitting happens sequentially, before any parallelism: each
+     task's generator depends only on (seed, index). *)
+  let master = Rng.create seed in
+  let rngs = Array.map (fun _ -> Rng.split master) arr in
+  parallel_mapi ?pool ?chunk (fun i x -> f ~rng:rngs.(i) x) arr

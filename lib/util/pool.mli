@@ -1,0 +1,77 @@
+(** Domain-parallel execution engine.
+
+    A reusable pool of worker domains (OCaml 5 shared-memory parallelism)
+    behind deterministic, chunked [parallel_map] / [parallel_iter]
+    combinators.  The pool exists so that the embarrassingly parallel hot
+    paths — training-data collection, the phase-agnostic oracle's
+    exhaustive sweep, and the experiment matrix — fan out across cores
+    without changing their observable output.
+
+    {2 Determinism contract}
+
+    [parallel_map f arr] writes [f arr.(i)] into slot [i] of the result:
+    the output is {e index-preserving} and therefore identical to
+    [Array.map f arr] regardless of the number of domains, the chunk
+    size, or scheduling order — provided [f] itself is pure (or keyed on
+    its argument alone, like the driver's memoized exact runs).  Tasks
+    that need randomness use {!parallel_map_seeded}, which splits one
+    master seed into an independent {!Rng.t} per index {e sequentially}
+    before any parallel execution starts, so the stream each task sees is
+    a function of its index and the master seed only.
+
+    {2 Sizing}
+
+    The default worker count is the [OPPROX_JOBS] environment variable
+    when set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()].  With one job every combinator
+    degrades to the plain sequential implementation — no domains are
+    spawned, no locks are taken. *)
+
+type t
+(** A pool of worker domains.  The pool owning [jobs t = n] runs tasks on
+    [n] domains in total: [n - 1] spawned workers plus the submitting
+    domain, which participates while it waits. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains ([jobs] defaults
+    to {!default_jobs}).  Requires [jobs >= 1]. *)
+
+val jobs : t -> int
+(** Total parallelism of the pool (workers + submitter). *)
+
+val shutdown : t -> unit
+(** Join the pool's worker domains.  Idempotent.  Submitting work to a
+    pool after [shutdown] falls back to sequential execution. *)
+
+val default_jobs : unit -> int
+(** [OPPROX_JOBS] if set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()] (capped at 64). *)
+
+val default : unit -> t
+(** The process-wide shared pool, created on first use with
+    {!default_jobs} workers and joined automatically at exit. *)
+
+val set_default_jobs : int -> unit
+(** Replace the process-wide pool with one of the given size (the
+    [--jobs] CLI flag).  Shuts the previous default pool down. *)
+
+val parallel_map : ?pool:t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map f arr] is [Array.map f arr] evaluated on the pool
+    ([?pool] defaults to {!default}).  Work is handed out in contiguous
+    chunks of [?chunk] elements (default: enough for ~4 chunks per
+    domain).  If any [f] raises, the first exception observed is
+    re-raised in the caller after all tasks settle. *)
+
+val parallel_iter : ?pool:t -> ?chunk:int -> ('a -> unit) -> 'a array -> unit
+(** [parallel_iter f arr] applies [f] to every element on the pool; same
+    chunking and exception behaviour as {!parallel_map}. *)
+
+val parallel_mapi : ?pool:t -> ?chunk:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** Index-aware variant of {!parallel_map}. *)
+
+val parallel_map_seeded :
+  ?pool:t -> ?chunk:int -> seed:int -> (rng:Rng.t -> 'a -> 'b) -> 'a array -> 'b array
+(** [parallel_map_seeded ~seed f arr] derives one independent generator
+    per element by splitting [Rng.create seed] sequentially (SplitMix64
+    splitting), then maps in parallel.  Output is bit-identical for a
+    fixed [seed] whatever the parallelism. *)

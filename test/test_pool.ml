@@ -1,0 +1,182 @@
+(* Tests for the domain-parallel execution engine (Opprox_util.Pool) and
+   its integration into Training.collect / Oracle.measured_space:
+   determinism across domain counts, exception propagation, and the
+   one-exact-run-per-input guarantee. *)
+
+module Pool = Opprox_util.Pool
+module Rng = Opprox_util.Rng
+module Driver = Opprox_sim.Driver
+module Training = Opprox.Training
+module Oracle = Opprox.Oracle
+open Fixtures
+
+(* Pools of 1..4 domains, shared across the cases below and joined by the
+   final "shutdown" case. *)
+let pools = lazy (Array.init 4 (fun i -> Pool.create ~jobs:(i + 1) ()))
+let pool_of_jobs jobs = (Lazy.force pools).(jobs - 1)
+
+(* ------------------------------------------------------------ determinism *)
+
+let prop_map_matches_sequential =
+  qcheck_case "parallel_map f = Array.map f (any jobs, any chunk)"
+    QCheck.(triple (array small_int) (int_range 1 7) (int_range 1 4))
+    (fun (arr, chunk, jobs) ->
+      let f x = (x * 31) lxor (x asr 3) in
+      Pool.parallel_map ~pool:(pool_of_jobs jobs) ~chunk f arr = Array.map f arr)
+
+let prop_mapi_preserves_indices =
+  qcheck_case "parallel_mapi sees the right index"
+    QCheck.(pair (array small_int) (int_range 1 4))
+    (fun (arr, jobs) ->
+      let f i x = (i, x) in
+      Pool.parallel_mapi ~pool:(pool_of_jobs jobs) ~chunk:2 f arr = Array.mapi f arr)
+
+let prop_seeded_map_bit_identical =
+  qcheck_case "parallel_map_seeded is a function of (seed, index) only"
+    QCheck.(pair small_int (int_range 1 16))
+    (fun (seed, n) ->
+      let input = Array.init n (fun i -> i) in
+      let f ~rng x = float_of_int x +. Rng.uniform rng +. Rng.uniform rng in
+      let runs =
+        List.map
+          (fun jobs -> Pool.parallel_map_seeded ~pool:(pool_of_jobs jobs) ~seed f input)
+          [ 1; 2; 4 ]
+      in
+      match runs with
+      | [ a; b; c ] -> a = b && b = c
+      | _ -> false)
+
+let test_parallel_iter_visits_all () =
+  let n = 257 in
+  let hits = Array.init n (fun _ -> Atomic.make 0) in
+  Pool.parallel_iter ~pool:(pool_of_jobs 4) ~chunk:3 (fun i -> Atomic.incr hits.(i))
+    (Array.init n (fun i -> i));
+  Array.iteri (fun i a -> check_int (Printf.sprintf "slot %d hit once" i) 1 (Atomic.get a)) hits
+
+let test_empty_and_singleton () =
+  Alcotest.(check (array int)) "empty" [||] (Pool.parallel_map ~pool:(pool_of_jobs 4) succ [||]);
+  Alcotest.(check (array int)) "singleton" [| 8 |]
+    (Pool.parallel_map ~pool:(pool_of_jobs 4) succ [| 7 |])
+
+(* ------------------------------------------------------------- exceptions *)
+
+let test_exception_propagates () =
+  Alcotest.check_raises "first failure re-raised" (Failure "boom") (fun () ->
+      ignore
+        (Pool.parallel_map ~pool:(pool_of_jobs 4) ~chunk:2
+           (fun i -> if i = 17 then failwith "boom" else i)
+           (Array.init 64 (fun i -> i))))
+
+let test_exception_leaves_pool_usable () =
+  let pool = pool_of_jobs 3 in
+  (try ignore (Pool.parallel_map ~pool (fun _ -> failwith "dead") (Array.init 8 (fun i -> i)))
+   with Failure _ -> ());
+  Alcotest.(check (array int)) "pool still maps" [| 2; 4; 6 |]
+    (Pool.parallel_map ~pool (fun x -> 2 * x) [| 1; 2; 3 |])
+
+let test_invalid_arguments () =
+  Alcotest.check_raises "chunk 0" (Invalid_argument "Pool.parallel_map: chunk must be >= 1")
+    (fun () ->
+      ignore (Pool.parallel_map ~pool:(pool_of_jobs 2) ~chunk:0 succ (Array.init 4 (fun i -> i))));
+  Alcotest.check_raises "jobs 0" (Invalid_argument "Pool.create: jobs must be >= 1") (fun () ->
+      ignore (Pool.create ~jobs:0 ()))
+
+(* ------------------------------------------------------------ env override *)
+
+let test_env_override () =
+  Unix.putenv "OPPROX_JOBS" "3";
+  check_int "OPPROX_JOBS wins" 3 (Pool.default_jobs ());
+  Unix.putenv "OPPROX_JOBS" "not-a-number";
+  check_bool "garbage falls back to detection" true (Pool.default_jobs () >= 1);
+  Unix.putenv "OPPROX_JOBS" ""
+
+(* ------------------------------------------- Training.collect integration *)
+
+let training_config = { Training.default_config with joint_samples_per_phase = 6 }
+
+let test_training_parallel_equals_sequential () =
+  let collect jobs =
+    Driver.clear_cache ();
+    Training.collect ~config:training_config ~pool:(pool_of_jobs jobs) toy ~n_phases:2
+  in
+  let seq = collect 1 and par = collect 4 in
+  check_int "same run count" (Training.n_runs seq) (Training.n_runs par);
+  Array.iteri
+    (fun i (a : Training.sample) ->
+      let b = par.Training.samples.(i) in
+      Alcotest.(check (array (float 0.0))) "same input" a.input b.input;
+      check_int "same phase" a.phase b.phase;
+      Alcotest.(check (array int)) "same levels" a.levels b.levels;
+      check_float "same qos" a.qos b.qos;
+      check_float "same speedup" a.speedup b.speedup;
+      check_float "same iters ratio" a.iters_ratio b.iters_ratio;
+      check_int "same trace class" a.trace_class b.trace_class)
+    seq.Training.samples
+
+let test_training_one_exact_run_per_input () =
+  Driver.clear_cache ();
+  Driver.reset_exact_run_count ();
+  let t = Training.collect ~config:training_config ~pool:(pool_of_jobs 4) toy ~n_phases:2 in
+  check_bool "collected something" true (Training.n_runs t > 0);
+  (* The hoisted baseline plus the memo table mean the golden configuration
+     executed exactly once per training input, not once per sample. *)
+  check_int "one exact execution per input" (Array.length toy.Opprox_sim.App.training_inputs)
+    (Driver.exact_run_count ())
+
+(* --------------------------------------------------- Oracle integration *)
+
+let test_oracle_parallel_equals_sequential () =
+  let space jobs =
+    Oracle.clear_cache ();
+    Driver.clear_cache ();
+    Oracle.measured_space ~pool:(pool_of_jobs jobs) toy ~input:toy.Opprox_sim.App.default_input
+  in
+  let seq = space 1 and par = space 4 in
+  check_int "same size" (List.length seq) (List.length par);
+  List.iter2
+    (fun (la, (ea : Driver.evaluation)) (lb, (eb : Driver.evaluation)) ->
+      Alcotest.(check (array int)) "same enumeration order" la lb;
+      check_float "same qos" ea.qos_degradation eb.qos_degradation;
+      check_float "same speedup" ea.speedup eb.speedup)
+    seq par
+
+let test_oracle_cache_hit_skips_reruns () =
+  Oracle.clear_cache ();
+  Driver.clear_cache ();
+  let input = toy.Opprox_sim.App.default_input in
+  let a = Oracle.measured_space ~pool:(pool_of_jobs 2) toy ~input in
+  Driver.reset_exact_run_count ();
+  let b = Oracle.measured_space ~pool:(pool_of_jobs 2) toy ~input in
+  check_int "memo hit: no new exact runs" 0 (Driver.exact_run_count ());
+  check_bool "same list" true (a == b)
+
+(* --------------------------------------------------------------- cleanup *)
+
+let test_shutdown () =
+  Array.iter Pool.shutdown (Lazy.force pools);
+  (* A shut-down pool degrades to sequential execution instead of hanging. *)
+  Alcotest.(check (array int)) "sequential fallback" [| 1; 4; 9 |]
+    (Pool.parallel_map ~pool:(pool_of_jobs 4) (fun x -> x * x) [| 1; 2; 3 |])
+
+let suite =
+  [
+    ( "pool",
+      [
+        prop_map_matches_sequential;
+        prop_mapi_preserves_indices;
+        prop_seeded_map_bit_identical;
+        Alcotest.test_case "iter visits all" `Quick test_parallel_iter_visits_all;
+        Alcotest.test_case "empty and singleton" `Quick test_empty_and_singleton;
+        Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+        Alcotest.test_case "pool survives exceptions" `Quick test_exception_leaves_pool_usable;
+        Alcotest.test_case "invalid arguments" `Quick test_invalid_arguments;
+        Alcotest.test_case "OPPROX_JOBS override" `Quick test_env_override;
+        Alcotest.test_case "training parallel = sequential" `Quick
+          test_training_parallel_equals_sequential;
+        Alcotest.test_case "one exact run per input" `Quick test_training_one_exact_run_per_input;
+        Alcotest.test_case "oracle parallel = sequential" `Quick
+          test_oracle_parallel_equals_sequential;
+        Alcotest.test_case "oracle memo is domain-safe" `Quick test_oracle_cache_hit_skips_reruns;
+        Alcotest.test_case "shutdown" `Quick test_shutdown;
+      ] );
+  ]
