@@ -1,22 +1,32 @@
 # Convenience aliases; dune is the build system.
 
-.PHONY: all check test bench fmt clean
+.PHONY: all check test bench bench-snapshot fmt clean
 
 all:
 	dune build @all
 
-# Tier-1 verification in one command.
+# Tier-1 verification in one command.  The formatting check only runs
+# when ocamlformat is installed (version pinned in .ocamlformat); the
+# build and tests never depend on it.
 check:
 	dune build && dune runtest
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  echo "checking formatting"; dune build @fmt; \
+	else \
+	  echo "ocamlformat not installed; skipping format check"; \
+	fi
 
 test: check
 
-# Full experiment harness (reduced sampling); refreshes BENCH_pool.json.
+# Full experiment harness (reduced sampling).
 bench:
 	dune exec bench/main.exe -- --quick
 
-# Requires ocamlformat (version pinned in .ocamlformat); the build and
-# tests never depend on it.
+# Regenerate the committed benchmark snapshots (BENCH_pool.json and
+# BENCH_checkpoint.json) from the bechamel micro-suite.
+bench-snapshot:
+	dune exec bench/main.exe -- --bechamel
+
 fmt:
 	dune build @fmt --auto-promote
 

@@ -58,15 +58,42 @@ type filter_state = {
   estimate : float array; (* current pose estimate *)
 }
 
-let run env input =
+type st = {
+  layers_in : int;
+  n_particles_in : int;
+  n_frames : int;
+  seed : int;
+  fst : filter_state;
+  output : float array;
+  mutable cached_features : float array;
+  mutable frame : int;  (* current frame index *)
+  mutable layer : int;  (* next annealing layer within the frame *)
+  (* Per-frame values set by the frame preamble (layer = 0). *)
+  mutable features : float array;
+  mutable eff_layers : int;
+  mutable eff_particles : int;
+}
+
+let copy st =
+  {
+    st with
+    fst =
+      {
+        particles = Array.map Array.copy st.fst.particles;
+        weights = Array.copy st.fst.weights;
+        estimate = Array.copy st.fst.estimate;
+      };
+    output = Array.copy st.output;
+    cached_features = Array.copy st.cached_features;
+    features = Array.copy st.features;
+  }
+
+let init env input =
   let layers_in = Stdlib.max 1 (int_of_float input.(0)) in
   let n_particles_in = Stdlib.max 8 (int_of_float input.(1)) in
   let n_frames = Stdlib.max 2 (int_of_float input.(2)) in
   let seed = Rng.int (Env.rng env) 0x3FFFFFFF in
-  (* AB2: parameter tuning of the particle count (applies to the whole run:
-     knob read from phase 0 semantics would be ambiguous, so it is re-read
-     each frame from the current phase). *)
-  let st =
+  let fst =
     {
       particles = Array.init n_particles_in (fun _ -> Array.make pose_dim 0.0);
       weights = Array.make n_particles_in (1.0 /. float_of_int n_particles_in);
@@ -74,57 +101,86 @@ let run env input =
     }
   in
   let output = Array.make (n_frames * pose_dim) 0.0 in
-  let cached_features = ref (observe ~seed ~frame:0) in
-  for frame = 0 to n_frames - 1 do
-    (* AB1: image feature extraction, memoized over frames. *)
-    let feature_level = Env.current_level env ~ab:ab_features in
-    Env.enter_ab env ~ab:ab_features;
-    if frame mod (feature_level + 1) = 0 then begin
-      cached_features := observe ~seed ~frame;
-      Env.charge env ~ab:ab_features feature_patch_work
-    end
-    else Env.charge env ~ab:ab_features 4;
-    let features = !cached_features in
+  let cached_features = observe ~seed ~frame:0 in
+  {
+    layers_in;
+    n_particles_in;
+    n_frames;
+    seed;
+    fst;
+    output;
+    cached_features;
+    frame = 0;
+    layer = 0;
+    features = cached_features;
+    eff_layers = 1;
+    eff_particles = 8;
+  }
 
-    (* AB3: effective number of annealing layers (parameter tuning). *)
-    let anneal_level = Env.current_level env ~ab:ab_anneal in
-    let max_anneal = abs.(ab_anneal).Ab.max_level in
-    let eff_layers =
-      Stdlib.max 1
-        (int_of_float
-           (Float.round
-              (Approx.tune_parameter ~level:anneal_level ~max_level:max_anneal
-                 (float_of_int layers_in))))
-    in
-    (* AB2: effective particle count (parameter tuning). *)
-    let resample_level = Env.current_level env ~ab:ab_resample in
-    let max_resample = abs.(ab_resample).Ab.max_level in
-    let eff_particles =
-      (* The particle budget shrinks quadratically with the knob: the
-         filter's travel per annealing layer depends on the edge density
-         of the particle cloud, so a linear cut would barely bite. *)
-      let factor =
-        let f1 =
-          Approx.tune_parameter ~level:resample_level ~max_level:max_resample 1.0
-        in
-        f1 *. f1
-      in
-      Stdlib.max 8 (int_of_float (factor *. float_of_int n_particles_in))
-    in
+(* The frame preamble runs before the frame's first annealing layer begins
+   its outer iteration, so the AB knobs consulted here are read at the
+   phase of the previously begun iteration — exactly as in the original
+   nested-loop formulation. *)
+let frame_preamble env t =
+  let frame = t.frame in
+  let st = t.fst in
+  (* AB1: image feature extraction, memoized over frames. *)
+  let feature_level = Env.current_level env ~ab:ab_features in
+  Env.enter_ab env ~ab:ab_features;
+  if frame mod (feature_level + 1) = 0 then begin
+    t.cached_features <- observe ~seed:t.seed ~frame;
+    Env.charge env ~ab:ab_features feature_patch_work
+  end
+  else Env.charge env ~ab:ab_features 4;
+  t.features <- t.cached_features;
 
-    (* Spawn particles for this frame around the previous estimate: the
-       local search that makes early mistracks persistent. *)
-    let frame_rng = Rng.create (seed lxor (104729 * frame)) in
-    for i = 0 to eff_particles - 1 do
-      for d = 0 to pose_dim - 1 do
-        st.particles.(i).(d) <-
-          st.estimate.(d) +. Rng.gaussian_scaled frame_rng ~mean:0.0 ~sigma:spawn_sigma
-      done;
-      st.weights.(i) <- 1.0 /. float_of_int eff_particles
+  (* AB3: effective number of annealing layers (parameter tuning). *)
+  let anneal_level = Env.current_level env ~ab:ab_anneal in
+  let max_anneal = abs.(ab_anneal).Ab.max_level in
+  t.eff_layers <-
+    Stdlib.max 1
+      (int_of_float
+         (Float.round
+            (Approx.tune_parameter ~level:anneal_level ~max_level:max_anneal
+               (float_of_int t.layers_in))));
+  (* AB2: effective particle count (parameter tuning; applies to the whole
+     frame: the knob is re-read each frame from the current phase). *)
+  let resample_level = Env.current_level env ~ab:ab_resample in
+  let max_resample = abs.(ab_resample).Ab.max_level in
+  t.eff_particles <-
+    (* The particle budget shrinks quadratically with the knob: the
+       filter's travel per annealing layer depends on the edge density
+       of the particle cloud, so a linear cut would barely bite. *)
+    (let factor =
+       let f1 = Approx.tune_parameter ~level:resample_level ~max_level:max_resample 1.0 in
+       f1 *. f1
+     in
+     Stdlib.max 8 (int_of_float (factor *. float_of_int t.n_particles_in)));
+
+  (* Spawn particles for this frame around the previous estimate: the
+     local search that makes early mistracks persistent. *)
+  let frame_rng = Rng.create (t.seed lxor (104729 * frame)) in
+  for i = 0 to t.eff_particles - 1 do
+    for d = 0 to pose_dim - 1 do
+      st.particles.(i).(d) <-
+        st.estimate.(d) +. Rng.gaussian_scaled frame_rng ~mean:0.0 ~sigma:spawn_sigma
     done;
-    Env.charge_base env (2 * eff_particles);
+    st.weights.(i) <- 1.0 /. float_of_int t.eff_particles
+  done;
+  Env.charge_base env (2 * t.eff_particles)
 
-    for layer = 0 to eff_layers - 1 do
+(* One annealing layer of one frame = one outer iteration. *)
+let step env t =
+  if t.frame >= t.n_frames then false
+  else begin
+    if t.layer = 0 then frame_preamble env t;
+    let frame = t.frame and layer = t.layer in
+    let layers_in = t.layers_in and n_particles_in = t.n_particles_in in
+    let seed = t.seed in
+    let eff_particles = t.eff_particles in
+    let features = t.features in
+    let st = t.fst in
+    begin
       let iter = Env.begin_outer_iter env in
       (* The beta ladder is laid out for the configured layer count, so
          cutting layers (AB3) stops the annealing at a blunter beta. *)
@@ -174,34 +230,41 @@ let run env input =
          set-up) are not approximable and scale with the configured
          particle count. *)
       Env.charge_base env (eff_particles + (8 * n_particles_in))
-    done;
-
-    (* Pose estimate: weighted mean over the final layer's particles. *)
-    let total = ref 0.0 in
-    Array.fill st.estimate 0 pose_dim 0.0;
-    for i = 0 to eff_particles - 1 do
-      total := !total +. st.weights.(i)
-    done;
-    if !total > 1e-12 then
+    end;
+    t.layer <- layer + 1;
+    if t.layer >= t.eff_layers then begin
+      (* Pose estimate: weighted mean over the final layer's particles. *)
+      let total = ref 0.0 in
+      Array.fill st.estimate 0 pose_dim 0.0;
       for i = 0 to eff_particles - 1 do
-        let w = st.weights.(i) /. !total in
-        for d = 0 to pose_dim - 1 do
-          st.estimate.(d) <- st.estimate.(d) +. (w *. st.particles.(i).(d))
+        total := !total +. st.weights.(i)
+      done;
+      if !total > 1e-12 then
+        for i = 0 to eff_particles - 1 do
+          let w = st.weights.(i) /. !total in
+          for d = 0 to pose_dim - 1 do
+            st.estimate.(d) <- st.estimate.(d) +. (w *. st.particles.(i).(d))
+          done
         done
-      done
-    else Array.blit features 0 st.estimate 0 pose_dim;
-    Env.charge_base env eff_particles;
-    Array.blit st.estimate 0 output (frame * pose_dim) pose_dim
-  done;
-  output
+      else Array.blit features 0 st.estimate 0 pose_dim;
+      Env.charge_base env eff_particles;
+      Array.blit st.estimate 0 t.output (frame * pose_dim) pose_dim;
+      t.frame <- frame + 1;
+      t.layer <- 0
+    end;
+    true
+  end
+
+let finish _env t = t.output
 
 let training_inputs =
   Opprox_sim.Inputs.grid [ [ 3.0; 5.0 ]; [ 96.0; 160.0 ]; [ 24.0; 36.0 ] ]
 
 let app =
-  App.make ~name:"bodytrack"
+  App.make_iterative ~name:"bodytrack"
     ~description:"annealed particle filter tracking a synthetic articulated pose"
     ~param_names:[| "n_annealing_layers"; "n_particles"; "n_frames" |]
     ~abs
     ~default_input:[| 4.0; 128.0; 30.0 |]
-    ~training_inputs:(Opprox_sim.Inputs.with_default [| 4.0; 128.0; 30.0 |] training_inputs) ~run ~seed:0xB0D7 ()
+    ~training_inputs:(Opprox_sim.Inputs.with_default [| 4.0; 128.0; 30.0 |] training_inputs)
+    ~init ~step ~finish ~copy ~seed:0xB0D7 ()

@@ -232,28 +232,59 @@ let final_structure env st =
   Env.charge_base env (st.n * st.n);
   out
 
-let run env input =
+type st = { sys : system_state; steps : int; mutable step : int }
+
+let copy st =
+  {
+    st with
+    sys =
+      {
+        st.sys with
+        species = Array.copy st.sys.species;
+        x = Array.copy st.sys.x;
+        y = Array.copy st.sys.y;
+        z = Array.copy st.sys.z;
+        vx = Array.copy st.sys.vx;
+        vy = Array.copy st.sys.vy;
+        vz = Array.copy st.sys.vz;
+        fx = Array.copy st.sys.fx;
+        fy = Array.copy st.sys.fy;
+        fz = Array.copy st.sys.fz;
+      };
+  }
+
+let init_sim env input =
   let cells = Stdlib.max 2 (int_of_float input.(0)) in
   let lattice = Float.max 1.1 input.(1) in
   let steps = Stdlib.max 40 (int_of_float input.(2)) in
   let rng = Rng.split (Env.rng env) in
-  let st = init rng ~cells ~lattice in
-  forces_kernel env st ~iter:0;
-  for step = 1 to steps do
+  let sys = init rng ~cells ~lattice in
+  (* Initial force evaluation happens before the first outer iteration
+     (and thus under phase 0's levels, like the warm-up of the real code). *)
+  forces_kernel env sys ~iter:0;
+  { sys; steps; step = 1 }
+
+let step_sim env st =
+  if st.step > st.steps then false
+  else begin
     let iter = Env.begin_outer_iter env in
-    forces_kernel env st ~iter;
-    integrate_kernel env st ~iter;
-    thermostat env st ~step ~steps
-  done;
-  final_structure env st
+    forces_kernel env st.sys ~iter;
+    integrate_kernel env st.sys ~iter;
+    thermostat env st.sys ~step:st.step ~steps:st.steps;
+    st.step <- st.step + 1;
+    true
+  end
+
+let finish env st = final_structure env st.sys
 
 let training_inputs =
   Opprox_sim.Inputs.grid [ [ 3.0 ]; [ 1.35; 1.5 ]; [ 500.0; 800.0 ] ]
 
 let app =
-  App.make ~name:"comd"
+  App.make_iterative ~name:"comd"
     ~description:"Lennard-Jones molecular dynamics with a fixed-count timestep loop"
     ~param_names:[| "n_unit_cells"; "lattice_parameter"; "n_timesteps" |]
     ~abs
     ~default_input:[| 3.0; 1.4; 800.0 |]
-    ~training_inputs:(Opprox_sim.Inputs.with_default [| 3.0; 1.4; 800.0 |] training_inputs) ~run ~seed:0xC0_4D ()
+    ~training_inputs:(Opprox_sim.Inputs.with_default [| 3.0; 1.4; 800.0 |] training_inputs)
+    ~init:init_sim ~step:step_sim ~finish ~copy ~seed:0xC0_4D ()

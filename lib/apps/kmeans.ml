@@ -39,19 +39,41 @@ let distance2 a b =
   Array.iteri (fun d x -> acc := !acc +. ((x -. b.(d)) *. (x -. b.(d)))) a;
   !acc
 
-let run env input =
+type st = {
+  n : int;
+  k : int;
+  dim : int;
+  points : float array array;
+  assignment : int array;
+  centroids : float array array;
+  mutable continue_ : bool;
+  mutable stable_streak : int;
+}
+
+let copy st =
+  {
+    st with
+    points = Array.map Array.copy st.points;
+    assignment = Array.copy st.assignment;
+    centroids = Array.map Array.copy st.centroids;
+  }
+
+let init env input =
   let n = Stdlib.max 8 (int_of_float input.(0)) in
   let k = Stdlib.max 2 (int_of_float input.(1)) in
   let dim = Stdlib.max 2 (int_of_float input.(2)) in
   let rng = Rng.split (Env.rng env) in
   let points = generate rng ~n ~k ~dim in
   let assignment = Array.make n 0 in
-    (* Deliberately poor initialization (arbitrary points, possibly from the
+  (* Deliberately poor initialization (arbitrary points, possibly from the
      same blob): k-means needs a realistic number of iterations to sort
      itself out, and different perturbations settle in different optima. *)
   let centroids = Array.init k (fun c -> Array.copy points.(c * 37 mod n)) in
-  let continue_ = ref true and stable_streak = ref 0 in
-  while !continue_ do
+  { n; k; dim; points; assignment; centroids; continue_ = true; stable_streak = 0 }
+
+let step env ({ n; k; dim; points; assignment; centroids; _ } as st) =
+  if not st.continue_ then false
+  else begin
     let iter = Env.begin_outer_iter env in
 
     (* AB0: nearest-centroid assignment, perforated over points. *)
@@ -107,10 +129,12 @@ let run env input =
     Env.charge_base env n;
     (* Two consecutive stable samples end the run (a single quiet sample of
        a perforated check is not proof of convergence). *)
-    if not !any_changed then incr stable_streak else stable_streak := 0;
-    if !stable_streak >= 2 || Env.outer_iters env >= max_iters then continue_ := false
-  done;
+    if not !any_changed then st.stable_streak <- st.stable_streak + 1 else st.stable_streak <- 0;
+    if st.stable_streak >= 2 || Env.outer_iters env >= max_iters then st.continue_ <- false;
+    true
+  end
 
+let finish env { n; k; dim; points; assignment; centroids; _ } =
   (* Canonical output: centroids sorted lexicographically, plus inertia. *)
   let order = Array.init k (fun c -> c) in
   Array.sort (fun a b -> compare centroids.(a) centroids.(b)) order;
@@ -127,10 +151,10 @@ let training_inputs =
   Opprox_sim.Inputs.grid [ [ 320.0; 400.0; 500.0 ]; [ 8.0; 10.0 ]; [ 3.0 ] ]
 
 let app =
-  App.make ~name:"kmeans"
+  App.make_iterative ~name:"kmeans"
     ~description:"Lloyd's k-means on Gaussian blobs; assignment-stability convergence loop"
     ~param_names:[| "n_points"; "n_clusters"; "dimension" |]
     ~abs
     ~default_input:[| 400.0; 10.0; 3.0 |]
     ~training_inputs:(Array.append training_inputs [| [| 400.0; 10.0; 3.0 |] |])
-    ~run ~seed:0x63A5 ()
+    ~init ~step ~finish ~copy ~seed:0x63A5 ()

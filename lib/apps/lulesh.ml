@@ -196,30 +196,55 @@ let timeconstraint_kernel env st ~dt_prev ~iter =
   let safety = 1.0 -. (0.03 *. float_of_int level) in
   clamp dt_min dt_max (Float.min (safety *. !best) (1.08 *. dt_prev))
 
-let run env input =
+type sim = { st : state; mutable t : float; mutable dt : float }
+
+let copy sim =
+  {
+    sim with
+    st =
+      {
+        sim.st with
+        x = Array.copy sim.st.x;
+        u = Array.copy sim.st.u;
+        f = Array.copy sim.st.f;
+        du = Array.copy sim.st.du;
+        e = Array.copy sim.st.e;
+        p = Array.copy sim.st.p;
+        q = Array.copy sim.st.q;
+        vol = Array.copy sim.st.vol;
+        gamma = Array.copy sim.st.gamma;
+      };
+  }
+
+let init_sim _env input =
   let cells = int_of_float input.(0) in
   let regions = Stdlib.max 1 (int_of_float input.(1)) in
   if cells < 8 then invalid_arg "Lulesh.run: mesh too small";
-  let st = init ~cells ~regions in
-  let t = ref 0.0 and dt = ref dt_min in
-  while !t < t_end && Env.outer_iters env < max_iters do
+  { st = init ~cells ~regions; t = 0.0; dt = dt_min }
+
+let step env sim =
+  if not (sim.t < t_end && Env.outer_iters env < max_iters) then false
+  else begin
     let iter = Env.begin_outer_iter env in
-    forces_kernel env st ~iter;
-    position_kernel env st !dt ~iter;
-    strain_kernel env st ~iter;
-    dt := timeconstraint_kernel env st ~dt_prev:!dt ~iter;
-    t := !t +. !dt;
+    forces_kernel env sim.st ~iter;
+    position_kernel env sim.st sim.dt ~iter;
+    strain_kernel env sim.st ~iter;
+    sim.dt <- timeconstraint_kernel env sim.st ~dt_prev:sim.dt ~iter;
+    sim.t <- sim.t +. sim.dt;
     (* Non-approximable bookkeeping (reductions, boundary conditions). *)
-    Env.charge_base env (st.n * 4)
-  done;
-  Array.copy st.e
+    Env.charge_base env (sim.st.n * 4);
+    true
+  end
+
+let finish _env sim = Array.copy sim.st.e
 
 let training_inputs = Opprox_sim.Inputs.grid [ [ 40.0; 48.0; 56.0 ]; [ 2.0; 4.0; 8.0 ] ]
 
 let app =
-  App.make ~name:"lulesh"
+  App.make_iterative ~name:"lulesh"
     ~description:"1-D Lagrangian shock hydrodynamics (Sedov blast), Courant-driven outer loop"
     ~param_names:[| "mesh_length"; "n_regions" |]
     ~abs
     ~default_input:[| float_of_int default_cells; 4.0 |]
-    ~training_inputs:(Opprox_sim.Inputs.with_default [| float_of_int default_cells; 4.0 |] training_inputs) ~run ~seed:0x10_1e5 ()
+    ~training_inputs:(Opprox_sim.Inputs.with_default [| float_of_int default_cells; 4.0 |] training_inputs)
+    ~init:init_sim ~step ~finish ~copy ~seed:0x10_1e5 ()

@@ -21,7 +21,6 @@ let c_personal = 1.49
 let c_global = 1.49
 let domain = 5.12
 let max_iters = 600
-let convergence_ratio = 0.02
 let stagnation_window = 25
 let stagnation_epsilon = 0.01
 let ripple = 1.5 (* Rastrigin amplitude; full 10.0 traps the swarm too often *)
@@ -137,53 +136,81 @@ let best_kernel env sw ~iter ~dim =
    drown the approximation effects in restart noise. *)
 let ensemble_size = 6
 
-let run env input =
+type st = {
+  n : int;
+  dim : int;
+  run_seed : int;
+  swarms : swarm array;
+  mutable last_improvement_iter : int;
+  mutable last_best : float;
+  mutable continue_ : bool;
+}
+
+let copy_swarm sw =
+  {
+    pos = Array.map Array.copy sw.pos;
+    vel = Array.map Array.copy sw.vel;
+    att = Array.map Array.copy sw.att;
+    fitness = Array.copy sw.fitness;
+    pbest_pos = Array.map Array.copy sw.pbest_pos;
+    pbest_val = Array.copy sw.pbest_val;
+    gbest_pos = Array.copy sw.gbest_pos;
+    gbest_val = sw.gbest_val;
+  }
+
+let copy st = { st with swarms = Array.map copy_swarm st.swarms }
+
+let mean_best swarms =
+  Array.fold_left (fun acc sw -> acc +. sw.gbest_val) 0.0 swarms /. float_of_int ensemble_size
+
+let init_st env input =
   let n = Stdlib.max 4 (int_of_float input.(0)) in
   let dim = Stdlib.max 2 (int_of_float input.(1)) in
   let init_rng = Rng.split (Env.rng env) in
   let run_seed = Rng.int (Env.rng env) 0x3FFFFFFF in
   let swarms = Array.init ensemble_size (fun _ -> init (Rng.split init_rng) ~n ~dim) in
-  let mean_best () =
-    Array.fold_left (fun acc sw -> acc +. sw.gbest_val) 0.0 swarms
-    /. float_of_int ensemble_size
-  in
-  let target = convergence_ratio *. mean_best () in
-  (* Convergence test: the loop ends when the ensemble-mean best crosses
-     the target, or — once the contracted swarms can no longer improve —
-     when it has stagnated for a window of iterations. *)
-  let last_improvement_iter = ref 0 and last_best = ref (mean_best ()) in
-  let continue_ = ref true in
-  while !continue_ do
+  (* Convergence test: the loop ends once the contracted swarms can no
+     longer improve — when the ensemble-mean best has stagnated for a
+     window of iterations. *)
+  { n; dim; run_seed; swarms; last_improvement_iter = 0; last_best = mean_best swarms; continue_ = true }
+
+let step env st =
+  if not st.continue_ then false
+  else begin
     let iter = Env.begin_outer_iter env in
     (* Per-iteration RNG derived from (seed, iter): approximation cannot
        shift the random stream of later iterations. *)
-    let rng = Rng.create (run_seed + (7919 * iter)) in
+    let rng = Rng.create (st.run_seed + (7919 * iter)) in
     Array.iter
       (fun sw ->
-        fitness_kernel env sw ~iter ~dim;
-        best_kernel env sw ~iter ~dim;
-        velocity_kernel env sw ~iter ~dim rng)
-      swarms;
-    Env.charge_base env n;
-    let best = mean_best () in
-    if best < !last_best *. (1.0 -. stagnation_epsilon) then begin
-      last_best := best;
-      last_improvement_iter := iter
+        fitness_kernel env sw ~iter ~dim:st.dim;
+        best_kernel env sw ~iter ~dim:st.dim;
+        velocity_kernel env sw ~iter ~dim:st.dim rng)
+      st.swarms;
+    Env.charge_base env st.n;
+    let best = mean_best st.swarms in
+    if best < st.last_best *. (1.0 -. stagnation_epsilon) then begin
+      st.last_best <- best;
+      st.last_improvement_iter <- iter
     end;
-    ignore target;
-    if iter - !last_improvement_iter >= stagnation_window || Env.outer_iters env >= max_iters
-    then continue_ := false
-  done;
+    if
+      iter - st.last_improvement_iter >= stagnation_window || Env.outer_iters env >= max_iters
+    then st.continue_ <- false;
+    true
+  end
+
+let finish _env st =
   Array.concat
     (Array.to_list
-       (Array.map (fun sw -> Array.append sw.gbest_pos [| sw.gbest_val |]) swarms))
+       (Array.map (fun sw -> Array.append sw.gbest_pos [| sw.gbest_val |]) st.swarms))
 
 let training_inputs = Opprox_sim.Inputs.grid [ [ 24.0; 40.0 ]; [ 6.0; 8.0; 10.0 ] ]
 
 let app =
-  App.make ~name:"pso"
+  App.make_iterative ~name:"pso"
     ~description:"global-best particle swarm optimization with a convergence-test outer loop"
     ~param_names:[| "swarm_size"; "dimension" |]
     ~abs
     ~default_input:[| 40.0; 8.0 |]
-    ~training_inputs:(Opprox_sim.Inputs.with_default [| 40.0; 8.0 |] training_inputs) ~run ~seed:0x9_50 ()
+    ~training_inputs:(Opprox_sim.Inputs.with_default [| 40.0; 8.0 |] training_inputs)
+    ~init:init_st ~step ~finish ~copy ~seed:0x9_50 ()

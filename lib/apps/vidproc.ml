@@ -196,38 +196,70 @@ let encode env ~q ~prev_filtered ~recon filtered =
   done;
   Env.charge_base env (2 * pixels)
 
-let run env input =
+type st = {
+  n_frames : int;
+  q : float;
+  edge_first : bool;
+  mutable prev_filtered : float array;
+  recon : float array;
+  output : float array;
+  mutable t : int;
+}
+
+let copy st =
+  {
+    st with
+    prev_filtered = Array.copy st.prev_filtered;
+    recon = Array.copy st.recon;
+    output = Array.copy st.output;
+  }
+
+let init _env input =
   let fps = clip 10 60 (int_of_float input.(0)) in
   let duration = clip 1 10 (int_of_float input.(1)) in
   let q = Float.max 1.0 input.(2) in
   let edge_first = int_of_float input.(3) mod 2 = 0 in
   let n_frames = fps * duration in
-  let prev_filtered = ref (Array.make pixels 0.0) in
-  let recon = Array.make pixels 0.0 in
-  let output = Array.make (n_frames * pixels) 0.0 in
-  for t = 0 to n_frames - 1 do
+  {
+    n_frames;
+    q;
+    edge_first;
+    prev_filtered = Array.make pixels 0.0;
+    recon = Array.make pixels 0.0;
+    output = Array.make (n_frames * pixels) 0.0;
+    t = 0;
+  }
+
+let step env st =
+  if st.t >= st.n_frames then false
+  else begin
+    let t = st.t in
     let iter = Env.begin_outer_iter env in
     let frame = generate_frame ~t in
     Env.charge_base env pixels;
     let blurred = blur_kernel env ~iter frame in
     let filtered =
-      if edge_first then deflate_kernel env ~iter (edge_kernel env ~iter blurred)
+      if st.edge_first then deflate_kernel env ~iter (edge_kernel env ~iter blurred)
       else edge_kernel env ~iter (deflate_kernel env ~iter blurred)
     in
-    encode env ~q ~prev_filtered:!prev_filtered ~recon filtered;
-    prev_filtered := filtered;
-    Array.blit recon 0 output (t * pixels) pixels
-  done;
-  output
+    encode env ~q:st.q ~prev_filtered:st.prev_filtered ~recon:st.recon filtered;
+    st.prev_filtered <- filtered;
+    Array.blit st.recon 0 st.output (t * pixels) pixels;
+    st.t <- t + 1;
+    true
+  end
+
+let finish _env st = st.output
 
 let training_inputs =
   Opprox_sim.Inputs.grid
     [ [ 24.0; 30.0 ]; [ 3.0; 4.0 ]; [ 4.0; 10.0 ]; [ 0.0; 1.0 ] ]
 
 let app =
-  App.make ~name:"ffmpeg"
+  App.make_iterative ~name:"ffmpeg"
     ~description:"video filter chain + delta encoder; streaming per-frame outer loop"
     ~param_names:[| "fps"; "duration_s"; "bitrate_q"; "filter_order" |]
     ~abs
     ~default_input:[| 24.0; 4.0; 6.0; 0.0 |]
-    ~training_inputs:(Opprox_sim.Inputs.with_default [| 24.0; 4.0; 6.0; 0.0 |] training_inputs) ~run ~report_metric:App.Psnr ~seed:0xFF_4 ()
+    ~training_inputs:(Opprox_sim.Inputs.with_default [| 24.0; 4.0; 6.0; 0.0 |] training_inputs)
+    ~init ~step ~finish ~copy ~report_metric:App.Psnr ~seed:0xFF_4 ()

@@ -199,6 +199,69 @@ let predict t ~input ~phase ~levels =
     iters_ratio;
   }
 
+(* Compiled per-input predictor: classification, model selection, and
+   regression-model compilation happen once; each call reuses the scratch
+   feature buffers below.  The arithmetic mirrors [predict] exactly, with
+   one redundancy removed: [predict] evaluates the iteration model three
+   times per query (once directly, once inside each overall feature
+   vector) — here it is evaluated once and the identical float reused. *)
+let predictor t ~input =
+  let n_abs = App.n_abs t.app in
+  let n_input = Array.length input in
+  let compiled =
+    Array.map
+      (fun pm ->
+        ( pm,
+          Polyreg.predictor pm.iter_model,
+          Array.map Polyreg.predictor pm.local_speedup,
+          Array.map Polyreg.predictor pm.local_qos,
+          Polyreg.predictor pm.overall_speedup,
+          Polyreg.predictor pm.overall_qos ))
+      (models_for t input)
+  in
+  (* Feature layouts match [iter_features] / [local_features] /
+     [overall_features]: levels (or one level) first, then the input
+     vector, which never changes and is blitted once. *)
+  let iter_feat = Array.make (n_abs + n_input) 0.0 in
+  Array.blit input 0 iter_feat n_abs n_input;
+  let local_feat = Array.make (1 + n_input) 0.0 in
+  Array.blit input 0 local_feat 1 n_input;
+  let overall_feat = Array.make (n_abs + 1) 0.0 in
+  fun ~phase ~levels ->
+    if phase < 0 || phase >= t.n_phases then invalid_arg "Models.predictor: bad phase";
+    if Array.length levels <> n_abs then invalid_arg "Models.predictor: bad levels arity";
+    if Array.for_all (fun l -> l = 0) levels then
+      { speedup = 1.0; qos = 0.0; speedup_lo = 1.0; qos_hi = 0.0; iters_ratio = 1.0 }
+    else begin
+      let pm, iter_p, local_speedup_p, local_qos_p, overall_speedup_p, overall_qos_p =
+        compiled.(phase)
+      in
+      for i = 0 to n_abs - 1 do
+        iter_feat.(i) <- float_of_int levels.(i)
+      done;
+      let iters_ratio = iter_p iter_feat in
+      for ab = 0 to n_abs - 1 do
+        local_feat.(0) <- float_of_int levels.(ab);
+        overall_feat.(ab) <- local_speedup_p.(ab) local_feat
+      done;
+      overall_feat.(n_abs) <- iters_ratio;
+      let speedup = overall_speedup_p overall_feat in
+      for ab = 0 to n_abs - 1 do
+        local_feat.(0) <- float_of_int levels.(ab);
+        overall_feat.(ab) <- local_qos_p.(ab) local_feat
+      done;
+      overall_feat.(n_abs) <- iters_ratio;
+      let log_q = overall_qos_p overall_feat in
+      let speedup = Float.max 0.01 speedup in
+      {
+        speedup;
+        qos = unlog_qos log_q;
+        speedup_lo = Float.max 0.01 (Confidence.lower pm.speedup_ci speedup);
+        qos_hi = unlog_qos (Confidence.upper pm.qos_ci log_q);
+        iters_ratio;
+      }
+    end
+
 let n_phases t = t.n_phases
 let app t = t.app
 

@@ -44,6 +44,17 @@ val predict : t -> input:float array -> phase:int -> levels:int array -> predict
     given AL vector.  Speedup predictions are floored at a small positive
     value and QoS at 0. *)
 
+val predictor : t -> input:float array -> phase:int -> levels:int array -> prediction
+(** [predictor t ~input] hoists everything that does not depend on
+    [(phase, levels)] out of the prediction loop: the control-flow
+    classification of [input], model selection, the compiled regression
+    closures ({!Opprox_ml.Polyreg.predictor}), and the feature scratch
+    buffers.  The returned closure is bit-identical to {!predict} on
+    every query but allocation-free, which is what the optimizer's
+    per-phase enumeration (≤ thousands of configs × phases × sweeps)
+    wants.  The closure owns mutable scratch: do not share one closure
+    between domains. *)
+
 val n_phases : t -> int
 
 val app : t -> Opprox_sim.App.t

@@ -85,15 +85,18 @@ let optimize ?search ?(enumeration_limit = 20000) ~models ~roi ~input ~budget ()
   let n_phases = Models.n_phases models in
   if Array.length roi <> n_phases then invalid_arg "Optimizer.optimize: roi arity mismatch";
   let abs = (Models.app models).App.abs in
-  (* Memoize predictions: the sweeps below re-visit the same (phase,
-     levels) points many times. *)
+  (* Compile the prediction pipeline once per solve: classification,
+     model selection, and all regression scratch buffers are hoisted out
+     of the sweep loops (Models.predictor), and a memo on top absorbs the
+     many re-visits of the same (phase, levels) point across sweeps. *)
+  let predict_compiled = Models.predictor models ~input in
   let cache = Hashtbl.create 4096 in
-  let predict_cached ~input ~phase ~levels =
+  let predict_cached ~input:_ ~phase ~levels =
     let key = (phase, Array.to_list levels) in
     match Hashtbl.find_opt cache key with
     | Some p -> p
     | None ->
-        let p = Models.predict models ~input ~phase ~levels in
+        let p = predict_compiled ~phase ~levels in
         Hashtbl.replace cache key p;
         p
   in

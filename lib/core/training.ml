@@ -34,23 +34,24 @@ type config = {
 
 let default_config = { joint_samples_per_phase = 12; inputs = None; seed = 0xDA7A }
 
-let evaluate_sample ~exact ~classes ~app ~n_phases ~input ~phase levels =
+let evaluate_sample ~classes ~app ~n_phases ~input ~phase levels =
   let sched = Schedule.single_phase_active ~n_phases ~phase levels in
-  let ev = Driver.evaluate ~exact app sched input in
+  (* No [?exact] override: the driver resolves the baseline through its
+     own (warm) exact-run memo, which keeps these evaluations eligible for
+     both the checkpoint path and the whole-evaluation memo. *)
+  let ev = Driver.evaluate app sched input in
   {
     input;
     phase;
     levels;
     speedup = ev.speedup;
     qos = ev.qos_degradation;
-    iters_ratio =
-      float_of_int ev.outer_iters /. float_of_int (Stdlib.max 1 exact.Driver.iters);
+    iters_ratio = float_of_int ev.outer_iters /. float_of_int (Stdlib.max 1 ev.exact_iters);
     trace_class = Cfmodel.class_of_trace classes ev.trace;
   }
 
-(* One simulator run of the sampling plan.  [input_idx] indexes the hoisted
-   per-input exact baseline. *)
-type task = { input_idx : int; input : float array; phase : int; levels : int array }
+(* One simulator run of the sampling plan. *)
+type task = { input : float array; phase : int; levels : int array }
 
 (* The flat sampling plan, in the exact order the sequential nested loops
    used to visit it: input-major, then phase, local sweeps before joint
@@ -60,19 +61,19 @@ type task = { input_idx : int; input : float array; phase : int; levels : int ar
 let sampling_plan ~config ~n_phases ~inputs abs =
   let rng = Rng.create config.seed in
   let tasks = ref [] in
-  Array.iteri
-    (fun input_idx input ->
+  Array.iter
+    (fun input ->
       for phase = 0 to n_phases - 1 do
         (* Exhaustive local sweeps: one AB at a time (paper: "for each AB
            it exhaustively covers the corresponding AL-space, while
            executing all other ABs accurately"). *)
         List.iter
-          (fun (_ab, levels) -> tasks := { input_idx; input; phase; levels } :: !tasks)
+          (fun (_ab, levels) -> tasks := { input; phase; levels } :: !tasks)
           (Config_space.local_sweeps abs);
         (* Sparse random joint samples for the interaction models. *)
         for _ = 1 to config.joint_samples_per_phase do
           let levels = Config_space.random_nonzero rng abs in
-          tasks := { input_idx; input; phase; levels } :: !tasks
+          tasks := { input; phase; levels } :: !tasks
         done
       done)
     inputs;
@@ -82,16 +83,20 @@ let collect ?(config = default_config) ?pool app ~n_phases =
   if n_phases < 1 then invalid_arg "Training.collect: n_phases must be >= 1";
   let inputs = match config.inputs with Some i -> i | None -> app.App.training_inputs in
   (* Hoist the exact baseline: one golden run per input, computed up front
-     (in parallel across inputs) instead of being re-demanded by every
-     local-sweep and joint sample. *)
-  let exacts = Pool.parallel_map ?pool ~chunk:1 (Driver.run_exact app) inputs in
+     (in parallel across inputs) so the driver's exact-run memo is warm
+     before the sampling plan fans out. *)
+  let _exacts : Driver.exact_run array =
+    Pool.parallel_map ?pool ~chunk:1 (Driver.run_exact app) inputs
+  in
   let classes = Cfmodel.build app ~inputs in
+  (* The plan visits phases in ascending order per input, so the first
+     phase-1 run of an input creates the phase-1 boundary checkpoint, the
+     first phase-2 run extends it, and so on — each exact phase prefix is
+     simulated at most once per (input, n_phases). *)
   let plan = sampling_plan ~config ~n_phases ~inputs app.App.abs in
   let samples =
     Pool.parallel_map ?pool
-      (fun t ->
-        evaluate_sample ~exact:exacts.(t.input_idx) ~classes ~app ~n_phases ~input:t.input
-          ~phase:t.phase t.levels)
+      (fun t -> evaluate_sample ~classes ~app ~n_phases ~input:t.input ~phase:t.phase t.levels)
       plan
   in
   Log.info (fun m ->

@@ -36,9 +36,14 @@ val default_config : config
 
 val collect : ?config:config -> ?pool:Opprox_util.Pool.t -> Opprox_sim.App.t -> n_phases:int -> t
 (** Run the instrumented application over the sampling plan.  The exact
-    baseline is executed {e once per input}, up front; every sample in the
-    plan is then evaluated against that hoisted baseline, fanned out over
-    [?pool] (default: {!Opprox_util.Pool.default}).  The plan itself —
+    baseline is executed {e once per input}, up front, warming the
+    driver's exact-run memo; every sample in the plan is then evaluated
+    against that baseline, fanned out over [?pool] (default:
+    {!Opprox_util.Pool.default}).  The plan visits phases in ascending
+    order per input, which is exactly the checkpoint-friendly order: each
+    sample's exact phase prefix is restored from the driver's boundary
+    checkpoints instead of being re-simulated (each prefix is executed at
+    most once per (input, n_phases) at [--jobs 1]).  The plan itself —
     including every random joint configuration — is drawn sequentially
     from [config.seed] before any parallel execution starts, so the
     collected dataset is bit-identical whatever the domain count. *)

@@ -70,14 +70,22 @@ let pow x n =
   in
   go 1.0 x n
 
+let apply_into t raw out =
+  if Array.length raw <> t.arity then invalid_arg "Polyfeat.apply_into: arity mismatch";
+  if Array.length out <> Array.length t.exponents then
+    invalid_arg "Polyfeat.apply_into: output dim mismatch";
+  for m = 0 to Array.length t.exponents - 1 do
+    let expv = t.exponents.(m) in
+    let acc = ref 1.0 in
+    Array.iteri (fun i e -> if e > 0 then acc := !acc *. pow raw.(i) e) expv;
+    out.(m) <- !acc
+  done
+
 let apply t raw =
   if Array.length raw <> t.arity then invalid_arg "Polyfeat.apply: arity mismatch";
-  Array.map
-    (fun expv ->
-      let acc = ref 1.0 in
-      Array.iteri (fun i e -> if e > 0 then acc := !acc *. pow raw.(i) e) expv;
-      !acc)
-    t.exponents
+  let out = Array.make (Array.length t.exponents) 0.0 in
+  apply_into t raw out;
+  out
 
 let design_matrix t rows =
   if Array.length rows = 0 then invalid_arg "Polyfeat.design_matrix: no rows";

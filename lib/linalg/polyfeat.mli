@@ -34,6 +34,13 @@ val apply : t -> float array -> float array
 (** Expand one raw feature vector.  Raises [Invalid_argument] on arity
     mismatch. *)
 
+val apply_into : t -> float array -> float array -> unit
+(** [apply_into t raw out] expands [raw] into the preallocated buffer
+    [out] (length {!output_dim}), allocation-free.  The hot prediction
+    loops reuse one buffer across millions of expansions; see
+    {!Opprox_ml.Polyreg.predictor}.  Raises [Invalid_argument] on arity
+    or output-length mismatch. *)
+
 val design_matrix : t -> float array array -> Matrix.t
 (** Expand a batch of raw feature vectors into a design matrix with one
     expanded row per input row. *)

@@ -287,6 +287,47 @@ let predict t row =
   let proj = Array.of_list (List.map (fun j -> row.(j)) t.selected) in
   predict_body t.body proj
 
+(* Compiled predictor: same arithmetic as [predict] in the same order
+   (clamp, standardize, expand, dot product), but every scratch array is
+   allocated once at compile time and reused across calls. *)
+let single_predictor s =
+  let arity = Array.length s.means in
+  let std = Array.make arity 0.0 in
+  let dim = Array.length s.weights in
+  let expanded = Array.make dim 0.0 in
+  fun row ->
+    for j = 0 to arity - 1 do
+      let clamped = Float.max s.lo.(j) (Float.min s.hi.(j) row.(j)) in
+      std.(j) <- (clamped -. s.means.(j)) /. s.scales.(j)
+    done;
+    Polyfeat.apply_into s.feat std expanded;
+    let acc = ref 0.0 in
+    for i = 0 to dim - 1 do
+      acc := !acc +. (expanded.(i) *. s.weights.(i))
+    done;
+    !acc
+
+let rec body_predictor = function
+  | Constant c -> fun _ -> c
+  | Single s -> single_predictor s
+  | Split { split_feature; cuts; parts } ->
+      let compiled = Array.map body_predictor parts in
+      fun row ->
+        let v = row.(split_feature) in
+        let rec locate i = if i >= Array.length cuts || v <= cuts.(i) then i else locate (i + 1) in
+        compiled.(locate 0) row
+
+let predictor t =
+  let selected = Array.of_list t.selected in
+  let proj = Array.make (Array.length selected) 0.0 in
+  let compiled = body_predictor t.body in
+  fun row ->
+    if Array.length row <> t.arity then invalid_arg "Polyreg.predictor: arity mismatch";
+    for i = 0 to Array.length selected - 1 do
+      proj.(i) <- row.(selected.(i))
+    done;
+    compiled proj
+
 let degree t = t.deg
 let cv_r2 t = t.cv
 let train_r2 t = t.train

@@ -46,6 +46,16 @@ val predict : t -> float array -> float
     even slightly outside the data, and the clamped (constant) continuation
     is the safe behaviour for an optimizer querying edge settings. *)
 
+val predictor : t -> float array -> float
+(** [predictor t] compiles the model into a reusable prediction closure.
+    Bit-identical to {!predict} (same clamp/standardize/expand/dot
+    arithmetic in the same order), but the feature projection, the
+    standardized row, and the expanded monomial vector are allocated once
+    and reused across calls — the optimizer's enumeration calls each model
+    tens of thousands of times per solve.  The closure owns mutable
+    scratch: do not share one closure between domains (compile one per
+    domain instead; compilation is cheap). *)
+
 val degree : t -> int
 (** Degree selected by escalation (max across sub-models). *)
 

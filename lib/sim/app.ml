@@ -1,5 +1,11 @@
 type report_metric = Distortion | Psnr
 
+type instance = {
+  step : unit -> bool;
+  finish : unit -> float array;
+  clone : Env.t -> instance;
+}
+
 type t = {
   name : string;
   description : string;
@@ -8,12 +14,12 @@ type t = {
   default_input : float array;
   training_inputs : float array array;
   run : Env.t -> float array -> float array;
+  iterative : (Env.t -> float array -> instance) option;
   report_metric : report_metric;
   seed : int;
 }
 
-let make ~name ~description ~param_names ~abs ~default_input ~training_inputs ~run
-    ?(report_metric = Distortion) ?seed () =
+let validate ~name ~abs ~param_names ~default_input ~training_inputs =
   if String.length name = 0 then invalid_arg "App.make: empty name";
   if Array.length abs = 0 then invalid_arg "App.make: no approximable blocks";
   let arity = Array.length param_names in
@@ -29,7 +35,11 @@ let make ~name ~description ~param_names ~abs ~default_input ~training_inputs ~r
   in
   check_input "default input" default_input;
   Array.iter (check_input "training input") training_inputs;
-  if Array.length training_inputs = 0 then invalid_arg "App.make: no training inputs";
+  if Array.length training_inputs = 0 then invalid_arg "App.make: no training inputs"
+
+let make ~name ~description ~param_names ~abs ~default_input ~training_inputs ~run
+    ?(report_metric = Distortion) ?seed () =
+  validate ~name ~abs ~param_names ~default_input ~training_inputs;
   let seed = match seed with Some s -> s | None -> Hashtbl.hash name in
   {
     name;
@@ -39,6 +49,42 @@ let make ~name ~description ~param_names ~abs ~default_input ~training_inputs ~r
     default_input;
     training_inputs;
     run;
+    iterative = None;
+    report_metric;
+    seed;
+  }
+
+let make_iterative ~name ~description ~param_names ~abs ~default_input ~training_inputs ~init
+    ~step ~finish ~copy ?(report_metric = Distortion) ?seed () =
+  validate ~name ~abs ~param_names ~default_input ~training_inputs;
+  let seed = match seed with Some s -> s | None -> Hashtbl.hash name in
+  (* The state type is existential from the driver's point of view; closing
+     over it here lets heterogeneous app states live in one checkpoint
+     table without a GADT. *)
+  let rec instance env st =
+    {
+      step = (fun () -> step env st);
+      finish = (fun () -> finish env st);
+      clone = (fun env' -> instance env' (copy st));
+    }
+  in
+  let iterative env input = instance env (init env input) in
+  let run env input =
+    let inst = iterative env input in
+    while inst.step () do
+      ()
+    done;
+    inst.finish ()
+  in
+  {
+    name;
+    description;
+    param_names;
+    abs;
+    default_input;
+    training_inputs;
+    run;
+    iterative = Some iterative;
     report_metric;
     seed;
   }

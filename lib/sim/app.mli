@@ -7,11 +7,36 @@
 
     Inputs are flat parameter vectors; [param_names] gives the vector
     components meaning (e.g. LULESH: mesh length and region count).
-    Outputs are flat float vectors the QoS metrics compare. *)
+    Outputs are flat float vectors the QoS metrics compare.
+
+    Applications built with {!make_iterative} additionally expose their
+    outer loop one iteration at a time through {!instance}, which is what
+    lets the driver snapshot state at phase boundaries and resume
+    mid-run. *)
 
 type report_metric =
   | Distortion  (** percent relative distortion; lower is better *)
   | Psnr  (** PSNR in dB for reporting (video); higher is better *)
+
+type instance = {
+  step : unit -> bool;
+      (** Run exactly one outer-loop iteration and return [true], or return
+          [false] without side effects when the run is already complete.
+          The termination check happens {e before} any work — so stepping a
+          finished instance is a no-op, and a checkpoint taken at a phase
+          boundary that coincides with termination stays valid. *)
+  finish : unit -> float array;
+      (** Produce the output vector.  Must only be called once stepping has
+          returned [false]; may charge base (non-approximable) work. *)
+  clone : Env.t -> instance;
+      (** Deep-copy the application state and bind the copy to a new
+          environment.  The original instance is unaffected; clones evolve
+          independently.  This is what makes a memoized checkpoint safe to
+          resume any number of times. *)
+}
+(** A paused in-flight run.  The state type is hidden inside the closures,
+    so instances of different applications can share one checkpoint
+    table. *)
 
 type t = private {
   name : string;
@@ -21,6 +46,9 @@ type t = private {
   default_input : float array;
   training_inputs : float array array;
   run : Env.t -> float array -> float array;
+  iterative : (Env.t -> float array -> instance) option;
+      (** [Some] for apps built with {!make_iterative}; the driver's
+          checkpoint path requires it and falls back to [run] otherwise. *)
   report_metric : report_metric;
   seed : int;
 }
@@ -37,12 +65,38 @@ val make :
   ?seed:int ->
   unit ->
   t
-(** Validates that there is at least one AB and one parameter, that every
-    input vector matches [param_names]'s arity, and that the default input
-    appears sane (finite values).  [report_metric] defaults to
-    [Distortion]; [seed] defaults to a hash of the name. *)
+(** Opaque-run constructor: the application is a black-box closure and the
+    driver can only execute it from scratch.  Validates that there is at
+    least one AB and one parameter, that every input vector matches
+    [param_names]'s arity, and that the default input appears sane (finite
+    values).  [report_metric] defaults to [Distortion]; [seed] defaults to
+    a hash of the name. *)
+
+val make_iterative :
+  name:string ->
+  description:string ->
+  param_names:string array ->
+  abs:Ab.t array ->
+  default_input:float array ->
+  training_inputs:float array array ->
+  init:(Env.t -> float array -> 'st) ->
+  step:(Env.t -> 'st -> bool) ->
+  finish:(Env.t -> 'st -> float array) ->
+  copy:('st -> 'st) ->
+  ?report_metric:report_metric ->
+  ?seed:int ->
+  unit ->
+  t
+(** Iterative constructor.  [init] builds the mutable loop state (consuming
+    any setup randomness from the environment's RNG), [step] advances one
+    outer iteration per the {!instance} contract, [finish] extracts the
+    output, and [copy] deep-copies the state (every mutable array/ref
+    duplicated — aliasing breaks checkpoint isolation).  [run] is
+    synthesized as init / step-to-completion / finish, so behaviour is
+    identical for callers that never checkpoint. *)
 
 val n_abs : t -> int
+
 val max_levels : t -> int array
 (** Per-AB maximum approximation level. *)
 

@@ -15,20 +15,138 @@ type evaluation = {
   work_per_phase : int array;
 }
 
-(* Exact runs are memoized under a mutex so that pool workers (see
-   Opprox_util.Pool) can share the table.  The key is a stable string —
-   the application name plus the IEEE-754 bits of each input component —
-   rather than a polymorphic (string * float list) pair: cheap to hash,
-   no float-equality surprises, and identical across domains. *)
-let cache : (string, exact_run) Hashtbl.t = Hashtbl.create 64
-let cache_mutex = Mutex.create ()
+type cache_stats = { hits : int; misses : int; size : int }
 
-(* Number of exact executions actually performed (cache misses).  Tests
-   use this to assert that training runs the golden configuration exactly
-   once per input. *)
+(* ------------------------------------------------------------- caches *)
+
+(* Every driver cache follows the same discipline: stable string keys,
+   lookups under a mutex, computation outside it (two domains racing on
+   one key duplicate a deterministic computation instead of serializing
+   every distinct one behind it), FIFO eviction beyond [capacity] so long
+   bench matrices cannot grow memory without limit. *)
+module Bounded = struct
+  type 'a t = {
+    table : (string, 'a) Hashtbl.t;
+    order : string Queue.t;  (* insertion order; keys unique *)
+    mutable capacity : int;
+    mutex : Mutex.t;
+  }
+
+  let create capacity =
+    { table = Hashtbl.create 64; order = Queue.create (); capacity; mutex = Mutex.create () }
+
+  let find t key =
+    Mutex.lock t.mutex;
+    let r = Hashtbl.find_opt t.table key in
+    Mutex.unlock t.mutex;
+    r
+
+  let trim_locked t =
+    while Queue.length t.order > t.capacity do
+      Hashtbl.remove t.table (Queue.pop t.order)
+    done
+
+  (* Returns [true] iff the binding was inserted (first writer wins). *)
+  let add t key v =
+    Mutex.lock t.mutex;
+    let inserted =
+      if Hashtbl.mem t.table key then false
+      else begin
+        Hashtbl.replace t.table key v;
+        Queue.push key t.order;
+        trim_locked t;
+        Hashtbl.mem t.table key
+      end
+    in
+    Mutex.unlock t.mutex;
+    inserted
+
+  let clear t =
+    Mutex.lock t.mutex;
+    Hashtbl.reset t.table;
+    Queue.clear t.order;
+    Mutex.unlock t.mutex
+
+  let size t =
+    Mutex.lock t.mutex;
+    let n = Hashtbl.length t.table in
+    Mutex.unlock t.mutex;
+    n
+
+  let set_capacity t n =
+    if n < 0 then invalid_arg "Driver: cache capacity must be >= 0";
+    Mutex.lock t.mutex;
+    t.capacity <- n;
+    trim_locked t;
+    Mutex.unlock t.mutex
+end
+
+(* Exact runs are pure functions of (application, input); the memo is
+   unbounded like in previous revisions (one entry per distinct input). *)
+let exact_cache : exact_run Bounded.t = Bounded.create max_int
+
+(* Exact phase-boundary checkpoints: the paused state of the golden
+   trajectory at the first iteration of phase q, keyed by
+   (app, input, n_phases, q). *)
+type checkpoint = {
+  snap : Env.snapshot;
+  frozen : App.instance;  (* never stepped; cloned once per resume *)
+}
+
+let checkpoint_cache : checkpoint Bounded.t = Bounded.create 512
+
+(* Full-evaluation memo: schedules repeat across training sweeps, oracle
+   probes and bench matrices, and an evaluation is a pure function of
+   (app, input, schedule). *)
+let eval_cache : evaluation Bounded.t = Bounded.create 4096
+
+let checkpointing_on = Atomic.make true
+let eval_cache_on = Atomic.make true
+let set_checkpointing b = Atomic.set checkpointing_on b
+let set_eval_cache b = Atomic.set eval_cache_on b
+let set_checkpoint_capacity n = Bounded.set_capacity checkpoint_cache n
+let set_eval_cache_capacity n = Bounded.set_capacity eval_cache n
+
+(* Counters are atomics so pool workers can bump them without the cache
+   mutexes; tests and benches assert reuse against them instead of
+   inferring it from wall-clock. *)
 let exact_executions = Atomic.make 0
+let exact_hits = Atomic.make 0
+let ckpt_hits = Atomic.make 0
+let ckpt_misses = Atomic.make 0
+let ckpt_saves = Atomic.make 0
+let eval_hits = Atomic.make 0
+let eval_misses = Atomic.make 0
 let exact_run_count () = Atomic.get exact_executions
 let reset_exact_run_count () = Atomic.set exact_executions 0
+
+let exact_cache_stats () =
+  {
+    hits = Atomic.get exact_hits;
+    misses = Atomic.get exact_executions;
+    size = Bounded.size exact_cache;
+  }
+
+let checkpoint_stats () =
+  {
+    hits = Atomic.get ckpt_hits;
+    misses = Atomic.get ckpt_misses;
+    size = Bounded.size checkpoint_cache;
+  }
+
+let eval_cache_stats () =
+  { hits = Atomic.get eval_hits; misses = Atomic.get eval_misses; size = Bounded.size eval_cache }
+
+let checkpoint_save_count () = Atomic.get ckpt_saves
+
+let reset_cache_stats () =
+  Atomic.set exact_executions 0;
+  Atomic.set exact_hits 0;
+  Atomic.set ckpt_hits 0;
+  Atomic.set ckpt_misses 0;
+  Atomic.set ckpt_saves 0;
+  Atomic.set eval_hits 0;
+  Atomic.set eval_misses 0
 
 let input_key (app : App.t) input =
   let b = Buffer.create 64 in
@@ -40,15 +158,29 @@ let input_key (app : App.t) input =
     input;
   Buffer.contents b
 
-let clear_cache () =
-  Mutex.lock cache_mutex;
-  Hashtbl.reset cache;
-  Mutex.unlock cache_mutex
+let clear_cache () = Bounded.clear exact_cache
+let clear_checkpoints () = Bounded.clear checkpoint_cache
+let clear_eval_cache () = Bounded.clear eval_cache
+
+let clear_all_caches () =
+  clear_cache ();
+  clear_checkpoints ();
+  clear_eval_cache ()
 
 let seed_for (app : App.t) input =
   (* Same seed for exact and approximate runs of one input: QoS differences
-     must come from the approximation alone, not from RNG divergence. *)
-  app.seed lxor Hashtbl.hash (Array.to_list input)
+     must come from the approximation alone, not from RNG divergence.  The
+     seed folds the IEEE-754 bits of every component through SplitMix64's
+     finaliser, so it is stable across OCaml versions and processes —
+     unlike [Hashtbl.hash], whose output depends on the runtime's internal
+     value representation. *)
+  let h =
+    Array.fold_left
+      (fun acc x -> Rng.mix64 (Int64.logxor acc (Int64.bits_of_float x)))
+      (Rng.mix64 (Int64.of_int app.seed))
+      input
+  in
+  Int64.to_int h land max_int
 
 let execute (app : App.t) sched ~expected_iters input =
   let rng = Rng.create (seed_for app input) in
@@ -58,18 +190,11 @@ let execute (app : App.t) sched ~expected_iters input =
 
 let run_exact (app : App.t) input =
   let key = input_key app input in
-  let cached =
-    Mutex.lock cache_mutex;
-    let r = Hashtbl.find_opt cache key in
-    Mutex.unlock cache_mutex;
-    r
-  in
-  match cached with
-  | Some r -> r
+  match Bounded.find exact_cache key with
+  | Some r ->
+      Atomic.incr exact_hits;
+      r
   | None ->
-      (* Computed outside the lock: two domains racing on the same input
-         duplicate a deterministic run instead of serializing every
-         distinct one behind it. *)
       Atomic.incr exact_executions;
       let sched = Schedule.exact ~n_abs:(App.n_abs app) in
       let env, output = execute app sched ~expected_iters:0 input in
@@ -81,21 +206,116 @@ let run_exact (app : App.t) input =
           trace = Env.trace env;
         }
       in
-      Mutex.lock cache_mutex;
-      if not (Hashtbl.mem cache key) then Hashtbl.replace cache key r;
-      Mutex.unlock cache_mutex;
+      ignore (Bounded.add exact_cache key r);
       r
 
-let evaluate ?exact (app : App.t) sched input =
-  if Schedule.n_abs sched <> App.n_abs app then
-    invalid_arg "Driver.evaluate: schedule AB count mismatch";
-  let exact = match exact with Some e -> e | None -> run_exact app input in
-  let env, output = execute app sched ~expected_iters:exact.iters input in
+(* ------------------------------------------------- checkpointed path *)
+
+(* First iteration of phase [q] under [n] phases and [i_total] exact
+   iterations: the smallest [k] with [k * n / i_total = q], i.e.
+   [ceil (q * i_total / n)].  The state of any schedule with an exact
+   prefix covering phases [0 .. q-1] is bit-identical to the golden
+   trajectory up to (not including) this iteration. *)
+let boundary_iter ~n_phases ~i_total q = ((q * i_total) + n_phases - 1) / n_phases
+
+(* Run [app] under [sched], restoring the deepest cached exact-prefix
+   checkpoint and saving any boundary checkpoints the run passes through.
+   Returns [None] when no phase boundary is reusable (no exact prefix,
+   single phase, or a zero-iteration exact run) — the caller then takes
+   the scratch path. *)
+let execute_checkpointed (app : App.t) mk sched ~(exact : exact_run) input =
+  let n = Schedule.n_phases sched in
+  let i_total = exact.iters in
+  let boundary q = boundary_iter ~n_phases:n ~i_total q in
+  let q_max =
+    (* Deepest boundary inside the exact prefix; phase [n-1] has no
+       boundary after it, and boundaries at iteration 0 are the scratch
+       state — nothing to reuse there. *)
+    let rec shrink q = if q >= 1 && boundary q = 0 then shrink (q - 1) else q in
+    shrink (Stdlib.min (Schedule.exact_prefix sched) (n - 1))
+  in
+  if q_max < 1 then None
+  else begin
+    let base = input_key app input in
+    let key q = Printf.sprintf "%s#%d#%d" base n q in
+    let rec lookup q =
+      if q < 1 then None
+      else
+        match Bounded.find checkpoint_cache (key q) with
+        | Some c -> Some (q, c)
+        | None -> lookup (q - 1)
+    in
+    let env, inst, q_start =
+      match lookup q_max with
+      | Some (q, c) ->
+          Atomic.incr ckpt_hits;
+          let env = Env.resume c.snap ~sched ~expected_iters:i_total in
+          (env, c.frozen.App.clone env, q)
+      | None ->
+          Atomic.incr ckpt_misses;
+          let rng = Rng.create (seed_for app input) in
+          let env = Env.create ~rng ~sched ~expected_iters:i_total ~n_abs:(App.n_abs app) in
+          (env, (mk env input : App.instance), 0)
+    in
+    (* Drive through each missing boundary up to [q_max], freezing a
+       checkpoint at each.  The frozen instance is bound to a throwaway
+       resumed environment and never stepped; each future resume clones
+       it again, so concurrent and repeated resumes cannot alias state. *)
+    for q = q_start + 1 to q_max do
+      let b = boundary q in
+      let running = ref true in
+      while !running && Env.outer_iters env < b do
+        running := inst.App.step ()
+      done;
+      if Env.outer_iters env = b then begin
+        let snap = Env.snapshot env in
+        let frozen = inst.App.clone (Env.resume snap ~sched ~expected_iters:i_total) in
+        if Bounded.add checkpoint_cache (key q) { snap; frozen } then Atomic.incr ckpt_saves
+      end
+    done;
+    while inst.App.step () do
+      ()
+    done;
+    Some (env, inst.App.finish ())
+  end
+
+let run_sched (app : App.t) sched ~exact input =
+  let via_checkpoint =
+    if Atomic.get checkpointing_on then
+      match app.iterative with
+      | Some mk -> execute_checkpointed app mk sched ~exact input
+      | None -> None
+    else None
+  in
+  match via_checkpoint with
+  | Some r -> r
+  | None -> execute app sched ~expected_iters:exact.iters input
+
+(* ------------------------------------------------------- evaluation *)
+
+let sched_key sched =
+  let b = Buffer.create 32 in
+  for p = 0 to Schedule.n_phases sched - 1 do
+    Buffer.add_char b ';';
+    Array.iter
+      (fun l ->
+        Buffer.add_char b ',';
+        Buffer.add_string b (string_of_int l))
+      (Schedule.levels_of_phase sched p)
+  done;
+  Buffer.contents b
+
+(* The per-AB / per-phase arrays are fresh per call even on a memo hit, so
+   a caller mutating its result cannot corrupt the cache. *)
+let copy_evaluation ev =
+  { ev with work_per_ab = Array.copy ev.work_per_ab; work_per_phase = Array.copy ev.work_per_phase }
+
+let compute_evaluation (app : App.t) sched ~(exact : exact_run) input =
+  let env, output = run_sched app sched ~exact input in
   let work = Env.total_work env in
   let psnr, qos_degradation =
     match app.report_metric with
-    | App.Distortion ->
-        (None, Qos.relative_distortion ~exact:exact.output ~approx:output)
+    | App.Distortion -> (None, Qos.relative_distortion ~exact:exact.output ~approx:output)
     | App.Psnr ->
         let p = Qos.psnr ~exact:exact.output ~approx:output in
         (Some p, Qos.psnr_to_degradation p)
@@ -113,5 +333,28 @@ let evaluate ?exact (app : App.t) sched input =
     work_per_phase = Env.work_per_phase env;
   }
 
-let evaluate_uniform app levels input =
-  evaluate app (Schedule.uniform ~n_phases:1 levels) input
+let evaluate ?exact (app : App.t) sched input =
+  if Schedule.n_abs sched <> App.n_abs app then
+    invalid_arg "Driver.evaluate: schedule AB count mismatch";
+  match exact with
+  | Some e ->
+      (* A caller-supplied baseline may differ from the memoized exact run
+         (tests do this); such evaluations bypass the memo entirely. *)
+      compute_evaluation app sched ~exact:e input
+  | None ->
+      if not (Atomic.get eval_cache_on) then
+        compute_evaluation app sched ~exact:(run_exact app input) input
+      else begin
+        let key = input_key app input ^ sched_key sched in
+        match Bounded.find eval_cache key with
+        | Some ev ->
+            Atomic.incr eval_hits;
+            copy_evaluation ev
+        | None ->
+            Atomic.incr eval_misses;
+            let ev = compute_evaluation app sched ~exact:(run_exact app input) input in
+            ignore (Bounded.add eval_cache key (copy_evaluation ev));
+            ev
+      end
+
+let evaluate_uniform app levels input = evaluate app (Schedule.uniform ~n_phases:1 levels) input

@@ -6,9 +6,22 @@
     runs whose phase boundaries are derived from the exact iteration count,
     and score them against the golden output.
 
-    Exact runs are memoized per (application, input) — they are pure
-    functions of both — so repeated experiments do not pay for re-running
-    the golden configuration. *)
+    Three memo layers avoid re-simulating deterministic work, all
+    domain-safe (mutex + stable string keys) and observable through
+    {!cache_stats}:
+
+    - {b exact runs} per (application, input) — unbounded, one entry per
+      distinct input;
+    - {b exact phase-boundary checkpoints} per (application, input,
+      n_phases, boundary phase): the paused golden trajectory at the first
+      iteration of a phase.  A schedule whose leading phases are all exact
+      (e.g. the training sampler's single-phase-active probes) resumes from
+      the deepest cached boundary instead of re-simulating the prefix;
+    - {b whole evaluations} per (application, input, schedule).
+
+    The determinism contract is hard: a resumed run is bit-identical to
+    the scratch run — output, work units, outer iterations and trace — so
+    caching is observable only through the counters and the clock. *)
 
 type exact_run = {
   output : float array;
@@ -36,14 +49,66 @@ val run_exact : App.t -> float array -> exact_run
 val evaluate : ?exact:exact_run -> App.t -> Schedule.t -> float array -> evaluation
 (** [evaluate app sched input] runs [app] on [input] under [sched] and
     scores it against the exact run (computed, or supplied via [?exact] to
-    bypass the cache).  The schedule's AB count must match the app's. *)
+    bypass the cache).  The schedule's AB count must match the app's.
+
+    When the app is iterative and the schedule has a non-empty exact phase
+    prefix, the run resumes from a memoized checkpoint when one exists and
+    saves the boundary checkpoints it passes through.  Evaluations with
+    [?exact] omitted are additionally memoized whole; a caller-supplied
+    baseline bypasses that memo (the result depends on the baseline). *)
 
 val evaluate_uniform : App.t -> int array -> float array -> evaluation
 (** Phase-agnostic convenience: apply one AL vector for the whole run. *)
 
+(** {2 Cache control and observability} *)
+
+type cache_stats = {
+  hits : int;  (** lookups served from the cache *)
+  misses : int;  (** lookups that fell through to real execution *)
+  size : int;  (** entries currently resident *)
+}
+
 val clear_cache : unit -> unit
 (** Drop memoized exact runs (used by timing benchmarks).  Safe to call
     concurrently with lookups from other domains. *)
+
+val clear_checkpoints : unit -> unit
+(** Drop memoized phase-boundary checkpoints. *)
+
+val clear_eval_cache : unit -> unit
+(** Drop memoized whole evaluations. *)
+
+val clear_all_caches : unit -> unit
+(** All three of the above. *)
+
+val set_checkpointing : bool -> unit
+(** Enable/disable checkpoint reuse (default on).  Disabling forces every
+    run down the scratch path — the bit-identity tests and the scratch arm
+    of the checkpoint benchmarks rely on it. *)
+
+val set_eval_cache : bool -> unit
+(** Enable/disable the whole-evaluation memo (default on). *)
+
+val set_checkpoint_capacity : int -> unit
+(** Bound the checkpoint table (FIFO eviction; default 512 entries).
+    Lowering the capacity evicts immediately. *)
+
+val set_eval_cache_capacity : int -> unit
+(** Bound the evaluation memo (FIFO eviction; default 4096 entries). *)
+
+val exact_cache_stats : unit -> cache_stats
+val checkpoint_stats : unit -> cache_stats
+(** A miss is counted only when checkpointing {e applied} (iterative app,
+    exact prefix covering at least one boundary iteration) but no boundary
+    was cached — i.e. exactly one of hit/miss per checkpointable run. *)
+
+val eval_cache_stats : unit -> cache_stats
+
+val checkpoint_save_count : unit -> int
+(** Boundary checkpoints actually inserted (first writer per key). *)
+
+val reset_cache_stats : unit -> unit
+(** Zero every hit/miss/save counter (cache contents are untouched). *)
 
 val exact_run_count : unit -> int
 (** Number of exact executions actually performed by this process (cache
@@ -58,5 +123,8 @@ val input_key : App.t -> float array -> string
     with {!Oracle}'s measured-space memo. *)
 
 val seed_for : App.t -> float array -> int
-(** The deterministic RNG seed the driver uses for a given input; exposed
-    so tests can reproduce runs. *)
+(** The deterministic RNG seed the driver uses for a given input: the
+    app seed and the IEEE-754 bits of every input component folded through
+    SplitMix64's finaliser.  Stable across processes and OCaml versions
+    (no dependence on [Hashtbl.hash]); exposed so tests can reproduce
+    runs. *)

@@ -56,6 +56,50 @@ let charge_base t n =
   Workmeter.add t.meter n;
   t.work_per_phase.(t.phase) <- t.work_per_phase.(t.phase) + n
 
+(* A snapshot freezes every piece of per-run mutable state — RNG position,
+   meter, per-AB/per-phase work, trace, iteration and phase counters — so a
+   run can later be resumed bit-identically under a different schedule with
+   the same shape (n_phases, n_abs, expected_iters). *)
+type snapshot = {
+  s_rng : Rng.t;
+  s_total : int;
+  s_work_per_ab : int array;
+  s_work_per_phase : int array;
+  s_trace_rev : int list;
+  s_iters : int;
+  s_phase : int;
+}
+
+let snapshot t =
+  {
+    s_rng = Rng.copy t.rng;
+    s_total = Workmeter.total t.meter;
+    s_work_per_ab = Array.copy t.work_per_ab;
+    s_work_per_phase = Array.copy t.work_per_phase;
+    s_trace_rev = t.trace_rev;
+    s_iters = t.iters;
+    s_phase = t.phase;
+  }
+
+let resume snap ~sched ~expected_iters =
+  if Array.length snap.s_work_per_ab <> Schedule.n_abs sched then
+    invalid_arg "Env.resume: schedule AB count mismatch";
+  if Array.length snap.s_work_per_phase <> Schedule.n_phases sched then
+    invalid_arg "Env.resume: schedule phase count mismatch";
+  let meter = Workmeter.create () in
+  Workmeter.add meter snap.s_total;
+  {
+    rng = Rng.copy snap.s_rng;
+    sched;
+    expected_iters;
+    meter;
+    work_per_ab = Array.copy snap.s_work_per_ab;
+    work_per_phase = Array.copy snap.s_work_per_phase;
+    trace_rev = snap.s_trace_rev;
+    iters = snap.s_iters;
+    phase = snap.s_phase;
+  }
+
 let total_work t = Workmeter.total t.meter
 let work_of_ab t ab = t.work_per_ab.(ab)
 let work_per_phase t = Array.copy t.work_per_phase

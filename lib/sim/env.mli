@@ -54,3 +54,19 @@ val trace : t -> int list
 
 val current_phase : t -> int
 (** Phase of the most recently begun outer iteration. *)
+
+type snapshot
+(** Immutable copy of all per-run mutable state: RNG position, work meter,
+    per-AB and per-phase work, trace, and the iteration/phase counters. *)
+
+val snapshot : t -> snapshot
+(** Capture the environment's state.  The snapshot is independent of the
+    live environment: further stepping does not affect it. *)
+
+val resume : snapshot -> sched:Schedule.t -> expected_iters:int -> t
+(** Rebuild a live environment from a snapshot under a (possibly different)
+    schedule of the same shape.  Raises [Invalid_argument] if the schedule's
+    AB or phase count differs from the snapshot's.  The caller is
+    responsible for [expected_iters] matching the original run's (checkpoint
+    reuse relies on it).  Each call returns a fresh environment; resuming
+    the same snapshot repeatedly is safe. *)

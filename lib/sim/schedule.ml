@@ -43,6 +43,13 @@ let phase_of_iter t ~expected_iters ~iter =
 
 let is_exact t = Array.for_all (fun row -> Array.for_all (fun l -> l = 0) row) t.levels
 
+let exact_prefix t =
+  let n = n_phases t in
+  let rec go p =
+    if p < n && Array.for_all (fun l -> l = 0) t.levels.(p) then go (p + 1) else p
+  in
+  go 0
+
 let equal a b = a.levels = b.levels
 
 let pp ppf t =

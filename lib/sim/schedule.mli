@@ -41,5 +41,11 @@ val phase_of_iter : t -> expected_iters:int -> iter:int -> int
 val is_exact : t -> bool
 (** True when every level in every phase is 0. *)
 
+val exact_prefix : t -> int
+(** Number of leading phases whose levels are all 0.  Equals [n_phases t]
+    iff the schedule is exact.  A run of such a schedule follows the exact
+    run's trajectory bit-for-bit until the first iteration of the first
+    non-exact phase — the property the driver's checkpoint reuse rests on. *)
+
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

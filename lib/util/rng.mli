@@ -24,6 +24,11 @@ val split : t -> t
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 
+val mix64 : int64 -> int64
+(** SplitMix64 finaliser: two xor-shift-multiply rounds.  Stateless; useful
+    for deriving stable hashes/seeds from raw 64-bit payloads (e.g. IEEE-754
+    bit patterns) without depending on [Hashtbl.hash]'s representation. *)
+
 val int : t -> int -> int
 (** [int t bound] is uniform in [\[0, bound)].  Requires [bound > 0]. *)
 

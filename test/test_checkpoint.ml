@@ -1,0 +1,286 @@
+(* Checkpointed simulation: the determinism contract and the cache
+   accounting.
+
+   The hard property is bit-identity: a run resumed from an exact
+   phase-boundary checkpoint must be indistinguishable — output-derived
+   QoS, work units, outer iterations, trace, per-AB and per-phase work —
+   from the same run executed from scratch, for every app, schedule and
+   phase count.  QCheck drives that per app over random single-phase-active
+   schedules (the training sampler's shape, which is exactly what the
+   checkpoint path accelerates). *)
+
+module App = Opprox_sim.App
+module Env = Opprox_sim.Env
+module Driver = Opprox_sim.Driver
+module Schedule = Opprox_sim.Schedule
+module Rng = Opprox_util.Rng
+module Pool = Opprox_util.Pool
+module Training = Opprox.Training
+open Fixtures
+
+(* Restore the driver's global switches whatever a test does. *)
+let with_driver_flags ~checkpointing ~eval_cache f =
+  Fun.protect
+    ~finally:(fun () ->
+      Driver.set_checkpointing true;
+      Driver.set_eval_cache true)
+    (fun () ->
+      Driver.set_checkpointing checkpointing;
+      Driver.set_eval_cache eval_cache;
+      f ())
+
+(* Small inputs keep the per-case simulation cost of the QCheck properties
+   in the milliseconds while still running tens of outer iterations. *)
+let small_input (app : App.t) =
+  match app.App.name with
+  | "lulesh" -> [| 8.0; 2.0 |]
+  | "ffmpeg" -> [| 10.0; 1.0; 4.0; 0.0 |]
+  | "bodytrack" -> [| 2.0; 16.0; 3.0 |]
+  | "pso" -> [| 6.0; 3.0 |]
+  | "comd" -> [| 2.0; 1.35; 60.0 |]
+  | "kmeans" -> [| 24.0; 3.0; 2.0 |]
+  | _ -> app.App.default_input
+
+let eval_equal (a : Driver.evaluation) (b : Driver.evaluation) =
+  a.qos_degradation = b.qos_degradation
+  && a.psnr = b.psnr && a.speedup = b.speedup && a.work = b.work
+  && a.outer_iters = b.outer_iters && a.exact_iters = b.exact_iters && a.trace = b.trace
+  && a.work_per_ab = b.work_per_ab && a.work_per_phase = b.work_per_phase
+
+(* Random (n_phases, phase, levels) case for one app. *)
+let gen_case (app : App.t) =
+  let open QCheck.Gen in
+  let levels_gen =
+    flatten_l (Array.to_list (Array.map (fun m -> int_range 0 m) (App.max_levels app)))
+  in
+  int_range 2 5 >>= fun n_phases ->
+  int_range 0 (n_phases - 1) >>= fun phase ->
+  levels_gen >>= fun levels -> return (n_phases, phase, Array.of_list levels)
+
+let print_case (n_phases, phase, levels) =
+  Printf.sprintf "n_phases=%d phase=%d levels=[%s]" n_phases phase
+    (String.concat ";" (Array.to_list (Array.map string_of_int levels)))
+
+let resume_equals_scratch (app : App.t) =
+  qcheck_case ~count:8
+    (Printf.sprintf "%s: checkpoint-resume = scratch" app.App.name)
+    (QCheck.make ~print:print_case (gen_case app))
+    (fun (n_phases, phase, levels) ->
+      let input = small_input app in
+      let sched = Schedule.single_phase_active ~n_phases ~phase levels in
+      with_driver_flags ~checkpointing:false ~eval_cache:false (fun () ->
+          Driver.clear_checkpoints ();
+          let scratch = Driver.evaluate app sched input in
+          Driver.set_checkpointing true;
+          let before = Driver.checkpoint_stats () in
+          (* First checkpointed run saves the boundary checkpoints ... *)
+          let cold = Driver.evaluate app sched input in
+          (* ... the second resumes from the deepest one. *)
+          let warm = Driver.evaluate app sched input in
+          let after = Driver.checkpoint_stats () in
+          let reuse_observed =
+            (* Any phase > 0 schedule has a non-empty exact prefix, so the
+               warm run must have resumed (and the cold one missed). *)
+            if phase = 0 then true
+            else after.Driver.hits > before.Driver.hits && after.Driver.misses > before.Driver.misses
+          in
+          eval_equal scratch cold && eval_equal scratch warm && reuse_observed))
+
+let all_apps = Opprox_apps.Registry.all
+
+(* ------------------------------------------------------------------ *)
+
+(* Exact schedules driven through the checkpoint path reproduce the golden
+   run itself. *)
+let test_exact_schedule_via_checkpoints () =
+  let app = Opprox_apps.Registry.find "comd" in
+  let input = small_input app in
+  with_driver_flags ~checkpointing:true ~eval_cache:false (fun () ->
+      Driver.clear_checkpoints ();
+      let exact = Driver.run_exact app input in
+      let ev =
+        Driver.evaluate app (Schedule.uniform ~n_phases:4 [| 0; 0; 0 |]) input
+      in
+      check_float "exact schedule degrades nothing" 0.0 ev.Driver.qos_degradation;
+      check_int "exact schedule work" exact.Driver.work ev.Driver.work;
+      check_int "exact schedule iters" exact.Driver.iters ev.Driver.outer_iters)
+
+(* Opaque apps (no iterative form) silently fall back to scratch. *)
+let test_opaque_fallback () =
+  with_driver_flags ~checkpointing:true ~eval_cache:false (fun () ->
+      Driver.clear_checkpoints ();
+      Driver.reset_cache_stats ();
+      let sched = Schedule.single_phase_active ~n_phases:4 ~phase:2 [| 1; 1 |] in
+      let ev1 = Driver.evaluate toy sched toy.App.default_input in
+      let ev2 = Driver.evaluate toy sched toy.App.default_input in
+      let stats = Driver.checkpoint_stats () in
+      check_bool "toy runs agree" true (eval_equal ev1 ev2);
+      check_int "no checkpoint activity for opaque app" 0 (stats.Driver.hits + stats.Driver.misses);
+      check_int "no checkpoints saved for opaque app" 0 stats.Driver.size)
+
+let test_checkpoint_capacity_and_clear () =
+  let app = Opprox_apps.Registry.find "kmeans" in
+  let input = small_input app in
+  with_driver_flags ~checkpointing:true ~eval_cache:false (fun () ->
+      Driver.clear_checkpoints ();
+      Fun.protect
+        ~finally:(fun () -> Driver.set_checkpoint_capacity 512)
+        (fun () ->
+          Driver.set_checkpoint_capacity 1;
+          let sched = Schedule.single_phase_active ~n_phases:4 ~phase:3 [| 1; 0; 0 |] in
+          let scratch =
+            Driver.set_checkpointing false;
+            Driver.evaluate app sched input
+          in
+          Driver.set_checkpointing true;
+          let capped = Driver.evaluate app sched input in
+          let stats = Driver.checkpoint_stats () in
+          check_bool "capped run bit-identical" true (eval_equal scratch capped);
+          check_bool "capacity bound respected" true (stats.Driver.size <= 1);
+          Driver.set_checkpoint_capacity 512;
+          ignore (Driver.evaluate app sched input);
+          check_bool "capacity raise allows growth" true
+            ((Driver.checkpoint_stats ()).Driver.size >= 1);
+          Driver.clear_checkpoints ();
+          check_int "clear empties the table" 0 (Driver.checkpoint_stats ()).Driver.size))
+
+let test_eval_cache_hits () =
+  let app = Opprox_apps.Registry.find "kmeans" in
+  let input = small_input app in
+  let sched = Schedule.single_phase_active ~n_phases:3 ~phase:1 [| 2; 1; 0 |] in
+  with_driver_flags ~checkpointing:true ~eval_cache:true (fun () ->
+      Driver.clear_eval_cache ();
+      Driver.reset_cache_stats ();
+      let ev1 = Driver.evaluate app sched input in
+      let ev2 = Driver.evaluate app sched input in
+      let stats = Driver.eval_cache_stats () in
+      check_bool "memoized evaluation identical" true (eval_equal ev1 ev2);
+      check_int "one miss" 1 stats.Driver.misses;
+      check_int "one hit" 1 stats.Driver.hits;
+      (* Mutating a returned evaluation must not corrupt the memo. *)
+      ev2.Driver.work_per_ab.(0) <- -1;
+      let ev3 = Driver.evaluate app sched input in
+      check_bool "memo unaffected by caller mutation" true (eval_equal ev1 ev3);
+      (* A caller-supplied baseline bypasses the memo. *)
+      let exact = Driver.run_exact app input in
+      let before = (Driver.eval_cache_stats ()).Driver.hits in
+      ignore (Driver.evaluate ~exact app sched input);
+      check_int "?exact bypasses the memo" before (Driver.eval_cache_stats ()).Driver.hits)
+
+(* The stable seed: a pure function of the app seed and the input's
+   IEEE-754 bits, identical across processes and OCaml versions.  The
+   literal below is the contract — if it moves, stored training sets and
+   golden outputs silently re-randomize. *)
+let test_seed_for_stable () =
+  let s = Driver.seed_for toy [| 1.5 |] in
+  check_int "seed_for is reproducible" s (Driver.seed_for toy [| 1.5 |]);
+  check_bool "seed_for separates inputs" true (s <> Driver.seed_for toy [| 1.0 |]);
+  check_bool "seed_for is non-negative" true (s >= 0);
+  let expected =
+    let h =
+      Array.fold_left
+        (fun acc x -> Rng.mix64 (Int64.logxor acc (Int64.bits_of_float x)))
+        (Rng.mix64 (Int64.of_int toy.App.seed))
+        [| 1.5 |]
+    in
+    Int64.to_int h land max_int
+  in
+  check_int "seed_for matches SplitMix64 fold" expected s
+
+let test_env_snapshot_roundtrip () =
+  let sched = Schedule.single_phase_active ~n_phases:2 ~phase:1 [| 1; 1 |] in
+  let env =
+    Env.create ~rng:(Rng.create 42) ~sched ~expected_iters:10 ~n_abs:2
+  in
+  ignore (Env.begin_outer_iter env);
+  Env.enter_ab env ~ab:0;
+  Env.charge env ~ab:0 7;
+  Env.charge_base env 3;
+  let snap = Env.snapshot env in
+  (* Advancing the live environment must not leak into the snapshot. *)
+  ignore (Env.begin_outer_iter env);
+  Env.enter_ab env ~ab:1;
+  Env.charge env ~ab:1 5;
+  let r = Env.resume snap ~sched ~expected_iters:10 in
+  check_int "resumed work" 10 (Env.total_work r);
+  check_int "resumed iters" 1 (Env.outer_iters r);
+  check_int "resumed ab0 work" 7 (Env.work_of_ab r 0);
+  check_int "resumed ab1 work" 0 (Env.work_of_ab r 1);
+  check_bool "resumed trace" true (Env.trace r = [ 0 ]);
+  (* The resumed RNG continues the captured stream. *)
+  let r2 = Env.resume snap ~sched ~expected_iters:10 in
+  check_bool "resumed rng deterministic" true
+    (Rng.bits64 (Env.rng r) = Rng.bits64 (Env.rng r2))
+
+let test_exact_prefix () =
+  check_int "exact schedule: full prefix" 3
+    (Schedule.exact_prefix (Schedule.uniform ~n_phases:3 [| 0; 0 |]));
+  check_int "uniform nonzero: no prefix" 0
+    (Schedule.exact_prefix (Schedule.uniform ~n_phases:3 [| 1; 0 |]));
+  check_int "single-phase-active p: prefix p" 2
+    (Schedule.exact_prefix (Schedule.single_phase_active ~n_phases:4 ~phase:2 [| 0; 1 |]));
+  check_int "all-zero active vector counts as exact" 4
+    (Schedule.exact_prefix (Schedule.single_phase_active ~n_phases:4 ~phase:2 [| 0; 0 |]))
+
+(* ------------------------------------------------------------------ *)
+
+(* Training.collect under checkpointing: the collected dataset is
+   bit-identical to the scratch dataset, and each input's exact phase
+   prefix is simulated exactly once (one checkpoint-cache miss per input,
+   n_phases - 1 saves, everything else hits). *)
+let test_collect_accounting () =
+  let app = Opprox_apps.Registry.find "comd" in
+  let inputs = [| [| 2.0; 1.35; 60.0 |]; [| 2.0; 1.5; 80.0 |] |] in
+  let n_phases = 4 in
+  let config = { Training.default_config with joint_samples_per_phase = 2; inputs = Some inputs } in
+  let pool = Pool.create ~jobs:1 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      with_driver_flags ~checkpointing:false ~eval_cache:false (fun () ->
+          Driver.clear_all_caches ();
+          let scratch = Training.collect ~config ~pool app ~n_phases in
+          Driver.set_checkpointing true;
+          Driver.clear_all_caches ();
+          Driver.reset_cache_stats ();
+          let resumed = Training.collect ~config ~pool app ~n_phases in
+          check_bool "datasets bit-identical (scratch vs checkpointed)" true
+            (scratch.Training.samples = resumed.Training.samples);
+          let stats = Driver.checkpoint_stats () in
+          let n_inputs = Array.length inputs in
+          check_int "one scratch prefix per (input, n_phases)" n_inputs stats.Driver.misses;
+          check_int "one checkpoint per interior boundary" (n_inputs * (n_phases - 1))
+            (Driver.checkpoint_save_count ());
+          (* Every phase>=1 run except the first per input resumes: the
+             plan has (local sweeps + joint samples) runs per phase. *)
+          let runs_per_phase =
+            List.length (Opprox_sim.Config_space.local_sweeps app.App.abs)
+            + config.Training.joint_samples_per_phase
+          in
+          let applicable = n_inputs * (n_phases - 1) * runs_per_phase in
+          check_int "all other prefix runs resume from a checkpoint"
+            (applicable - n_inputs) stats.Driver.hits;
+          (* Third arm: the full production configuration (checkpoints and
+             evaluation memo on) still reproduces the scratch dataset. *)
+          Driver.set_eval_cache true;
+          Driver.clear_all_caches ();
+          let memoized = Training.collect ~config ~pool app ~n_phases in
+          check_bool "datasets bit-identical (scratch vs memoized)" true
+            (scratch.Training.samples = memoized.Training.samples)))
+
+let suite =
+  [
+    ( "checkpoint",
+      List.map resume_equals_scratch all_apps
+      @ [
+          Alcotest.test_case "exact schedule via checkpoints" `Quick
+            test_exact_schedule_via_checkpoints;
+          Alcotest.test_case "opaque app falls back" `Quick test_opaque_fallback;
+          Alcotest.test_case "capacity bound + clear" `Quick test_checkpoint_capacity_and_clear;
+          Alcotest.test_case "evaluation memo" `Quick test_eval_cache_hits;
+          Alcotest.test_case "seed_for stability" `Quick test_seed_for_stable;
+          Alcotest.test_case "env snapshot roundtrip" `Quick test_env_snapshot_roundtrip;
+          Alcotest.test_case "schedule exact_prefix" `Quick test_exact_prefix;
+          Alcotest.test_case "collect accounting" `Slow test_collect_accounting;
+        ] );
+  ]

@@ -162,6 +162,28 @@ let test_models_bad_phase () =
   Alcotest.check_raises "phase" (Invalid_argument "Models.predict: bad phase") (fun () ->
       ignore (Models.predict m ~input:toy.App.default_input ~phase:7 ~levels:[| 0; 0 |]))
 
+let test_models_predictor_matches_predict () =
+  (* The hoisted per-input predictor must agree with [predict] on every
+     field, bit-exactly, across phases and repeated calls (the scratch
+     buffers it reuses must not leak state between queries). *)
+  let m = Lazy.force models in
+  let input = toy.App.default_input in
+  let p = Models.predictor m ~input in
+  for _pass = 1 to 2 do
+    List.iter
+      (fun levels ->
+        for phase = 0 to 1 do
+          let a = Models.predict m ~input ~phase ~levels in
+          let b = p ~phase ~levels in
+          check_float_eps 0.0 "speedup" a.Models.speedup b.Models.speedup;
+          check_float_eps 0.0 "qos" a.Models.qos b.Models.qos;
+          check_float_eps 0.0 "speedup_lo" a.Models.speedup_lo b.Models.speedup_lo;
+          check_float_eps 0.0 "qos_hi" a.Models.qos_hi b.Models.qos_hi;
+          check_float_eps 0.0 "iters_ratio" a.Models.iters_ratio b.Models.iters_ratio
+        done)
+      [ [| 0; 0 |]; [| 1; 0 |]; [| 0; 2 |]; [| 3; 3 |]; [| 2; 1 |] ]
+  done
+
 let test_models_quality_reported () =
   let m = Lazy.force models in
   check_bool "speedup R2 high on deterministic toy" true (Models.speedup_r2 m > 0.7);
@@ -391,6 +413,7 @@ let suite =
         Alcotest.test_case "predictions finite" `Quick test_models_predictions_finite;
         Alcotest.test_case "speedup sane" `Quick test_models_speedup_sane;
         Alcotest.test_case "bad phase" `Quick test_models_bad_phase;
+        Alcotest.test_case "predictor matches predict" `Quick test_models_predictor_matches_predict;
         Alcotest.test_case "quality reported" `Quick test_models_quality_reported;
       ] );
     ( "optimizer",

@@ -158,6 +158,28 @@ let test_polyreg_mic_screening () =
   let m = Polyreg.fit ~config ~rng rows ys in
   check_bool "noise feature dropped" true (not (List.mem 1 (Polyreg.selected_features m)))
 
+let test_polyreg_predictor_matches_predict () =
+  (* The compiled predictor must be bit-identical to [predict], including
+     on clamped out-of-range queries, and its reused scratch must not
+     leak state between calls. *)
+  let rng = Rng.create 15 in
+  let rows = Array.init 80 (fun i -> [| float_of_int (i mod 9); float_of_int (i / 9) |]) in
+  let ys = Array.map (fun r -> (r.(0) *. r.(1)) -. (0.5 *. r.(1)) +. 2.0) rows in
+  let m = Polyreg.fit ~rng rows ys in
+  let p = Polyreg.predictor m in
+  for _pass = 1 to 2 do
+    List.iter
+      (fun row ->
+        check_float_eps 0.0 "predictor = predict" (Polyreg.predict m row) (p row))
+      [ [| 0.0; 0.0 |]; [| 4.0; 5.0 |]; [| 2.5; 7.3 |]; [| -10.0; 50.0 |]; [| 8.0; 8.0 |] ]
+  done;
+  let rng = Rng.create 16 in
+  let const =
+    Polyreg.fit ~rng (Array.init 10 (fun i -> [| float_of_int i |])) (Array.make 10 4.2)
+  in
+  check_float_eps 0.0 "constant model compiles" (Polyreg.predict const [| 3.0 |])
+    (Polyreg.predictor const [| 3.0 |])
+
 let prop_polyreg_linear_family =
   qcheck_case ~count:25 "fits arbitrary lines"
     QCheck.(pair (float_range (-3.0) 3.0) (float_range (-3.0) 3.0))
@@ -332,6 +354,7 @@ let suite =
         Alcotest.test_case "too few rows" `Quick test_polyreg_too_few_rows;
         Alcotest.test_case "residuals present" `Quick test_polyreg_residuals_present;
         Alcotest.test_case "mic screening" `Quick test_polyreg_mic_screening;
+        Alcotest.test_case "predictor matches predict" `Quick test_polyreg_predictor_matches_predict;
         prop_polyreg_linear_family;
       ] );
     ( "dtree",
