@@ -1,6 +1,6 @@
 # Convenience aliases; dune is the build system.
 
-.PHONY: all check test bench bench-snapshot fmt clean
+.PHONY: all check test lint fixtures bench bench-snapshot fmt clean
 
 all:
 	dune build @all
@@ -17,6 +17,32 @@ check:
 	fi
 
 test: check
+
+# Static diagnostics: every registered app must audit clean under
+# --strict, the committed clean model fixture must pass, and each
+# seeded-corruption fixture must fail with its documented rule code.
+lint:
+	dune build bin/opprox_cli.exe
+	dune exec --no-build bin/opprox_cli.exe -- check --strict
+	dune exec --no-build bin/opprox_cli.exe -- check kmeans --strict \
+	  --models test/fixtures/trained_kmeans.sexp
+	@for f in corrupt_nan_coeff corrupt_inverted_ci; do \
+	  if dune exec --no-build bin/opprox_cli.exe -- check kmeans \
+	       --models test/fixtures/$$f.sexp >/dev/null 2>&1; then \
+	    echo "lint: $$f.sexp was NOT flagged"; exit 1; \
+	  else echo "lint: $$f.sexp flagged (ok)"; fi; \
+	done
+	@for f in corrupt_level_range corrupt_ragged; do \
+	  if dune exec --no-build bin/opprox_cli.exe -- check kmeans \
+	       --schedule test/fixtures/$$f.sexp >/dev/null 2>&1; then \
+	    echo "lint: $$f.sexp was NOT flagged"; exit 1; \
+	  else echo "lint: $$f.sexp flagged (ok)"; fi; \
+	done
+	@echo "lint: ok"
+
+# Regenerate the committed corruption fixtures under test/fixtures/.
+fixtures:
+	dune exec test/gen_fixtures.exe
 
 # Full experiment harness (reduced sampling).
 bench:

@@ -263,7 +263,7 @@ let write_pool_snapshot entries =
 let tests =
   [
     Test.make ~name:"tab1:config-space-enumeration" (Staged.stage (fun () ->
-        List.iter (fun (a : App.t) -> ignore (Opprox_sim.Config_space.all a.abs)) Opprox_apps.Registry.all));
+        List.iter (fun (a : App.t) -> ignore (Opprox_sim.Config_space.all a.abs)) (Opprox_apps.Registry.all ())));
     Test.make ~name:"fig2:lulesh-run" (Staged.stage (run_uniform "lulesh" [| 1; 1; 1; 1 |]));
     Test.make ~name:"fig3:lulesh-heavy-run" (Staged.stage (run_uniform "lulesh" [| 3; 5; 5; 5 |]));
     Test.make ~name:"fig4_5:lulesh-phase-run" (Staged.stage (fun () ->

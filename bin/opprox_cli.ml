@@ -5,7 +5,8 @@
      probe APP                   phase/level sensitivity of one application
      train APP -o FILE           offline stage only; persist the models
      optimize APP -b BUDGET      emit + execute a plan (optionally --load)
-     oracle APP -b BUDGET        the phase-agnostic exhaustive baseline *)
+     oracle APP -b BUDGET        the phase-agnostic exhaustive baseline
+     check [APP]                 static diagnostics over apps/models/schedules *)
 
 open Cmdliner
 
@@ -25,7 +26,7 @@ let app_conv =
         Error
           (`Msg
              (Printf.sprintf "unknown application %s (known: %s)" s
-                (String.concat ", " Opprox_apps.Registry.names)))
+                (String.concat ", " (Opprox_apps.Registry.names ()))))
   in
   let print ppf (app : App.t) = Format.pp_print_string ppf app.name in
   Arg.conv (parse, print)
@@ -86,7 +87,7 @@ let list_cmd =
             string_of_int (Opprox_sim.Config_space.count app.abs);
             app.description;
           ])
-      Opprox_apps.Registry.all;
+      (Opprox_apps.Registry.all ());
     Table.print t
   in
   Cmd.v (Cmd.info "list" ~doc:"List the bundled benchmark applications.")
@@ -237,6 +238,132 @@ let submit_cmd =
        ~doc:"Load models named by a job config, optimize, and launch (the paper's runtime step).")
     Term.(const run $ config_arg)
 
+(* ----------------------------------------------------------------- check *)
+
+module Diagnostic = Opprox_analysis.Diagnostic
+module Checker = Opprox_analysis.Checker
+module Lint_app = Opprox_analysis.Lint_app
+module Lint_schedule = Opprox_analysis.Lint_schedule
+
+let check_cmd =
+  let app_opt_arg =
+    Arg.(
+      value
+      & pos 0 (some app_conv) None
+      & info [] ~docv:"APP"
+          ~doc:"Application to audit.  Omitted: audit every registered application.")
+  in
+  let models_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "models" ] ~docv:"FILE"
+          ~doc:"Audit a trained pipeline saved by $(b,train) (coefficients, conditioning, \
+                confidence intervals, prediction sanity sweep).")
+  in
+  let schedule_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "schedule" ] ~docv:"FILE"
+          ~doc:"Audit a serialized schedule (shape, level ranges against $(i,APP)).")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Treat warnings as failures (also enabled by $(b,OPPROX_STRICT=1)).")
+  in
+  let disable_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "disable" ] ~docv:"CODES"
+          ~doc:"Comma-separated rule codes or code prefixes to mute (e.g. \
+                $(b,SCHED006,MODEL)).")
+  in
+  let sexp_arg =
+    Arg.(
+      value & flag
+      & info [ "sexp" ] ~doc:"Also print each finding as an s-expression on stdout.")
+  in
+  let run app models_file schedule_file strict_flag disabled sexp_out verbose =
+    setup_logs verbose;
+    let strict = strict_flag || Diagnostic.strict_env () in
+    let checker =
+      try Checker.create ~disabled ()
+      with Invalid_argument msg ->
+        Printf.eprintf "opprox check: %s\n" msg;
+        exit 2
+    in
+    let app_name = Option.map (fun (a : App.t) -> a.name) app in
+    (match app with
+    | Some a -> Checker.add checker (Lint_app.check_app a)
+    | None ->
+        let all = Opprox_apps.Registry.all () in
+        List.iter (fun a -> Checker.add checker (Lint_app.check_app a)) all;
+        Checker.add checker (Lint_app.check_registry all));
+    (match models_file with
+    | None -> ()
+    | Some path -> (
+        (* Load without the fail-fast wiring: the point here is to gather
+           every finding into one report, not to stop at the first. *)
+        match Opprox.load ~strict:false ~resolve:Opprox_apps.Registry.find path with
+        | trained ->
+            (match app_name with
+            | Some n when n <> trained.Opprox.app.App.name ->
+                Printf.eprintf "opprox check: %s holds models for %s, not %s\n" path
+                  trained.Opprox.app.App.name n;
+                exit 2
+            | _ -> ());
+            Checker.add checker (Opprox.Models.lint trained.Opprox.models)
+        | exception Failure msg ->
+            Printf.eprintf "opprox check: cannot load %s: %s\n" path msg;
+            exit 2
+        | exception Not_found ->
+            Printf.eprintf "opprox check: %s names an unregistered application\n" path;
+            exit 2));
+    (match schedule_file with
+    | None -> ()
+    | Some path ->
+        let raw =
+          match
+            let sexp = Opprox_util.Sexp.load path in
+            Array.of_list
+              (List.map Opprox_util.Sexp.to_int_array
+                 (Opprox_util.Sexp.to_list (Opprox_util.Sexp.field sexp "levels")))
+          with
+          | raw -> raw
+          | exception Failure msg ->
+              Printf.eprintf "opprox check: cannot load %s: %s\n" path msg;
+              exit 2
+        in
+        let raw_diags = Lint_schedule.check_raw ?app:app_name raw in
+        Checker.add checker raw_diags;
+        (* Only a well-shaped matrix can be checked against an app's ABs. *)
+        if Diagnostic.exit_code ~strict:false raw_diags = 0 then
+          match app with
+          | Some (a : App.t) ->
+              Checker.add checker
+                (Lint_schedule.check ~app:a.name ~abs:a.abs (Schedule.make raw))
+          | None -> ());
+    if sexp_out then
+      List.iter
+        (fun d -> print_endline (Opprox_util.Sexp.to_string (Diagnostic.to_sexp d)))
+        (Checker.diagnostics checker);
+    Checker.report ~strict checker;
+    exit (Checker.exit_code ~strict checker)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Audit applications, trained models, and schedules without running the simulator.  \
+          Exit status 0 when clean (or only notes/warnings), 1 when any error — or any \
+          warning under $(b,--strict) — fired, 2 on usage problems.")
+    Term.(
+      const run $ app_opt_arg $ models_arg $ schedule_arg $ strict_arg $ disable_arg $ sexp_arg
+      $ verbose_arg)
+
 (* ---------------------------------------------------------------- oracle *)
 
 let oracle_cmd =
@@ -254,4 +381,7 @@ let oracle_cmd =
 
 let () =
   let doc = "phase-aware optimization of approximate programs (OPPROX, CGO 2017)" in
-  exit (Cmd.eval (Cmd.group (Cmd.info "opprox" ~doc) [ list_cmd; probe_cmd; train_cmd; optimize_cmd; submit_cmd; oracle_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "opprox" ~doc)
+          [ list_cmd; probe_cmd; train_cmd; optimize_cmd; submit_cmd; oracle_cmd; check_cmd ]))

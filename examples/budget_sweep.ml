@@ -21,7 +21,7 @@ let () =
     try Opprox_apps.Registry.find name
     with Not_found ->
       Printf.eprintf "unknown application %s (known: %s)\n" name
-        (String.concat ", " Opprox_apps.Registry.names);
+        (String.concat ", " (Opprox_apps.Registry.names ()));
       exit 2
   in
   Printf.printf "Training OPPROX for %s...\n%!" app.Opprox_sim.App.name;

@@ -1,0 +1,26 @@
+module D = Diagnostic
+
+type t = { mutable diags : D.t list; disabled : string list }
+
+let create ?(disabled = []) () =
+  List.iter
+    (fun sel ->
+      if not (List.exists (fun (code, _) -> String.starts_with ~prefix:sel code) D.codes) then
+        invalid_arg (Printf.sprintf "Checker.create: unknown rule code or prefix %S" sel))
+    disabled;
+  { diags = []; disabled }
+
+let enabled t (d : D.t) =
+  not (List.exists (fun sel -> String.starts_with ~prefix:sel d.D.code) t.disabled)
+
+let add t ds = t.diags <- t.diags @ List.filter (enabled t) ds
+let diagnostics t = t.diags
+let has_failures ~strict t = List.exists (D.is_failure ~strict) t.diags
+let exit_code ~strict t = D.exit_code ~strict t.diags
+
+let report ?(ppf = Format.err_formatter) ~strict t =
+  D.pp_list ppf t.diags;
+  let count sev = List.length (List.filter (fun (d : D.t) -> d.D.severity = sev) t.diags) in
+  Format.fprintf ppf "%d error(s), %d warning(s), %d note(s)%s@."
+    (count D.Error) (count D.Warning) (count D.Info)
+    (if has_failures ~strict t then "" else " — ok")

@@ -1,0 +1,30 @@
+(** Diagnostic aggregation with per-rule enable/disable.
+
+    A checker accumulates the findings of any number of rule runs,
+    filters them against a disabled-code set (exact codes or prefixes:
+    disabling ["MODEL002"] mutes one rule, ["SCHED"] a whole family),
+    and renders one report with a summary line and the documented exit
+    code. *)
+
+type t
+
+val create : ?disabled:string list -> unit -> t
+(** [create ~disabled ()] — every element must be a known rule code or a
+    prefix of one ({!Diagnostic.codes}); raises [Invalid_argument]
+    otherwise, so a typo in [--disable] fails loudly instead of silently
+    keeping the rule on. *)
+
+val add : t -> Diagnostic.t list -> unit
+(** Append the findings of one rule run (disabled codes are dropped). *)
+
+val diagnostics : t -> Diagnostic.t list
+(** Everything retained, in insertion order. *)
+
+val has_failures : strict:bool -> t -> bool
+
+val exit_code : strict:bool -> t -> int
+(** {!Diagnostic.exit_code} over the retained findings. *)
+
+val report : ?ppf:Format.formatter -> strict:bool -> t -> unit
+(** Print every retained diagnostic (one per line) followed by a summary
+    ([N errors, N warnings, N notes]).  Defaults to [err_formatter]. *)

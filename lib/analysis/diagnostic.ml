@@ -1,0 +1,112 @@
+module Sexp = Opprox_util.Sexp
+
+type severity = Error | Warning | Info
+
+type location = {
+  app : string option;
+  cls : int option;
+  phase : int option;
+  ab : int option;
+  detail : string option;
+}
+
+type t = { code : string; severity : severity; location : location; message : string }
+
+exception Lint_error of t list
+
+let v ?app ?cls ?phase ?ab ?detail ~code severity fmt =
+  Printf.ksprintf
+    (fun message -> { code; severity; location = { app; cls; phase; ab; detail }; message })
+    fmt
+
+let severity_string = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+let codes =
+  [
+    ("APP001", "duplicate AB names within one application");
+    ("APP002", "AB max_level below 1");
+    ("APP003", "joint configuration space empty or overflowed");
+    ("APP004", "joint configuration space too large to enumerate");
+    ("APP005", "non-finite input-parameter value");
+    ("APP006", "input vector arity differs from param_names");
+    ("APP007", "no training inputs declared");
+    ("APP008", "duplicate application names in a registry");
+    ("SCHED001", "ragged schedule rows");
+    ("SCHED002", "negative approximation level");
+    ("SCHED003", "approximation level exceeds the AB's max_level");
+    ("SCHED004", "schedule AB count differs from the application's");
+    ("SCHED005", "schedule phase count differs from the expected one");
+    ("SCHED006", "dead knob: AB never approximated in any phase");
+    ("MODEL001", "non-finite regression coefficient");
+    ("MODEL002", "near-rank-deficient least-squares fit");
+    ("MODEL003", "degenerate or inverted confidence interval");
+    ("MODEL004", "control-flow class trained on few samples");
+    ("MODEL005", "prediction sanity sweep violation");
+    ("MODEL006", "model set structurally inconsistent");
+    ("MODEL007", "models were trained for a different application");
+    ("PLAN001", "negative or non-finite QoS budget");
+    ("PLAN002", "ROI vector arity differs from the phase count");
+    ("PLAN003", "non-finite or negative ROI / input values");
+    ("PLAN004", "sub-budget split infeasible for the total budget");
+    ("PLAN005", "chosen levels are not admissible for the ABs");
+    ("PLAN006", "predicted QoS exceeds the phase sub-budget");
+    ("PLAN007", "plan schedule shape differs from the models'");
+  ]
+
+let is_failure ~strict d =
+  match d.severity with Error -> true | Warning -> strict | Info -> false
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let warnings ds = List.filter (fun d -> d.severity = Warning) ds
+let exit_code ~strict ds = if List.exists (is_failure ~strict) ds then 1 else 0
+
+let raise_errors ~strict ds =
+  match List.filter (is_failure ~strict) ds with
+  | [] -> ()
+  | failing -> raise (Lint_error failing)
+
+let strict_env () = Sys.getenv_opt "OPPROX_STRICT" = Some "1"
+
+let pp_location ppf loc =
+  let part name to_string = Option.map (fun v -> name ^ "=" ^ to_string v) in
+  let parts =
+    List.filter_map Fun.id
+      [
+        part "app" Fun.id loc.app;
+        part "class" string_of_int loc.cls;
+        part "phase" string_of_int loc.phase;
+        part "ab" string_of_int loc.ab;
+        loc.detail;
+      ]
+  in
+  if parts <> [] then Format.fprintf ppf " %s" (String.concat " " parts)
+
+let pp ppf d =
+  Format.fprintf ppf "%s[%s]%a: %s" (severity_string d.severity) d.code pp_location d.location
+    d.message
+
+let pp_list ppf ds =
+  List.iter (fun d -> Format.fprintf ppf "%a@\n" pp d) ds
+
+let to_sexp d =
+  let opt name conv = function None -> [] | Some v -> [ (name, conv v) ] in
+  Sexp.record
+    ([
+       ("code", Sexp.atom d.code);
+       ("severity", Sexp.atom (severity_string d.severity));
+     ]
+    @ opt "app" Sexp.string d.location.app
+    @ opt "class" Sexp.int d.location.cls
+    @ opt "phase" Sexp.int d.location.phase
+    @ opt "ab" Sexp.int d.location.ab
+    @ opt "detail" Sexp.string d.location.detail
+    @ [ ("message", Sexp.string d.message) ])
+
+let () =
+  Printexc.register_printer (function
+    | Lint_error ds ->
+        Some
+          (Printf.sprintf "Opprox_analysis.Diagnostic.Lint_error [%s]"
+             (String.concat "; "
+                (List.map (fun d -> Printf.sprintf "%s: %s" d.code d.message) ds)))
+    | _ -> None)

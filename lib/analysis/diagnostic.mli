@@ -1,0 +1,81 @@
+(** Structured static-analysis diagnostics.
+
+    Every finding of the {!Opprox_analysis} rule modules is a [t]: a
+    stable rule code (e.g. [SCHED003]), a severity, a structured location
+    (application / control-flow class / phase / AB / free-form detail),
+    and a human message.  Diagnostics render both for humans ({!pp}) and
+    machines ({!to_sexp}), and map onto a process exit code through one
+    documented policy ({!exit_code}).
+
+    {2 Exit-code policy}
+
+    + [0] — no diagnostics, or only [Info] (and, without [strict], only
+      [Warning]) findings;
+    + [1] — at least one [Error], or at least one [Warning] when [strict]
+      is set.
+
+    Strict mode is requested per call site ([~strict]) or globally through
+    the [OPPROX_STRICT=1] environment variable ({!strict_env}). *)
+
+type severity = Error | Warning | Info
+
+type location = {
+  app : string option;  (** application name *)
+  cls : int option;  (** control-flow class id *)
+  phase : int option;
+  ab : int option;  (** AB index *)
+  detail : string option;  (** free-form coordinate, e.g. ["overall_qos weights[3]"] *)
+}
+
+type t = { code : string; severity : severity; location : location; message : string }
+
+exception Lint_error of t list
+(** Raised by fail-fast call sites ({!val:raise_errors}); carries every
+    diagnostic that crossed the severity threshold.  A printer is
+    registered, so an uncaught [Lint_error] shows its rule codes. *)
+
+val v :
+  ?app:string ->
+  ?cls:int ->
+  ?phase:int ->
+  ?ab:int ->
+  ?detail:string ->
+  code:string ->
+  severity ->
+  ('a, unit, string, t) format4 ->
+  'a
+(** [v ~code sev fmt ...] builds a diagnostic with a printf-style
+    message. *)
+
+val severity_string : severity -> string
+
+val codes : (string * string) list
+(** The rule-code registry: every stable code paired with a one-line
+    description.  This is the table DESIGN.md documents; {!Checker}
+    validates enable/disable selectors against it. *)
+
+val is_failure : strict:bool -> t -> bool
+(** Whether this diagnostic makes the run fail: [Error] always, [Warning]
+    only under [strict], [Info] never. *)
+
+val errors : t list -> t list
+val warnings : t list -> t list
+
+val exit_code : strict:bool -> t list -> int
+(** The documented exit-code policy over a diagnostic set. *)
+
+val raise_errors : strict:bool -> t list -> unit
+(** Raise {!Lint_error} with the failing subset when {!exit_code} is
+    non-zero; return unit otherwise. *)
+
+val strict_env : unit -> bool
+(** [true] iff the [OPPROX_STRICT] environment variable is ["1"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: [error[SCHED003] app=lulesh phase=2 ab=1: message]. *)
+
+val pp_list : Format.formatter -> t list -> unit
+
+val to_sexp : t -> Opprox_util.Sexp.t
+(** Machine rendering: a record of code, severity, location fields and
+    message. *)

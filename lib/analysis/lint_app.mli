@@ -1,0 +1,18 @@
+(** Registry-contract rules (codes [APP***]).
+
+    Audits application descriptors without running them: AB declarations
+    (unique names, sane level ranges), the enumerability of the joint
+    configuration space the training sampler and optimizer walk, and the
+    declared input vectors. *)
+
+val enumeration_bound : int
+(** Joint spaces larger than this trigger [APP004]: {!Opprox_sim.Config_space.all}
+    materializes the full list, and both the optimizer's exhaustive search
+    and the model sanity sweep enumerate it. *)
+
+val check_app : Opprox_sim.App.t -> Diagnostic.t list
+(** Rules [APP001]–[APP007] over one application. *)
+
+val check_registry : Opprox_sim.App.t list -> Diagnostic.t list
+(** [APP008] (duplicate application names) over a registry; does {e not}
+    include the per-app findings — run {!check_app} per app for those. *)

@@ -1,0 +1,221 @@
+module Config_space = Opprox_sim.Config_space
+module D = Diagnostic
+
+type regression = {
+  role : string;
+  pieces : (string * float array * float array) list;
+}
+
+type phase_view = {
+  regressions : regression list;
+  speedup_ci : float;
+  qos_ci : float;
+}
+
+type prediction_view = {
+  speedup : float;
+  speedup_lo : float;
+  qos : float;
+  qos_hi : float;
+  iters_ratio : float;
+}
+
+type view = {
+  app_name : string;
+  abs : Opprox_sim.Ab.t array;
+  n_phases : int;
+  min_class_samples : int;
+  class_samples : (int * int) list;
+  per_class : phase_view array array;
+  predict : phase:int -> levels:int array -> prediction_view;
+}
+
+let rank_tolerance = 1e-10
+
+let check_structure v =
+  let app = v.app_name in
+  let classes =
+    if Array.length v.per_class = 0 then
+      [ D.v ~app ~code:"MODEL006" D.Error "model set has no control-flow classes" ]
+    else []
+  in
+  let phases =
+    List.filter_map Fun.id
+      (Array.to_list
+         (Array.mapi
+            (fun cls phases ->
+              if Array.length phases <> v.n_phases then
+                Some
+                  (D.v ~app ~cls ~code:"MODEL006" D.Error
+                     "class has models for %d phases, pipeline declares %d" (Array.length phases)
+                     v.n_phases)
+              else None)
+            v.per_class))
+  in
+  classes @ phases
+
+let check_coefficients v =
+  let app = v.app_name in
+  let out = ref [] in
+  Array.iteri
+    (fun cls phases ->
+      Array.iteri
+        (fun phase pv ->
+          List.iter
+            (fun r ->
+              List.iter
+                (fun (path, weights, _) ->
+                  Array.iteri
+                    (fun i w ->
+                      if not (Float.is_finite w) then
+                        out :=
+                          D.v ~app ~cls ~phase
+                            ~detail:(Printf.sprintf "%s %s weights[%d]" r.role path i)
+                            ~code:"MODEL001" D.Error "non-finite regression coefficient %h" w
+                          :: !out)
+                    weights)
+                r.pieces)
+            pv.regressions)
+        phases)
+    v.per_class;
+  List.rev !out
+
+let check_rank v =
+  let app = v.app_name in
+  let out = ref [] in
+  Array.iteri
+    (fun cls phases ->
+      Array.iteri
+        (fun phase pv ->
+          List.iter
+            (fun r ->
+              List.iter
+                (fun (path, _, r_diag) ->
+                  if Array.length r_diag > 0 then begin
+                    let mags = Array.map Float.abs r_diag in
+                    let largest = Array.fold_left Float.max 0.0 mags in
+                    let smallest = Array.fold_left Float.min infinity mags in
+                    if largest = 0.0 || smallest < rank_tolerance *. largest then
+                      out :=
+                        D.v ~app ~cls ~phase ~detail:(Printf.sprintf "%s %s" r.role path)
+                          ~code:"MODEL002" D.Warning
+                          "near-rank-deficient fit (|R| diagonal spans %.2e .. %.2e)" smallest
+                          largest
+                        :: !out
+                  end)
+                r.pieces)
+            pv.regressions)
+        phases)
+    v.per_class;
+  List.rev !out
+
+let check_intervals v =
+  let app = v.app_name in
+  let out = ref [] in
+  Array.iteri
+    (fun cls phases ->
+      Array.iteri
+        (fun phase pv ->
+          let check_ci what e =
+            if not (Float.is_finite e) then
+              out :=
+                D.v ~app ~cls ~phase ~detail:what ~code:"MODEL003" D.Error
+                  "confidence half-width is %h" e
+                :: !out
+            else if e < 0.0 then
+              out :=
+                D.v ~app ~cls ~phase ~detail:what ~code:"MODEL003" D.Error
+                  "confidence half-width %g is negative: the interval is inverted" e
+                :: !out
+          in
+          check_ci "speedup_ci" pv.speedup_ci;
+          check_ci "qos_ci" pv.qos_ci)
+        phases)
+    v.per_class;
+  List.rev !out
+
+let check_class_samples v =
+  let app = v.app_name in
+  (* Class 0 is the fallback trained on every sample; only the dedicated
+     per-class fits have a meaningful count threshold (Models.build uses
+     min_class_samples * n_phases as its own fallback cutoff). *)
+  List.filter_map
+    (fun (cls, count) ->
+      if cls > 0 && count < v.min_class_samples * v.n_phases then
+        Some
+          (D.v ~app ~cls ~code:"MODEL004" D.Info
+             "class has %d training samples (< %d x %d phases); the fallback models serve it"
+             count v.min_class_samples v.n_phases)
+      else None)
+    v.class_samples
+
+(* Exhaustive sweep of the discrete (phase, levels) space.  Violations of
+   one kind repeat across many points (a NaN coefficient poisons a whole
+   region), so report the first offending point per (phase, rule) only. *)
+let check_sweep v =
+  let app = v.app_name in
+  let space = Config_space.all v.abs in
+  let truncated =
+    if Config_space.count v.abs > Lint_app.enumeration_bound then
+      [
+        D.v ~app ~code:"APP004" D.Warning
+          "prediction sweep skipped: configuration space exceeds %d points"
+          Lint_app.enumeration_bound;
+      ]
+    else []
+  in
+  if truncated <> [] then truncated
+  else begin
+    let out = ref [] in
+    let levels_str levels =
+      Printf.sprintf "levels [%s]"
+        (String.concat ";" (Array.to_list (Array.map string_of_int levels)))
+    in
+    for phase = 0 to v.n_phases - 1 do
+      let bad_finite = ref false and bad_qos = ref false and bad_speedup = ref false in
+      List.iter
+        (fun levels ->
+          let p = v.predict ~phase ~levels in
+          let finite =
+            Float.is_finite p.speedup && Float.is_finite p.speedup_lo && Float.is_finite p.qos
+            && Float.is_finite p.qos_hi && Float.is_finite p.iters_ratio
+          in
+          if (not finite) && not !bad_finite then begin
+            bad_finite := true;
+            out :=
+              D.v ~app ~phase ~detail:(levels_str levels) ~code:"MODEL005" D.Error
+                "non-finite prediction (speedup %h, qos %h, iters %h)" p.speedup p.qos
+                p.iters_ratio
+              :: !out
+          end;
+          if finite && (p.qos_hi < p.qos -. 1e-9 || p.qos < -1e-9) && not !bad_qos then begin
+            bad_qos := true;
+            out :=
+              D.v ~app ~phase ~detail:(levels_str levels) ~code:"MODEL005" D.Error
+                "QoS bound inverted: qos_hi %g < qos %g" p.qos_hi p.qos
+              :: !out
+          end;
+          if
+            finite
+            && (p.speedup_lo > p.speedup +. 1e-9 || p.speedup <= 0.0)
+            && not !bad_speedup
+          then begin
+            bad_speedup := true;
+            out :=
+              D.v ~app ~phase ~detail:(levels_str levels) ~code:"MODEL005" D.Error
+                "speedup bound inverted: speedup_lo %g > speedup %g" p.speedup_lo p.speedup
+              :: !out
+          end)
+        space
+    done;
+    List.rev !out
+  end
+
+let check v =
+  let structure = check_structure v in
+  let static =
+    check_coefficients v @ check_rank v @ check_intervals v @ check_class_samples v
+  in
+  (* The sweep indexes per_class by phase through [predict]; only run it
+     on a structurally consistent model set. *)
+  if structure <> [] then structure @ static else static @ check_sweep v

@@ -1,0 +1,59 @@
+(** Trained-model rules (codes [MODEL***]).
+
+    The analysis library sits {e below} [lib/core] (so the core producers
+    — [Models.build], the sexp loader — can run these rules fail-fast
+    without a dependency cycle), so the rules operate on a neutral {!view}
+    of a trained model set rather than on [Models.t] itself.
+    [Opprox.Models.view] constructs one.
+
+    Checks: every regression coefficient finite ([MODEL001]); the
+    least-squares R-factor diagonal retained from the QR fit inspected for
+    near-rank-deficiency ([MODEL002]); confidence-interval half-widths
+    finite and non-negative, i.e. intervals non-degenerate and
+    non-inverted ([MODEL003]); per-class training-sample counts against
+    [min_class_samples] ([MODEL004]); and an exhaustive sanity sweep over
+    the full discrete [(phase, levels)] space asserting every prediction
+    is finite with [qos_hi >= qos >= 0] and [0 < speedup_lo <= speedup]
+    ([MODEL005]).  Structural inconsistencies ([MODEL006]) are reported
+    first and suppress the sweep, which could not index such a model set
+    safely. *)
+
+type regression = {
+  role : string;  (** e.g. ["iter_model"], ["local_qos[2]"], ["overall_speedup"] *)
+  pieces : (string * float array * float array) list;
+      (** per polynomial piece: (path within the model, weight vector,
+          |R|-factor diagonal of its least-squares fit — [[||]] when the
+          fit did not go through QR). *)
+}
+
+type phase_view = {
+  regressions : regression list;
+  speedup_ci : float;  (** confidence half-width; must be finite, >= 0 *)
+  qos_ci : float;
+}
+
+type prediction_view = {
+  speedup : float;
+  speedup_lo : float;
+  qos : float;
+  qos_hi : float;
+  iters_ratio : float;
+}
+
+type view = {
+  app_name : string;
+  abs : Opprox_sim.Ab.t array;
+  n_phases : int;
+  min_class_samples : int;
+  class_samples : (int * int) list;
+      (** (class id, training-sample count); [[]] when the training set is
+          not available (bare model files). *)
+  per_class : phase_view array array;  (** class-major, then phase *)
+  predict : phase:int -> levels:int array -> prediction_view;
+      (** prediction at the audited input (the sanity-sweep oracle) *)
+}
+
+val rank_tolerance : float
+(** [MODEL002] fires when [min |r_ii| / max |r_ii| < rank_tolerance]. *)
+
+val check : view -> Diagnostic.t list

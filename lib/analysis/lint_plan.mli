@@ -1,0 +1,44 @@
+(** Optimizer input/output rules (codes [PLAN***]).
+
+    [Optimizer.optimize] routes its pre-flight validation through
+    {!check_inputs} (replacing the ad-hoc [invalid_arg] checks it used to
+    carry) and audits the plan it constructed — and any plan it is asked
+    to execute — through {!check_plan}, so a schedule whose levels fall
+    outside an AB's range is rejected up front instead of failing (or
+    silently misbehaving) mid-run. *)
+
+type inputs = {
+  app_name : string;
+  abs : Opprox_sim.Ab.t array;
+  n_phases : int;
+  param_arity : int;
+  roi : float array;
+  budget : float;
+  input : float array;
+}
+
+val check_inputs : inputs -> Diagnostic.t list
+(** [PLAN001] (negative / non-finite budget), [PLAN002] (ROI arity),
+    [PLAN003] (non-finite or negative ROI entries; non-finite or
+    wrong-arity input vector). *)
+
+type choice = { phase : int; levels : int array; sub_budget : float; qos_hi : float }
+
+type plan_view = {
+  app_name : string;
+  abs : Opprox_sim.Ab.t array;
+  n_phases : int;
+  budget : float;
+  choices : choice list;
+  schedule : Opprox_sim.Schedule.t;
+}
+
+val check_plan : plan_view -> Diagnostic.t list
+(** Budget feasibility and admissibility of a constructed plan:
+    [PLAN004] (negative sub-budget, or the ROI split summing past the
+    budget [e_b]), [PLAN005] (chosen levels outside an AB's range or of
+    the wrong arity), [PLAN006] (a choice's conservative QoS exceeding
+    its sub-budget — the optimizer's own feasibility contract;
+    [Warning]), [PLAN007] (schedule shape differing from the models'),
+    plus the [SCHED***] findings of {!Lint_schedule.check} on the plan's
+    schedule. *)

@@ -1,0 +1,84 @@
+module Ab = Opprox_sim.Ab
+module Schedule = Opprox_sim.Schedule
+module D = Diagnostic
+
+let check_raw ?app levels =
+  if Array.length levels = 0 then
+    [ D.v ?app ~code:"SCHED001" D.Error "schedule has no phases" ]
+  else begin
+    let n_abs = Array.length levels.(0) in
+    let per_row p row =
+      let ragged =
+        if Array.length row <> n_abs then
+          [
+            D.v ?app ~phase:p ~code:"SCHED001" D.Error
+              "ragged row: phase %d has %d ABs, phase 0 has %d" p (Array.length row) n_abs;
+          ]
+        else []
+      in
+      let negative =
+        List.filter_map Fun.id
+          (Array.to_list
+             (Array.mapi
+                (fun a l ->
+                  if l < 0 then
+                    Some (D.v ?app ~phase:p ~ab:a ~code:"SCHED002" D.Error "negative level %d" l)
+                  else None)
+                row))
+      in
+      ragged @ negative
+    in
+    let empty =
+      if n_abs = 0 then [ D.v ?app ~phase:0 ~code:"SCHED001" D.Error "schedule has no ABs" ]
+      else []
+    in
+    empty @ List.concat (Array.to_list (Array.mapi per_row levels))
+  end
+
+let check ?app ?n_phases ~abs sched =
+  let shape =
+    if Schedule.n_abs sched <> Array.length abs then
+      [
+        D.v ?app ~code:"SCHED004" D.Error "schedule has %d ABs, application declares %d"
+          (Schedule.n_abs sched) (Array.length abs);
+      ]
+    else []
+  in
+  let phases =
+    match n_phases with
+    | Some n when Schedule.n_phases sched <> n ->
+        [
+          D.v ?app ~code:"SCHED005" D.Error "schedule has %d phases, expected %d"
+            (Schedule.n_phases sched) n;
+        ]
+    | _ -> []
+  in
+  if shape <> [] then shape @ phases
+  else begin
+    let range = ref [] in
+    let used = Array.make (Array.length abs) false in
+    for p = 0 to Schedule.n_phases sched - 1 do
+      Array.iteri
+        (fun a l ->
+          if l > 0 then used.(a) <- true;
+          if l > abs.(a).Ab.max_level then
+            range :=
+              D.v ?app ~phase:p ~ab:a ~code:"SCHED003" D.Error
+                "level %d exceeds max_level %d of AB %S" l abs.(a).Ab.max_level abs.(a).Ab.name
+              :: !range)
+        (Schedule.levels_of_phase sched p)
+    done;
+    let dead =
+      List.filter_map Fun.id
+        (Array.to_list
+           (Array.mapi
+              (fun a u ->
+                if u then None
+                else
+                  Some
+                    (D.v ?app ~ab:a ~code:"SCHED006" D.Info
+                       "dead knob: AB %S is never approximated in any phase" abs.(a).Ab.name))
+              used))
+    in
+    phases @ List.rev !range @ dead
+  end

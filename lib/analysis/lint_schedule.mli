@@ -1,0 +1,23 @@
+(** Schedule rules (codes [SCHED***]).
+
+    Two entry points: {!check_raw} audits a raw level matrix {e before} it
+    is turned into a {!Opprox_sim.Schedule.t} (so raggedness and negative
+    levels surface as diagnostics with coordinates instead of as a raised
+    [Invalid_argument]), and {!check} audits a constructed schedule
+    against an application's AB declarations. *)
+
+val check_raw : ?app:string -> int array array -> Diagnostic.t list
+(** [SCHED001] (empty / ragged rows) and [SCHED002] (negative levels),
+    each located by phase and AB index. *)
+
+val check :
+  ?app:string ->
+  ?n_phases:int ->
+  abs:Opprox_sim.Ab.t array ->
+  Opprox_sim.Schedule.t ->
+  Diagnostic.t list
+(** Against the AB array: [SCHED003] (level above the AB's [max_level]),
+    [SCHED004] (AB-count mismatch), [SCHED005] (phase count differs from
+    [?n_phases] when given), and [SCHED006] (dead knob — an AB never
+    approximated in any phase; [Info], legitimate in probe schedules and
+    tight-budget plans). *)

@@ -1,10 +1,18 @@
+let registered : Opprox_sim.App.t list ref = ref []
+
+let register (app : Opprox_sim.App.t) =
+  if List.exists (fun (a : Opprox_sim.App.t) -> String.equal a.name app.name) !registered
+  then invalid_arg (Printf.sprintf "Registry.register: duplicate app name %S" app.name);
+  registered := !registered @ [ app ]
+
 let paper = [ Lulesh.app; Vidproc.app; Bodytrack.app; Pso.app; Comd.app ]
 let extensions = [ Kmeans.app ]
-let all = paper @ extensions
+let () = List.iter register (paper @ extensions)
+let all () = !registered
 
 let find name =
-  match List.find_opt (fun (a : Opprox_sim.App.t) -> a.name = name) all with
+  match List.find_opt (fun (a : Opprox_sim.App.t) -> a.name = name) !registered with
   | Some a -> a
   | None -> raise Not_found
 
-let names = List.map (fun (a : Opprox_sim.App.t) -> a.name) all
+let names () = List.map (fun (a : Opprox_sim.App.t) -> a.name) !registered

@@ -1,4 +1,16 @@
-(** The bundled benchmark applications. *)
+(** The bundled benchmark applications.
+
+    The registry is a mutable table: the bundled apps register themselves
+    at module initialization, and embedders can {!register} further apps
+    (e.g. test doubles) at startup.  Registration is the single choke
+    point where name uniqueness is enforced — every later lookup
+    ({!find}, the CLI's app argument, the checker) relies on names being
+    unambiguous. *)
+
+val register : Opprox_sim.App.t -> unit
+(** Add an application.  Raises [Invalid_argument] when an app with the
+    same name is already registered — duplicate names would make {!find}
+    silently resolve to whichever registered first. *)
 
 val paper : Opprox_sim.App.t list
 (** The five applications of the paper's evaluation (Table 1), in the
@@ -7,10 +19,11 @@ val paper : Opprox_sim.App.t list
 val extensions : Opprox_sim.App.t list
 (** Applications beyond the paper's set (currently k-means). *)
 
-val all : Opprox_sim.App.t list
-(** [paper @ extensions]. *)
+val all : unit -> Opprox_sim.App.t list
+(** Every registered app, in registration order ([paper @ extensions]
+    first). *)
 
 val find : string -> Opprox_sim.App.t
 (** Look up by [App.name].  Raises [Not_found] for unknown names. *)
 
-val names : string list
+val names : unit -> string list

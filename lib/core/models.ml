@@ -3,6 +3,8 @@ module Polyreg = Opprox_ml.Polyreg
 module Confidence = Opprox_ml.Confidence
 module Stats = Opprox_util.Stats
 module Rng = Opprox_util.Rng
+module Diagnostic = Opprox_analysis.Diagnostic
+module Lint_models = Opprox_analysis.Lint_models
 
 let log_src = Logs.Src.create "opprox.models" ~doc:"OPPROX model fitting"
 
@@ -44,6 +46,10 @@ type t = {
   (* class id -> per-phase models; class 0 doubles as the fallback trained
      on every sample. *)
   per_class : phase_models array array;
+  (* (class id, training-sample count) at build time; [] for model files
+     saved before the counts were recorded.  Kept for the static checker's
+     thin-class audit (MODEL004). *)
+  class_samples : (int * int) list;
 }
 
 let iter_features (s : Training.sample) =
@@ -128,41 +134,6 @@ let fit_phase ~config ~rng ~app samples =
     qos_ci = Confidence.of_model ~p:config.ci_p overall_qos;
   }
 
-let build ?(config = default_config) (training : Training.t) =
-  let rng = Rng.create config.seed in
-  let app = training.app in
-  let n_phases = training.n_phases in
-  let fit_class samples =
-    Array.init n_phases (fun phase ->
-        let phase_samples =
-          Array.of_seq
-            (Seq.filter (fun (s : Training.sample) -> s.phase = phase) (Array.to_seq samples))
-        in
-        fit_phase ~config ~rng ~app phase_samples)
-  in
-  let fallback = fit_class training.samples in
-  let n_classes = Cfmodel.n_classes training.classes in
-  let per_class =
-    Array.init n_classes (fun cls ->
-        if cls = 0 then fallback
-        else
-          let class_samples =
-            Array.of_seq
-              (Seq.filter
-                 (fun (s : Training.sample) -> s.trace_class = cls)
-                 (Array.to_seq training.samples))
-          in
-          if Array.length class_samples < config.min_class_samples * n_phases then fallback
-          else fit_class class_samples)
-  in
-  let t = { app; n_phases; config; classes = training.classes; per_class } in
-  Log.info (fun m ->
-      let mean f = Stats.mean (Array.map f t.per_class.(0)) in
-      m "fitted models for %s: %d classes x %d phases (qos R2 %.3f, speedup R2 %.3f)"
-        app.App.name n_classes n_phases
-        (mean (fun pm -> Polyreg.cv_r2 pm.overall_qos))
-        (mean (fun pm -> Polyreg.cv_r2 pm.overall_speedup)));
-  t
 
 let models_for t input =
   let cls = Cfmodel.classify t.classes input in
@@ -262,6 +233,110 @@ let predictor t ~input =
       }
     end
 
+(* ------------------------------------------------------- static checking *)
+
+let regression_views pm =
+  let reg role m = { Lint_models.role; pieces = Polyreg.pieces m } in
+  (reg "iter_model" pm.iter_model :: reg "overall_speedup" pm.overall_speedup
+  :: reg "overall_qos" pm.overall_qos
+  :: Array.to_list
+       (Array.mapi (fun i m -> reg (Printf.sprintf "local_speedup[%d]" i) m) pm.local_speedup)
+  )
+  @ Array.to_list
+      (Array.mapi (fun i m -> reg (Printf.sprintf "local_qos[%d]" i) m) pm.local_qos)
+
+let view t =
+  {
+    Lint_models.app_name = t.app.App.name;
+    abs = t.app.App.abs;
+    n_phases = t.n_phases;
+    min_class_samples = t.config.min_class_samples;
+    class_samples = t.class_samples;
+    per_class =
+      Array.map
+        (Array.map (fun pm ->
+             {
+               Lint_models.regressions = regression_views pm;
+               speedup_ci = Confidence.half_width pm.speedup_ci;
+               qos_ci = Confidence.half_width pm.qos_ci;
+             }))
+        t.per_class;
+    predict =
+      (let compiled = lazy (predictor t ~input:t.app.App.default_input) in
+       fun ~phase ~levels ->
+        let p = Lazy.force compiled ~phase ~levels in
+        {
+          Lint_models.speedup = p.speedup;
+          speedup_lo = p.speedup_lo;
+          qos = p.qos;
+          qos_hi = p.qos_hi;
+          iters_ratio = p.iters_ratio;
+        });
+  }
+
+let lint t = Lint_models.check (view t)
+
+let audit ?(strict = Diagnostic.strict_env ()) t =
+  let diags = lint t in
+  List.iter
+    (fun (d : Diagnostic.t) ->
+      let level =
+        match d.severity with
+        | Diagnostic.Error -> Logs.Error
+        | Diagnostic.Warning -> Logs.Warning
+        | Diagnostic.Info -> Logs.Info
+      in
+      Log.msg level (fun m -> m "%a" Diagnostic.pp d))
+    diags;
+  (* Warnings stay logged in every mode; strict turns Error-severity model
+     defects into a raised {!Diagnostic.Lint_error} (the CLI's [--strict]
+     additionally promotes warnings, but only for its exit code). *)
+  if strict then Diagnostic.raise_errors ~strict:false diags;
+  t
+
+let build ?(config = default_config) ?strict (training : Training.t) =
+  let rng = Rng.create config.seed in
+  let app = training.app in
+  let n_phases = training.n_phases in
+  let fit_class samples =
+    Array.init n_phases (fun phase ->
+        let phase_samples =
+          Array.of_seq
+            (Seq.filter (fun (s : Training.sample) -> s.phase = phase) (Array.to_seq samples))
+        in
+        fit_phase ~config ~rng ~app phase_samples)
+  in
+  let fallback = fit_class training.samples in
+  let n_classes = Cfmodel.n_classes training.classes in
+  let per_class =
+    Array.init n_classes (fun cls ->
+        if cls = 0 then fallback
+        else
+          let class_samples =
+            Array.of_seq
+              (Seq.filter
+                 (fun (s : Training.sample) -> s.trace_class = cls)
+                 (Array.to_seq training.samples))
+          in
+          if Array.length class_samples < config.min_class_samples * n_phases then fallback
+          else fit_class class_samples)
+  in
+  let class_samples =
+    List.init n_classes (fun cls ->
+        ( cls,
+          Array.fold_left
+            (fun acc (s : Training.sample) -> if s.trace_class = cls then acc + 1 else acc)
+            0 training.samples ))
+  in
+  let t = { app; n_phases; config; classes = training.classes; per_class; class_samples } in
+  Log.info (fun m ->
+      let mean f = Stats.mean (Array.map f t.per_class.(0)) in
+      m "fitted models for %s: %d classes x %d phases (qos R2 %.3f, speedup R2 %.3f)"
+        app.App.name n_classes n_phases
+        (mean (fun pm -> Polyreg.cv_r2 pm.overall_qos))
+        (mean (fun pm -> Polyreg.cv_r2 pm.overall_speedup)));
+  audit ?strict t
+
 let n_phases t = t.n_phases
 let app t = t.app
 
@@ -339,6 +414,9 @@ let to_sexp t =
       ("n_phases", Sexp.int t.n_phases);
       ("config", config_to_sexp t.config);
       ("classes", Cfmodel.to_sexp t.classes);
+      ( "class_samples",
+        Sexp.list
+          (List.map (fun (c, n) -> Sexp.list [ Sexp.int c; Sexp.int n ]) t.class_samples) );
       ( "per_class",
         Sexp.list
           (Array.to_list
@@ -348,16 +426,30 @@ let to_sexp t =
                 t.per_class)) );
     ]
 
-let of_sexp ~resolve sexp =
-  {
-    app = resolve (Sexp.to_string_atom (Sexp.field sexp "app"));
-    n_phases = Sexp.to_int (Sexp.field sexp "n_phases");
-    config = config_of_sexp (Sexp.field sexp "config");
-    classes = Cfmodel.of_sexp (Sexp.field sexp "classes");
-    per_class =
-      Array.of_list
-        (List.map
-           (fun phases ->
-             Array.of_list (List.map phase_models_of_sexp (Sexp.to_list phases)))
-           (Sexp.to_list (Sexp.field sexp "per_class")));
-  }
+let of_sexp ?strict ~resolve sexp =
+  let t =
+    {
+      app = resolve (Sexp.to_string_atom (Sexp.field sexp "app"));
+      n_phases = Sexp.to_int (Sexp.field sexp "n_phases");
+      config = config_of_sexp (Sexp.field sexp "config");
+      classes = Cfmodel.of_sexp (Sexp.field sexp "classes");
+      (* Absent in files saved before the counts were recorded. *)
+      class_samples =
+        (match Sexp.field_opt sexp "class_samples" with
+        | None -> []
+        | Some s ->
+            List.map
+              (fun pair ->
+                match Sexp.to_list pair with
+                | [ c; n ] -> (Sexp.to_int c, Sexp.to_int n)
+                | _ -> failwith "Models.of_sexp: malformed class_samples")
+              (Sexp.to_list s));
+      per_class =
+        Array.of_list
+          (List.map
+             (fun phases ->
+               Array.of_list (List.map phase_models_of_sexp (Sexp.to_list phases)))
+             (Sexp.to_list (Sexp.field sexp "per_class")));
+    }
+  in
+  audit ?strict t

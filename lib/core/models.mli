@@ -36,8 +36,13 @@ type config = {
 
 val default_config : config
 
-val build : ?config:config -> Training.t -> t
-(** Fit all models from a collected training set. *)
+val build : ?config:config -> ?strict:bool -> Training.t -> t
+(** Fit all models from a collected training set.  The result is audited
+    by {!Opprox_analysis.Lint_models} before it is returned: every
+    diagnostic is logged at its severity, and — when [strict] (default
+    {!Opprox_analysis.Diagnostic.strict_env}, i.e. [OPPROX_STRICT=1]) —
+    Error-severity findings raise {!Opprox_analysis.Diagnostic.Lint_error}
+    instead of handing a defective model set to the optimizer. *)
 
 val predict : t -> input:float array -> phase:int -> levels:int array -> prediction
 (** Predict the whole-run effect of approximating one phase with the
@@ -70,8 +75,22 @@ val iter_r2 : t -> float
 val max_polynomial_degree : t -> int
 (** Highest degree escalation reached by any model (paper: 2–6). *)
 
+val view : t -> Opprox_analysis.Lint_models.view
+(** The neutral audit surface {!Opprox_analysis.Lint_models} checks:
+    regression coefficients and R-factor diagonals per (class, phase,
+    role), confidence half-widths, build-time class sample counts, and a
+    prediction closure over the app's default input. *)
+
+val lint : t -> Opprox_analysis.Diagnostic.t list
+(** [Lint_models.check (view t)]. *)
+
 val to_sexp : t -> Opprox_util.Sexp.t
 (** Serialize the full model set (per control-flow class, per phase).
     The application is stored by name. *)
 
-val of_sexp : resolve:(string -> Opprox_sim.App.t) -> Opprox_util.Sexp.t -> t
+val of_sexp :
+  ?strict:bool -> resolve:(string -> Opprox_sim.App.t) -> Opprox_util.Sexp.t -> t
+(** Inverse of {!to_sexp}.  Like {!build}, the loaded set is audited:
+    diagnostics are logged, and errors raise under [strict] — a model
+    file corrupted on disk (NaN coefficient, inverted interval) is
+    caught at load time, not mid-optimization. *)

@@ -51,6 +51,10 @@ let optimize ?input trained ~budget =
 
 let apply ?input trained (plan : Optimizer.plan) =
   let input = match input with Some i -> i | None -> trained.app.App.default_input in
+  (* Plans can arrive from outside the optimizer (deserialized, edited by
+     hand, or built for different models); re-audit before running one. *)
+  Opprox_analysis.Diagnostic.raise_errors ~strict:false
+    (Optimizer.lint ~models:trained.models plan);
   Driver.evaluate trained.app plan.Optimizer.schedule input
 
 let run_oracle ?input app ~budget =
@@ -70,18 +74,18 @@ let to_sexp trained =
       ("models", Models.to_sexp trained.models);
     ]
 
-let of_sexp ~resolve sexp =
+let of_sexp ?strict ~resolve sexp =
   {
     app = resolve (Sexp.to_string_atom (Sexp.field sexp "app"));
     roi = Sexp.to_float_array (Sexp.field sexp "roi");
     training = Training.of_sexp ~resolve (Sexp.field sexp "training");
-    models = Models.of_sexp ~resolve (Sexp.field sexp "models");
+    models = Models.of_sexp ?strict ~resolve (Sexp.field sexp "models");
     phase_probes = [];
   }
 
 let save path trained = Sexp.save path (to_sexp trained)
 
-let load ~resolve path = of_sexp ~resolve (Sexp.load path)
+let load ?strict ~resolve path = of_sexp ?strict ~resolve (Sexp.load path)
 
 let submit ~resolve (job : Runtime.job) =
   let trained = load ~resolve job.Runtime.model_path in

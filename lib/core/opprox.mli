@@ -64,7 +64,11 @@ val optimize : ?input:float array -> trained -> budget:float -> Optimizer.plan
 
 val apply : ?input:float array -> trained -> Optimizer.plan -> Opprox_sim.Driver.evaluation
 (** Execute the application under a plan's schedule and measure the real
-    speedup and QoS degradation. *)
+    speedup and QoS degradation.  The plan is first audited against the
+    trained models ({!Optimizer.lint}); a plan whose schedule does not
+    fit the application — out-of-range level, wrong AB count — raises
+    {!Opprox_analysis.Diagnostic.Lint_error} instead of misbehaving
+    mid-run. *)
 
 val run_oracle : ?input:float array -> Opprox_sim.App.t -> budget:float -> Oracle.result
 (** The phase-agnostic exhaustive baseline on the same protocol. *)
@@ -81,8 +85,11 @@ val submit : resolve:(string -> Opprox_sim.App.t) -> Runtime.job -> Runtime.subm
     environment variables, and execute.  Fails when the stored models were
     trained for a different application than the job names. *)
 
-val load : resolve:(string -> Opprox_sim.App.t) -> string -> trained
+val load : ?strict:bool -> resolve:(string -> Opprox_sim.App.t) -> string -> trained
 (** Load a pipeline saved by {!save}.  [resolve] maps the stored
     application name back to its descriptor — pass
     [Opprox_apps.Registry.find] for the bundled benchmarks, or your own
-    lookup for custom applications. *)
+    lookup for custom applications.  The loaded models are audited by
+    {!Models.of_sexp}'s lint pass: diagnostics are logged, and
+    Error-severity findings raise under [strict] (default
+    [OPPROX_STRICT=1]). *)

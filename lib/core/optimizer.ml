@@ -1,6 +1,8 @@
 module App = Opprox_sim.App
 module Schedule = Opprox_sim.Schedule
 module Config_space = Opprox_sim.Config_space
+module Diagnostic = Opprox_analysis.Diagnostic
+module Lint_plan = Opprox_analysis.Lint_plan
 
 let log_src = Logs.Src.create "opprox.optimizer" ~doc:"OPPROX phase optimizer"
 
@@ -80,10 +82,57 @@ let greedy_phase ~predict ~input ~phase ~budget abs =
   done;
   if !current_pred.Models.qos_hi <= budget then Some (Array.copy current, !current_pred) else None
 
+(* The neutral view of a plan that {!Opprox_analysis.Lint_plan} audits. *)
+let plan_view ~models (plan : plan) =
+  let app = Models.app models in
+  {
+    Lint_plan.app_name = app.App.name;
+    abs = app.App.abs;
+    n_phases = Models.n_phases models;
+    budget = plan.budget;
+    choices =
+      List.map
+        (fun c ->
+          {
+            Lint_plan.phase = c.phase;
+            levels = c.levels;
+            sub_budget = c.sub_budget;
+            qos_hi = c.predicted.Models.qos_hi;
+          })
+        plan.choices;
+    schedule = plan.schedule;
+  }
+
+let lint ~models plan = Lint_plan.check_plan (plan_view ~models plan)
+
+let log_diags diags =
+  List.iter
+    (fun (d : Diagnostic.t) ->
+      let level =
+        match d.severity with
+        | Diagnostic.Error -> Logs.Error
+        | Diagnostic.Warning -> Logs.Warning
+        | Diagnostic.Info -> Logs.Info
+      in
+      Log.msg level (fun m -> m "%a" Diagnostic.pp d))
+    diags
+
 let optimize ?search ?(enumeration_limit = 20000) ~models ~roi ~input ~budget () =
-  if budget < 0.0 then invalid_arg "Optimizer.optimize: negative budget";
+  let app = Models.app models in
   let n_phases = Models.n_phases models in
-  if Array.length roi <> n_phases then invalid_arg "Optimizer.optimize: roi arity mismatch";
+  (* Pre-flight: budget / ROI / input defects become structured
+     diagnostics (raised as Lint_error) instead of ad-hoc invalid_arg. *)
+  Diagnostic.raise_errors ~strict:false
+    (Lint_plan.check_inputs
+       {
+         Lint_plan.app_name = app.App.name;
+         abs = app.App.abs;
+         n_phases;
+         param_arity = Array.length app.App.param_names;
+         roi;
+         budget;
+         input;
+       });
   let abs = (Models.app models).App.abs in
   (* Compile the prediction pipeline once per solve: classification,
      model selection, and all regression scratch buffers are hoisted out
@@ -182,10 +231,13 @@ let optimize ?search ?(enumeration_limit = 20000) ~models ~roi ~input ~budget ()
   let predicted_qos =
     List.fold_left (fun acc c -> acc +. c.predicted.Models.qos_hi) 0.0 choices
   in
-  {
-    schedule = Schedule.make schedule_levels;
-    choices;
-    predicted_speedup;
-    predicted_qos;
-    budget;
-  }
+  let plan =
+    { schedule = Schedule.make schedule_levels; choices; predicted_speedup; predicted_qos; budget }
+  in
+  (* Post-flight: the optimizer's own output contract.  Violations mark a
+     solver bug (or corrupted models that slipped through) — log
+     everything, fail on errors. *)
+  let diags = lint ~models plan in
+  log_diags diags;
+  Diagnostic.raise_errors ~strict:false diags;
+  plan

@@ -46,7 +46,20 @@ val optimize :
     greedy search when the per-phase space is larger.  The returned
     schedule always satisfies the models' conservative per-phase
     constraints; the all-exact schedule is the fallback when no setting
-    fits a sub-budget. *)
+    fits a sub-budget.
+
+    Inputs are validated through {!Opprox_analysis.Lint_plan.check_inputs}
+    before any search runs — a negative or non-finite budget, an ROI
+    vector of the wrong arity, or a malformed input vector raises
+    {!Opprox_analysis.Diagnostic.Lint_error} carrying [PLAN***]
+    diagnostics (instead of the ad-hoc [Invalid_argument] of earlier
+    revisions).  The constructed plan is audited the same way
+    ({!Opprox_analysis.Lint_plan.check_plan}) before it is returned. *)
+
+val lint : models:Models.t -> plan -> Opprox_analysis.Diagnostic.t list
+(** Audit any plan — including one doctored or deserialized outside the
+    optimizer — against the models it is meant to run under: budget
+    split, level admissibility, schedule shape. *)
 
 val compose_speedup : float list -> float
 (** Combine per-phase whole-run speedups: each phase contributes work

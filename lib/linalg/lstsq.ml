@@ -8,22 +8,27 @@ let normal_equations ?(ridge = 0.0) x y =
   let rhs = Matrix.mul_vec xt y in
   Matrix.solve lhs rhs
 
-let fit ?(ridge = 0.0) x y =
+let fit_diag ?(ridge = 0.0) x y =
   if Matrix.rows x <> Array.length y then invalid_arg "Lstsq.fit: dimension mismatch";
   (* Preferred route: Householder QR (works on the design matrix directly,
      so the conditioning is not squared).  Rank-deficient systems fall back
      to ridge-stabilized normal equations, escalating the penalty —
      degree-6 polynomial bases over near-collinear features routinely
-     defeat unregularized solves. *)
-  let qr_solution =
-    if Matrix.rows x >= Matrix.cols x then
+     defeat unregularized solves.  The R diagonal is kept either way: it
+     is the conditioning evidence the static model checker audits. *)
+  let r_diag, qr_solution =
+    if Matrix.rows x >= Matrix.cols x then begin
       let qr = Qr.decompose x in
-      if Qr.rank_deficient qr then None
-      else match Qr.solve qr y with w -> Some w | exception Failure _ -> None
-    else None
+      let solution =
+        if Qr.rank_deficient qr then None
+        else match Qr.solve qr y with w -> Some w | exception Failure _ -> None
+      in
+      (Qr.r_diag qr, solution)
+    end
+    else ([||], None)
   in
   match qr_solution with
-  | Some w -> w
+  | Some w -> (w, r_diag)
   | None ->
       let rec attempt ridge =
         match normal_equations ~ridge x y with
@@ -33,7 +38,9 @@ let fit ?(ridge = 0.0) x y =
             if next > 1.0 then failwith "Lstsq.fit: singular even with ridge"
             else attempt next
       in
-      attempt (Float.max ridge 1e-8)
+      (attempt (Float.max ridge 1e-8), r_diag)
+
+let fit ?ridge x y = fst (fit_diag ?ridge x y)
 
 let predict x w = Matrix.mul_vec x w
 

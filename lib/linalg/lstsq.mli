@@ -12,6 +12,14 @@ val fit : ?ridge:float -> Matrix.t -> float array -> float array
     up to [1.0] and raises [Failure] only if even that fails.  Requires
     [rows x = length y] and [rows x >= 1]. *)
 
+val fit_diag : ?ridge:float -> Matrix.t -> float array -> float array * float array
+(** Like {!fit}, but also returns the signed R-factor diagonal of the
+    design matrix's QR decomposition ([[||]] when [rows < cols], where QR
+    is unavailable).  The diagonal is returned even when the solve itself
+    fell back to ridge-stabilized normal equations — that fallback is
+    precisely the conditioning evidence the static model checker
+    ({!Opprox_analysis.Lint_models}) wants to see. *)
+
 val predict : Matrix.t -> float array -> float array
 (** [predict x w] is [X w]. *)
 

@@ -71,6 +71,8 @@ let q_transpose_vec t b =
   done;
   Array.sub y 0 t.n
 
+let r_diag t = Array.init t.n (fun i -> t.a.(i).(i))
+
 let rank_deficient ?(tolerance = 1e-10) t =
   let diag = Array.init t.n (fun i -> Float.abs t.a.(i).(i)) in
   let largest = Array.fold_left Float.max 0.0 diag in

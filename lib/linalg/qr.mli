@@ -30,3 +30,9 @@ val solve : t -> float array -> float array
 val rank_deficient : ?tolerance:float -> t -> bool
 (** Whether any diagonal of [R] is below [tolerance] (default [1e-10])
     times the largest diagonal. *)
+
+val r_diag : t -> float array
+(** The diagonal of [R] (signed), length [n].  Its magnitude spread is
+    the cheap conditioning diagnostic the static model checker inspects:
+    a near-zero entry relative to the largest marks the fit as
+    near-rank-deficient. *)

@@ -34,6 +34,10 @@ type single = {
   lo : float array;  (* training range of each feature: predictions are *)
   hi : float array;  (* clamped into it, because polynomials explode when
                         extrapolating even slightly outside the data *)
+  r_diag : float array;  (* signed R diagonal of the design-matrix QR; [||]
+                            when QR was unavailable (rows < cols).  Kept so
+                            the static checker can audit conditioning of a
+                            persisted model without refitting. *)
 }
 
 type body =
@@ -86,7 +90,7 @@ let fit_single ~ridge ~degree rows targets =
   let caps = Array.map (fun k -> k - 1) (distinct_counts rows) in
   let feat = Polyfeat.create ~caps ~arity:(Array.length rows.(0)) ~degree () in
   let x = Polyfeat.design_matrix feat std_rows in
-  let weights = Lstsq.fit ~ridge x targets in
+  let weights, r_diag = Lstsq.fit_diag ~ridge x targets in
   let arity = Array.length rows.(0) in
   (* Allowed prediction range: the training range plus a 25% margin, so
      mild extrapolation stays polynomial while far-out queries clamp. *)
@@ -95,7 +99,7 @@ let fit_single ~ridge ~degree rows targets =
   let margin = Array.init arity (fun j -> 0.25 *. Float.max 1e-9 (hi.(j) -. lo.(j))) in
   let lo = Array.mapi (fun j v -> v -. margin.(j)) lo in
   let hi = Array.mapi (fun j v -> v +. margin.(j)) hi in
-  { feat; weights; means; scales; lo; hi }
+  { feat; weights; means; scales; lo; hi; r_diag }
 
 let predict_single s row =
   let clamped = Array.mapi (fun j x -> Float.max s.lo.(j) (Float.min s.hi.(j) x)) row in
@@ -336,6 +340,21 @@ let selected_features t = t.selected
 
 let is_split t = match t.body with Split _ -> true | Constant _ | Single _ -> false
 
+(* Flatten the model into auditable pieces: one (path, weights, r_diag)
+   triple per leaf.  Constant leaves report their value as a singleton
+   weight vector with no conditioning evidence. *)
+let pieces t =
+  let rec walk path = function
+    | Constant c -> [ (path, [| c |], [||]) ]
+    | Single s -> [ (path, s.weights, s.r_diag) ]
+    | Split { parts; _ } ->
+        List.concat
+          (List.mapi
+             (fun i part -> walk (Printf.sprintf "%s/part%d" path i) part)
+             (Array.to_list parts))
+  in
+  walk "" t.body
+
 (* -------------------------------------------------------- serialization *)
 
 let single_to_sexp s =
@@ -347,6 +366,7 @@ let single_to_sexp s =
       ("scales", Sexp.float_array s.scales);
       ("lo", Sexp.float_array s.lo);
       ("hi", Sexp.float_array s.hi);
+      ("r_diag", Sexp.float_array s.r_diag);
     ]
 
 let single_of_sexp sexp =
@@ -360,6 +380,11 @@ let single_of_sexp sexp =
     scales = Sexp.to_float_array (Sexp.field sexp "scales");
     lo = Sexp.to_float_array (Sexp.field sexp "lo");
     hi = Sexp.to_float_array (Sexp.field sexp "hi");
+    (* Absent in files saved before conditioning evidence was recorded. *)
+    r_diag =
+      (match Sexp.field_opt sexp "r_diag" with
+      | Some s -> Sexp.to_float_array s
+      | None -> [||]);
   }
 
 let rec body_to_sexp = function

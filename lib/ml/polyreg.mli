@@ -77,6 +77,15 @@ val selected_features : t -> int list
 val is_split : t -> bool
 (** Whether sub-model splitting was engaged. *)
 
+val pieces : t -> (string * float array * float array) list
+(** [(path, weights, r_diag)] for every leaf of the model tree: [path] is
+    [""] for an unsplit model and ["/part0/..."] under splits; [weights]
+    are the fitted coefficients (a singleton for constant leaves); [r_diag]
+    is the signed R-factor diagonal captured at fit time ([[||]] when QR
+    was unavailable or for constant leaves).  This is the audit surface the
+    static model checker walks — coefficient finiteness and
+    near-rank-deficiency are checkable without refitting. *)
+
 val to_sexp : t -> Opprox_util.Sexp.t
 (** Serialize a trained model (the paper's systems persist trained models
     between the offline and runtime stages). *)

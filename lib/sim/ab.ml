@@ -7,6 +7,9 @@ let make ~name ~technique ~max_level =
   if String.length name = 0 then invalid_arg "Ab.make: empty name";
   { name; technique; max_level }
 
+let equal a b =
+  String.equal a.name b.name && a.technique = b.technique && a.max_level = b.max_level
+
 let technique_name = function
   | Perforation -> "loop perforation"
   | Truncation -> "loop truncation"

@@ -21,6 +21,9 @@ type t = {
 val make : name:string -> technique:technique -> max_level:int -> t
 (** Raises [Invalid_argument] if [max_level < 1] or the name is empty. *)
 
+val equal : t -> t -> bool
+(** Structural equality on all three fields. *)
+
 val technique_name : technique -> string
 
 val pp : Format.formatter -> t -> unit

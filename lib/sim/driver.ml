@@ -1,4 +1,5 @@
 module Rng = Opprox_util.Rng
+module Dmutex = Opprox_util.Dmutex
 
 type exact_run = { output : float array; work : int; iters : int; trace : int list }
 
@@ -29,16 +30,16 @@ module Bounded = struct
     table : (string, 'a) Hashtbl.t;
     order : string Queue.t;  (* insertion order; keys unique *)
     mutable capacity : int;
-    mutex : Mutex.t;
+    mutex : Dmutex.t;
   }
 
   let create capacity =
-    { table = Hashtbl.create 64; order = Queue.create (); capacity; mutex = Mutex.create () }
+    { table = Hashtbl.create 64; order = Queue.create (); capacity; mutex = Dmutex.create () }
 
   let find t key =
-    Mutex.lock t.mutex;
+    Dmutex.lock t.mutex;
     let r = Hashtbl.find_opt t.table key in
-    Mutex.unlock t.mutex;
+    Dmutex.unlock t.mutex;
     r
 
   let trim_locked t =
@@ -48,7 +49,7 @@ module Bounded = struct
 
   (* Returns [true] iff the binding was inserted (first writer wins). *)
   let add t key v =
-    Mutex.lock t.mutex;
+    Dmutex.lock t.mutex;
     let inserted =
       if Hashtbl.mem t.table key then false
       else begin
@@ -58,27 +59,27 @@ module Bounded = struct
         Hashtbl.mem t.table key
       end
     in
-    Mutex.unlock t.mutex;
+    Dmutex.unlock t.mutex;
     inserted
 
   let clear t =
-    Mutex.lock t.mutex;
+    Dmutex.lock t.mutex;
     Hashtbl.reset t.table;
     Queue.clear t.order;
-    Mutex.unlock t.mutex
+    Dmutex.unlock t.mutex
 
   let size t =
-    Mutex.lock t.mutex;
+    Dmutex.lock t.mutex;
     let n = Hashtbl.length t.table in
-    Mutex.unlock t.mutex;
+    Dmutex.unlock t.mutex;
     n
 
   let set_capacity t n =
     if n < 0 then invalid_arg "Driver: cache capacity must be >= 0";
-    Mutex.lock t.mutex;
+    Dmutex.lock t.mutex;
     t.capacity <- n;
     trim_locked t;
-    Mutex.unlock t.mutex
+    Dmutex.unlock t.mutex
 end
 
 (* Exact runs are pure functions of (application, input); the memo is

@@ -5,10 +5,20 @@ let make levels =
   if n_phases = 0 then invalid_arg "Schedule.make: no phases";
   let n_abs = Array.length levels.(0) in
   if n_abs = 0 then invalid_arg "Schedule.make: no ABs";
-  Array.iter
-    (fun row ->
-      if Array.length row <> n_abs then invalid_arg "Schedule.make: ragged rows";
-      Array.iter (fun l -> if l < 0 then invalid_arg "Schedule.make: negative level") row)
+  Array.iteri
+    (fun phase row ->
+      if Array.length row <> n_abs then
+        invalid_arg
+          (Printf.sprintf
+             "Schedule.make: ragged rows (phase %d has %d ABs, phase 0 has %d)" phase
+             (Array.length row) n_abs);
+      Array.iteri
+        (fun ab l ->
+          if l < 0 then
+            invalid_arg
+              (Printf.sprintf "Schedule.make: negative level %d (phase %d, ab %d)" l phase
+                 ab))
+        row)
     levels;
   { levels = Array.map Array.copy levels }
 
@@ -51,6 +61,18 @@ let exact_prefix t =
   go 0
 
 let equal a b = a.levels = b.levels
+
+module Sexp = Opprox_util.Sexp
+
+let to_sexp t =
+  Sexp.record
+    [ ("levels", Sexp.list (Array.to_list (Array.map Sexp.int_array t.levels))) ]
+
+let of_sexp sexp =
+  let levels =
+    Array.of_list (List.map Sexp.to_int_array (Sexp.to_list (Sexp.field sexp "levels")))
+  in
+  make levels
 
 let pp ppf t =
   Array.iteri

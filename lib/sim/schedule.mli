@@ -49,3 +49,12 @@ val exact_prefix : t -> int
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
+
+val to_sexp : t -> Opprox_util.Sexp.t
+(** Serialize, so schedules can be shipped to [opprox check] and audited
+    without re-running the optimizer. *)
+
+val of_sexp : Opprox_util.Sexp.t -> t
+(** Inverse of {!to_sexp}.  Raises [Failure] on malformed input and
+    [Invalid_argument] (via {!make}) when the stored schedule violates the
+    shape invariants. *)

@@ -1,0 +1,46 @@
+(* A mutex with optional owner tracking.  In normal operation this is a
+   plain [Mutex.t] — one extra branch per operation.  With checking
+   enabled ([OPPROX_DEBUG=1] or {!set_enabled}) each acquisition records
+   the owning domain, and a domain re-acquiring a lock it already holds
+   fails immediately with a descriptive exception instead of deadlocking
+   silently.  Systhreads mutexes already raise [Sys_error] on some
+   platforms for recursive locking, but not reliably, and never with the
+   owner identified. *)
+
+type t = { m : Mutex.t; owner : int Atomic.t }
+
+let no_owner = -1
+let enabled = ref (Sys.getenv_opt "OPPROX_DEBUG" = Some "1")
+let set_enabled b = enabled := b
+let checking () = !enabled
+let create () = { m = Mutex.create (); owner = Atomic.make no_owner }
+let self () = (Domain.self () :> int)
+
+let lock t =
+  if !enabled && Atomic.get t.owner = self () then
+    failwith "Dmutex.lock: reentrant acquisition (this domain already holds the lock)";
+  Mutex.lock t.m;
+  if !enabled then Atomic.set t.owner (self ())
+
+let unlock t =
+  if !enabled then begin
+    let o = Atomic.get t.owner in
+    (* [o = no_owner] is tolerated: checking may have been enabled between
+       lock and unlock. *)
+    if o <> no_owner && o <> self () then
+      failwith "Dmutex.unlock: lock held by another domain";
+    Atomic.set t.owner no_owner
+  end;
+  Mutex.unlock t.m
+
+let wait cond t =
+  if !enabled then begin
+    let o = Atomic.get t.owner in
+    if o <> no_owner && o <> self () then
+      failwith "Dmutex.wait: lock held by another domain";
+    (* Condition.wait releases the mutex atomically; ownership must be
+       cleared for the duration so a waking peer can acquire cleanly. *)
+    Atomic.set t.owner no_owner
+  end;
+  Condition.wait cond t.m;
+  if !enabled then Atomic.set t.owner (self ())

@@ -1,0 +1,33 @@
+(** Owner-tracked mutex for debugging lock discipline.
+
+    Drop-in for the [Mutex.t]/[Condition.wait] subset the codebase uses.
+    In normal operation the cost over a bare mutex is one branch per
+    operation.  When checking is on — [OPPROX_DEBUG=1] in the environment
+    at startup, or {!set_enabled} — each acquisition records the owning
+    domain and a reentrant acquisition (the same domain locking a lock it
+    already holds, the classic self-deadlock in memo-table callbacks)
+    raises [Failure] immediately instead of hanging the process. *)
+
+type t
+
+val create : unit -> t
+
+val lock : t -> unit
+(** Acquire.  With checking on, raises [Failure] if the calling domain
+    already holds [t]. *)
+
+val unlock : t -> unit
+(** Release.  With checking on, raises [Failure] if another domain is the
+    recorded owner. *)
+
+val wait : Condition.t -> t -> unit
+(** [wait cond t] is [Condition.wait cond (the underlying mutex)]:
+    atomically releases [t] and sleeps, reacquiring before returning.
+    Ownership tracking is cleared for the sleep and restored on wakeup. *)
+
+val set_enabled : bool -> unit
+(** Turn checking on or off process-wide (initial state comes from
+    [OPPROX_DEBUG=1]).  Affects subsequent operations on all mutexes. *)
+
+val checking : unit -> bool
+(** Whether checking is currently on. *)

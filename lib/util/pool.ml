@@ -6,7 +6,7 @@
 
 type t = {
   jobs : int;
-  mutex : Mutex.t;
+  mutex : Dmutex.t;
   pending : (unit -> unit) Queue.t;
   wake : Condition.t;
   mutable closing : bool;
@@ -14,14 +14,14 @@ type t = {
 }
 
 let rec worker_loop t =
-  Mutex.lock t.mutex;
+  Dmutex.lock t.mutex;
   while Queue.is_empty t.pending && not t.closing do
-    Condition.wait t.wake t.mutex
+    Dmutex.wait t.wake t.mutex
   done;
-  if Queue.is_empty t.pending then Mutex.unlock t.mutex (* closing *)
+  if Queue.is_empty t.pending then Dmutex.unlock t.mutex (* closing *)
   else begin
     let task = Queue.pop t.pending in
-    Mutex.unlock t.mutex;
+    Dmutex.unlock t.mutex;
     task ();
     worker_loop t
   end
@@ -39,7 +39,7 @@ let create ?jobs () =
   let t =
     {
       jobs;
-      mutex = Mutex.create ();
+      mutex = Dmutex.create ();
       pending = Queue.create ();
       wake = Condition.create ();
       closing = false;
@@ -52,10 +52,10 @@ let create ?jobs () =
 let jobs t = t.jobs
 
 let shutdown t =
-  Mutex.lock t.mutex;
+  Dmutex.lock t.mutex;
   t.closing <- true;
   Condition.broadcast t.wake;
-  Mutex.unlock t.mutex;
+  Dmutex.unlock t.mutex;
   List.iter Domain.join t.workers;
   t.workers <- []
 
@@ -72,15 +72,15 @@ let run_tasks t tasks =
     let wrap task () =
       (try task ()
        with e ->
-         Mutex.lock t.mutex;
+         Dmutex.lock t.mutex;
          if !error = None then error := Some e;
-         Mutex.unlock t.mutex);
-      Mutex.lock t.mutex;
+         Dmutex.unlock t.mutex);
+      Dmutex.lock t.mutex;
       decr remaining;
       if !remaining = 0 then Condition.broadcast finished;
-      Mutex.unlock t.mutex
+      Dmutex.unlock t.mutex
     in
-    Mutex.lock t.mutex;
+    Dmutex.lock t.mutex;
     Array.iter (fun task -> Queue.push (wrap task) t.pending) tasks;
     Condition.broadcast t.wake;
     (* Help execute until every task of this submission has completed.
@@ -90,28 +90,28 @@ let run_tasks t tasks =
       if !remaining > 0 then
         if not (Queue.is_empty t.pending) then begin
           let task = Queue.pop t.pending in
-          Mutex.unlock t.mutex;
+          Dmutex.unlock t.mutex;
           task ();
-          Mutex.lock t.mutex;
+          Dmutex.lock t.mutex;
           help ()
         end
         else begin
-          Condition.wait finished t.mutex;
+          Dmutex.wait finished t.mutex;
           help ()
         end
     in
     help ();
-    Mutex.unlock t.mutex;
+    Dmutex.unlock t.mutex;
     match !error with Some e -> raise e | None -> ()
   end
 
 (* ---------------------------------------------------------- default pool *)
 
 let default_pool = ref None
-let default_lock = Mutex.create ()
+let default_lock = Dmutex.create ()
 
 let default () =
-  Mutex.lock default_lock;
+  Dmutex.lock default_lock;
   let pool =
     match !default_pool with
     | Some p -> p
@@ -121,17 +121,17 @@ let default () =
         at_exit (fun () -> shutdown p);
         p
   in
-  Mutex.unlock default_lock;
+  Dmutex.unlock default_lock;
   pool
 
 let set_default_jobs n =
   if n < 1 then invalid_arg "Pool.set_default_jobs: jobs must be >= 1";
-  Mutex.lock default_lock;
+  Dmutex.lock default_lock;
   let old = !default_pool in
   let p = create ~jobs:n () in
   default_pool := Some p;
   at_exit (fun () -> shutdown p);
-  Mutex.unlock default_lock;
+  Dmutex.unlock default_lock;
   match old with Some p -> shutdown p | None -> ()
 
 (* ----------------------------------------------------------- combinators *)

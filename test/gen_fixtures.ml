@@ -1,0 +1,64 @@
+(* Regenerates the committed lint fixtures under test/fixtures/.
+
+   Usage: dune exec test/gen_fixtures.exe [-- DIR]
+
+   Produces one clean trained-pipeline artifact plus four corrupted
+   variants, each seeded with exactly one defect that `opprox check`
+   must flag with a documented rule code:
+
+     trained_kmeans.sexp        clean baseline            (exit 0)
+     corrupt_nan_coeff.sexp     NaN coefficient           MODEL001
+     corrupt_inverted_ci.sexp   negative CI half-width    MODEL003
+     corrupt_level_range.sexp   schedule level 99         SCHED003
+     corrupt_ragged.sexp        ragged schedule rows      SCHED001
+
+   The corruptions are sexp surgery on the clean artifact rather than
+   hand-written files, so the fixtures track the serialization format
+   for free whenever it changes — just rerun this program. *)
+
+module Sexp = Opprox_util.Sexp
+
+(* Rewrite every record field called [name] anywhere in a sexp tree. *)
+let rec rewrite_field name f = function
+  | Sexp.List [ Sexp.Atom n; v ] when n = name -> Sexp.List [ Sexp.Atom n; f v ]
+  | Sexp.List items -> Sexp.List (List.map (rewrite_field name f) items)
+  | atom -> atom
+
+let schedule_sexp rows =
+  Sexp.record [ ("levels", Sexp.list (List.map Sexp.int_array (Array.to_list rows))) ]
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/fixtures" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let save name sexp = Sexp.save (Filename.concat dir name) sexp in
+  (* A small but real training run: kmeans is the cheapest registered app,
+     and two phases keep the artifact reviewable while still exercising
+     the per-phase model tables the checker audits. *)
+  let app = Opprox_apps.Registry.find "kmeans" in
+  let config =
+    {
+      Opprox.default_train_config with
+      n_phases = Some 2;
+      training =
+        { Opprox.default_train_config.training with joint_samples_per_phase = 8 };
+    }
+  in
+  let trained = Opprox.train ~config app in
+  Opprox.save (Filename.concat dir "trained_kmeans.sexp") trained;
+  let clean = Sexp.load (Filename.concat dir "trained_kmeans.sexp") in
+  save "corrupt_nan_coeff.sexp"
+    (rewrite_field "weights"
+       (fun v ->
+         let w = Sexp.to_float_array v in
+         if Array.length w > 0 then w.(0) <- Float.nan;
+         Sexp.float_array w)
+       clean);
+  save "corrupt_inverted_ci.sexp"
+    (rewrite_field "qos_ci" (fun _ -> Sexp.float (-0.5)) clean);
+  (* Schedule fixtures are built directly: Schedule.make refuses ragged
+     input, which is exactly why the ragged one must exist on disk. *)
+  save "corrupt_level_range.sexp" (schedule_sexp [| [| 99; 0; 0 |]; [| 1; 0; 0 |] |]);
+  save "corrupt_ragged.sexp"
+    (Sexp.record
+       [ ("levels", Sexp.list [ Sexp.int_array [| 1; 0 |]; Sexp.int_array [| 1 |] ]) ]);
+  Printf.printf "wrote 5 fixtures to %s/\n" dir

@@ -86,7 +86,7 @@ let resume_equals_scratch (app : App.t) =
           in
           eval_equal scratch cold && eval_equal scratch warm && reuse_observed))
 
-let all_apps = Opprox_apps.Registry.all
+let all_apps = Opprox_apps.Registry.all ()
 
 (* ------------------------------------------------------------------ *)
 

@@ -231,8 +231,13 @@ let test_optimizer_greedy_close_to_enumerate () =
   check_bool "greedy not far behind" true (g >= 1.0)
 
 let test_optimizer_negative_budget () =
-  Alcotest.check_raises "negative" (Invalid_argument "Optimizer.optimize: negative budget")
-    (fun () -> ignore (optimize (-1.0)))
+  (* Input validation now flows through Lint_plan: a negative budget is a
+     PLAN001 diagnostic carried by Lint_error. *)
+  match optimize (-1.0) with
+  | _ -> Alcotest.fail "negative budget accepted"
+  | exception Opprox_analysis.Diagnostic.Lint_error diags ->
+      check_bool "PLAN001 fired" true
+        (List.exists (fun (d : Opprox_analysis.Diagnostic.t) -> d.code = "PLAN001") diags)
 
 let test_compose_speedup () =
   check_float_eps 1e-9 "identity" 1.0 (Optimizer.compose_speedup [ 1.0; 1.0 ]);

@@ -161,10 +161,13 @@ let test_schedule_unknown_iters () =
   check_int "unknown maps to 0" 0 (Schedule.phase_of_iter s ~expected_iters:0 ~iter:50)
 
 let test_schedule_make_validation () =
-  Alcotest.check_raises "negative level" (Invalid_argument "Schedule.make: negative level")
-    (fun () -> ignore (Schedule.make [| [| -1 |] |]));
-  Alcotest.check_raises "ragged" (Invalid_argument "Schedule.make: ragged rows") (fun () ->
-      ignore (Schedule.make [| [| 1 |]; [| 1; 2 |] |]))
+  (* The messages carry the offending coordinates. *)
+  Alcotest.check_raises "negative level"
+    (Invalid_argument "Schedule.make: negative level -1 (phase 0, ab 0)") (fun () ->
+      ignore (Schedule.make [| [| -1 |] |]));
+  Alcotest.check_raises "ragged"
+    (Invalid_argument "Schedule.make: ragged rows (phase 1 has 2 ABs, phase 0 has 1)")
+    (fun () -> ignore (Schedule.make [| [| 1 |]; [| 1; 2 |] |]))
 
 let test_schedule_levels_of_phase_copies () =
   let s = Schedule.make [| [| 1; 2 |] |] in
@@ -345,7 +348,7 @@ let test_apps_default_in_training () =
     (fun (app : App.t) ->
       check_bool (app.App.name ^ " default covered") true
         (Array.exists (fun i -> i = app.App.default_input) app.App.training_inputs))
-    Opprox_apps.Registry.all
+    (Opprox_apps.Registry.all ())
 
 (* ------------------------------------------------------------ App / Driver *)
 
