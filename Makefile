@@ -1,6 +1,6 @@
 # Convenience aliases; dune is the build system.
 
-.PHONY: all check test lint fixtures bench bench-snapshot fmt clean
+.PHONY: all check test lint stats fixtures bench bench-snapshot fmt clean
 
 all:
 	dune build @all
@@ -40,6 +40,16 @@ lint:
 	done
 	@echo "lint: ok"
 
+# Observability smoke test: a reduced pipeline pass must complete and
+# report live metrics, and the tracer must emit loadable JSON.
+stats:
+	dune build bin/opprox_cli.exe
+	dune exec --no-build bin/opprox_cli.exe -- stats
+	dune exec --no-build bin/opprox_cli.exe -- stats kmeans --trace /tmp/opprox_stats_trace.json \
+	  --metrics-sexp > /dev/null
+	@test -s /tmp/opprox_stats_trace.json && echo "stats: trace written (ok)"
+	@rm -f /tmp/opprox_stats_trace.json
+
 # Regenerate the committed corruption fixtures under test/fixtures/.
 fixtures:
 	dune exec test/gen_fixtures.exe
@@ -48,8 +58,8 @@ fixtures:
 bench:
 	dune exec bench/main.exe -- --quick
 
-# Regenerate the committed benchmark snapshots (BENCH_pool.json and
-# BENCH_checkpoint.json) from the bechamel micro-suite.
+# Regenerate the committed benchmark snapshots (BENCH_pool.json,
+# BENCH_checkpoint.json, and BENCH_obs.json) from the bechamel micro-suite.
 bench-snapshot:
 	dune exec bench/main.exe -- --bechamel
 

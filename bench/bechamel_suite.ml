@@ -243,6 +243,106 @@ let write_ckpt_snapshot entries =
   Printf.fprintf oc "  }\n}\n";
   close_out oc
 
+(* ------------------------------------------------------------ obs group *)
+
+(* Overhead of the observability layer on its own (counter increment,
+   histogram observation, disabled span) and on a production hot path
+   (memoized Driver.evaluate, whose memo hit bumps one counter).  The
+   primitive arms run 1000 operations per measured call so the estimate
+   is well above clock resolution; BENCH_obs.json stores the per-op
+   figures.  The disabled arms toggle the global flag inside the call —
+   two atomic stores, noise at this batch size. *)
+module Metrics = Opprox_obs.Metrics
+module Obs_trace = Opprox_obs.Trace
+
+let obs_counter = Metrics.counter "bench.obs.counter"
+let obs_hist = Metrics.histogram "bench.obs.hist"
+let obs_batch = 1000
+
+let counter_batch () =
+  for _ = 1 to obs_batch do
+    Metrics.incr obs_counter
+  done
+
+let with_metrics_off f =
+  Metrics.set_enabled false;
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled true) f
+
+let hist_batch () =
+  for i = 1 to obs_batch do
+    Metrics.observe obs_hist (float_of_int i)
+  done
+
+let span_batch () =
+  for _ = 1 to obs_batch do
+    Obs_trace.with_span "bench" (fun () -> ())
+  done
+
+let span_batch_enabled () =
+  Obs_trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs_trace.set_enabled false;
+      Obs_trace.clear ())
+    span_batch
+
+let eval_memo_hit () =
+  (* Steady state: the schedule/input pair is already in the eval memo,
+     so each call is a lookup plus one [driver.eval.hit] increment. *)
+  let a = app "pso" in
+  ignore (Driver.evaluate a (Schedule.uniform ~n_phases:1 [| 1; 1; 1 |]) a.App.default_input)
+
+let obs_tests =
+  [
+    Test.make ~name:"obs:counter-incr-on-x1000" (Staged.stage counter_batch);
+    Test.make ~name:"obs:counter-incr-off-x1000"
+      (Staged.stage (fun () -> with_metrics_off counter_batch));
+    Test.make ~name:"obs:hist-observe-on-x1000" (Staged.stage hist_batch);
+    Test.make ~name:"obs:hist-observe-off-x1000"
+      (Staged.stage (fun () -> with_metrics_off hist_batch));
+    Test.make ~name:"obs:span-off-x1000" (Staged.stage span_batch);
+    Test.make ~name:"obs:span-on-x1000" (Staged.stage span_batch_enabled);
+    Test.make ~name:"obs:eval-memo-metrics-on" (Staged.stage eval_memo_hit);
+    Test.make ~name:"obs:eval-memo-metrics-off"
+      (Staged.stage (fun () -> with_metrics_off eval_memo_hit));
+  ]
+
+let obs_snapshot_file = "BENCH_obs.json"
+
+let write_obs_snapshot entries =
+  let est name = Option.join (List.assoc_opt name entries) in
+  let per_op name = Option.map (fun ns -> ns /. float_of_int obs_batch) (est name) in
+  let num = function Some v -> Printf.sprintf "%.2f" v | None -> "null" in
+  let oc = open_out obs_snapshot_file in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"ops_per_run\": %d,\n" obs_batch;
+  Printf.fprintf oc "  \"benchmarks\": [\n";
+  let n = List.length entries in
+  List.iteri
+    (fun i (name, est) ->
+      let value = match est with Some ns -> Printf.sprintf "%.1f" ns | None -> "null" in
+      Printf.fprintf oc "    { \"name\": %S, \"ns_per_run\": %s }%s\n" name value
+        (if i = n - 1 then "" else ","))
+    entries;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"ns_per_op\": {\n";
+  Printf.fprintf oc "    \"counter_incr_enabled\": %s,\n" (num (per_op "obs:counter-incr-on-x1000"));
+  Printf.fprintf oc "    \"counter_incr_disabled\": %s,\n"
+    (num (per_op "obs:counter-incr-off-x1000"));
+  Printf.fprintf oc "    \"hist_observe_enabled\": %s,\n" (num (per_op "obs:hist-observe-on-x1000"));
+  Printf.fprintf oc "    \"hist_observe_disabled\": %s,\n"
+    (num (per_op "obs:hist-observe-off-x1000"));
+  Printf.fprintf oc "    \"span_disabled\": %s,\n" (num (per_op "obs:span-off-x1000"));
+  Printf.fprintf oc "    \"span_enabled\": %s\n" (num (per_op "obs:span-on-x1000"));
+  Printf.fprintf oc "  },\n";
+  let ratio =
+    match (est "obs:eval-memo-metrics-on", est "obs:eval-memo-metrics-off") with
+    | Some on, Some off when off > 0.0 -> Printf.sprintf "%.3f" (on /. off)
+    | _ -> "null"
+  in
+  Printf.fprintf oc "  \"eval_memo_on_over_off\": %s\n}\n" ratio;
+  close_out oc
+
 let pool_snapshot_file = "BENCH_pool.json"
 
 let write_pool_snapshot entries =
@@ -327,6 +427,13 @@ let run () =
   List.iter print_entry pool_entries;
   write_pool_snapshot pool_entries;
   Printf.printf "  pool group snapshot -> %s\n%!" pool_snapshot_file;
+  (* Warm the eval memo so both obs:eval-memo arms measure the hit path. *)
+  eval_memo_hit ();
+  let obs_entries = List.concat_map (measure cfg instances) obs_tests in
+  let obs_entries = List.sort (fun (a, _) (b, _) -> compare a b) obs_entries in
+  List.iter print_entry obs_entries;
+  write_obs_snapshot obs_entries;
+  Printf.printf "  obs group snapshot -> %s\n%!" obs_snapshot_file;
   (* The scratch collect arm re-simulates everything and takes seconds per
      run; give the checkpoint group a larger quota so both arms get
      enough iterations for a stable estimate. *)

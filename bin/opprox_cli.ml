@@ -6,9 +6,15 @@
      train APP -o FILE           offline stage only; persist the models
      optimize APP -b BUDGET      emit + execute a plan (optionally --load)
      oracle APP -b BUDGET        the phase-agnostic exhaustive baseline
-     check [APP]                 static diagnostics over apps/models/schedules *)
+     check [APP]                 static diagnostics over apps/models/schedules
+     stats [APP]                 exercise the pipeline, report the metrics registry
+
+   Pipeline subcommands also take --trace FILE (Chrome trace-event
+   timeline of the run) and --metrics-sexp (dump the registry at exit). *)
 
 open Cmdliner
+module Metrics = Opprox_obs.Metrics
+module Trace = Opprox_obs.Trace
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
@@ -73,6 +79,80 @@ let phases_arg =
         ~docv:"N"
         ~doc:"Force the phase count instead of running the Algorithm-1 search.")
 
+(* ---------------------------------------------------------- observability *)
+
+let metrics_registry_sexp () =
+  let module S = Opprox_util.Sexp in
+  S.list
+    (List.map
+       (fun (name, view) ->
+         match view with
+         | Metrics.Counter n -> S.list [ S.string name; S.atom "counter"; S.int n ]
+         | Metrics.Gauge x -> S.list [ S.string name; S.atom "gauge"; S.float x ]
+         | Metrics.Histogram { edges; counts; count; sum } ->
+             S.list
+               [
+                 S.string name;
+                 S.atom "histogram";
+                 S.record
+                   [
+                     ("count", S.int count);
+                     ("sum", S.float sum);
+                     ("edges", S.float_array edges);
+                     ("counts", S.int_array counts);
+                   ];
+               ])
+       (Metrics.dump ()))
+
+let print_metrics_table () =
+  let t = Table.create [ "metric"; "kind"; "value" ] in
+  List.iter
+    (fun (name, view) ->
+      let kind, value =
+        match view with
+        | Metrics.Counter n -> ("counter", string_of_int n)
+        | Metrics.Gauge x -> ("gauge", Printf.sprintf "%.1f" x)
+        | Metrics.Histogram { count; sum; _ } ->
+            ( "histogram",
+              if count = 0 then "n=0"
+              else Printf.sprintf "n=%d sum=%.0f mean=%.1f" count sum (sum /. float_of_int count)
+            )
+      in
+      Table.add_row t [ name; kind; value ])
+    (Metrics.dump ());
+  Table.print ~title:"Metrics registry" t
+
+(* Evaluated before the positional args, like [jobs_arg]: switches the
+   tracer on before any pipeline work runs, and registers the at-exit
+   exports so every exit path (including [exit] inside a command) still
+   writes the requested dumps. *)
+let obs_arg =
+  let setup trace_file metrics_sexp =
+    (match trace_file with
+    | None -> ()
+    | Some path ->
+        Trace.set_enabled true;
+        at_exit (fun () ->
+            Trace.export path;
+            Printf.eprintf "opprox: %d trace event(s) -> %s\n" (Trace.event_count ()) path));
+    if metrics_sexp then
+      at_exit (fun () ->
+          print_endline (Opprox_util.Sexp.to_string (metrics_registry_sexp ())))
+  in
+  Term.(
+    const setup
+    $ Arg.(
+        value
+        & opt (some string) None
+        & info [ "trace" ] ~docv:"FILE"
+            ~doc:
+              "Record a span timeline of the run and write it as Chrome trace-event JSON \
+               (load in chrome://tracing or Perfetto).")
+    $ Arg.(
+        value & flag
+        & info [ "metrics-sexp" ]
+            ~doc:"Dump the full metrics registry as an s-expression on stdout at exit."))
+
 (* ------------------------------------------------------------------ list *)
 
 let list_cmd =
@@ -96,7 +176,7 @@ let list_cmd =
 (* ----------------------------------------------------------------- probe *)
 
 let probe_cmd =
-  let run (app : App.t) =
+  let run () (app : App.t) =
     let input = app.App.default_input in
     let exact = Driver.run_exact app input in
     Printf.printf "%s: exact run %d iterations, %d work units\n\n" app.name exact.Driver.iters
@@ -128,7 +208,7 @@ let probe_cmd =
     Table.print ~title:"Mid-level approximation, one phase at a time" t
   in
   Cmd.v (Cmd.info "probe" ~doc:"Print an application's level and phase sensitivity.")
-    Term.(const run $ app_arg)
+    Term.(const run $ obs_arg $ app_arg)
 
 (* ----------------------------------------------------------------- train *)
 
@@ -139,7 +219,7 @@ let train_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Where to store the trained pipeline.")
   in
-  let run () (app : App.t) phases output verbose =
+  let run () () (app : App.t) phases output verbose =
     setup_logs verbose;
     let config =
       match phases with
@@ -156,7 +236,7 @@ let train_cmd =
   in
   Cmd.v
     (Cmd.info "train" ~doc:"Run the offline stage and persist the trained pipeline.")
-    Term.(const run $ jobs_arg $ app_arg $ phases_arg $ output_arg $ verbose_arg)
+    Term.(const run $ jobs_arg $ obs_arg $ app_arg $ phases_arg $ output_arg $ verbose_arg)
 
 (* -------------------------------------------------------------- optimize *)
 
@@ -168,7 +248,7 @@ let load_arg =
         ~doc:"Load a pipeline saved by $(b,train) instead of retraining.")
 
 let optimize_cmd =
-  let run () (app : App.t) budget phases load verbose =
+  let run () () (app : App.t) budget phases load verbose =
     setup_logs verbose;
     let trained =
       match load with
@@ -212,7 +292,9 @@ let optimize_cmd =
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Train OPPROX and execute the phase-aware plan for a budget.")
-    Term.(const run $ jobs_arg $ app_arg $ budget_arg $ phases_arg $ load_arg $ verbose_arg)
+    Term.(
+      const run $ jobs_arg $ obs_arg $ app_arg $ budget_arg $ phases_arg $ load_arg
+      $ verbose_arg)
 
 (* ---------------------------------------------------------------- submit *)
 
@@ -223,7 +305,10 @@ let submit_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"CONFIG" ~doc:"Job configuration file (app=, budget=, models=, input=).")
   in
-  let run config_path =
+  let run () config_path =
+    (* No --verbose here, but config-parsing warnings (duplicate keys)
+       must still reach the user. *)
+    setup_logs false;
     let job = Opprox.Runtime.load_config config_path in
     let submission = Opprox.submit ~resolve:Opprox_apps.Registry.find job in
     Printf.printf "Job %s at budget %.1f%% -> environment:\n" job.Opprox.Runtime.app_name
@@ -236,7 +321,7 @@ let submit_cmd =
   Cmd.v
     (Cmd.info "submit"
        ~doc:"Load models named by a job config, optimize, and launch (the paper's runtime step).")
-    Term.(const run $ config_arg)
+    Term.(const run $ obs_arg $ config_arg)
 
 (* ----------------------------------------------------------------- check *)
 
@@ -367,7 +452,7 @@ let check_cmd =
 (* ---------------------------------------------------------------- oracle *)
 
 let oracle_cmd =
-  let run () (app : App.t) budget =
+  let run () () (app : App.t) budget =
     let r = Opprox.run_oracle app ~budget in
     Printf.printf "%s phase-agnostic oracle at %.1f%% budget:\n" app.name budget;
     Printf.printf "  levels [%s], speedup %.3f, qos %.2f%%\n"
@@ -377,11 +462,69 @@ let oracle_cmd =
   in
   Cmd.v
     (Cmd.info "oracle" ~doc:"Run the phase-agnostic exhaustive baseline for a budget.")
-    Term.(const run $ jobs_arg $ app_arg $ budget_arg)
+    Term.(const run $ jobs_arg $ obs_arg $ app_arg $ budget_arg)
+
+(* ----------------------------------------------------------------- stats *)
+
+let stats_cmd =
+  let app_opt_arg =
+    Arg.(
+      value
+      & pos 0 (some app_conv) None
+      & info [] ~docv:"APP"
+          ~doc:"Application to exercise (default: the first registered one).")
+  in
+  let run () () app budget verbose =
+    setup_logs verbose;
+    let app =
+      match app with
+      | Some a -> a
+      | None -> List.hd (Opprox_apps.Registry.all ())
+    in
+    (* A deliberately small pipeline pass: enough to touch training, the
+       optimizer, the memo layers, and the pool, so the registry shows
+       live values — while staying fast enough for CI. *)
+    let config =
+      {
+        Opprox.default_train_config with
+        n_phases = Some 2;
+        training =
+          {
+            Opprox.Training.default_config with
+            joint_samples_per_phase = 2;
+            inputs =
+              Some
+                (Array.sub app.App.training_inputs 0
+                   (Stdlib.min 2 (Array.length app.App.training_inputs)));
+          };
+      }
+    in
+    let trained = Opprox.train ~config app in
+    let plan = Opprox.optimize trained ~budget in
+    let outcome = Opprox.apply trained plan in
+    Printf.printf "%s at budget %.1f%%: speedup %.3f, qos degradation %.2f%%\n\n" app.App.name
+      budget outcome.Driver.speedup outcome.Driver.qos_degradation;
+    print_metrics_table ()
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a small train/optimize/apply pass and print the metrics registry \
+          (counters, gauges, histograms) it produced.")
+    Term.(const run $ jobs_arg $ obs_arg $ app_opt_arg $ budget_arg $ verbose_arg)
 
 let () =
   let doc = "phase-aware optimization of approximate programs (OPPROX, CGO 2017)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "opprox" ~doc)
-          [ list_cmd; probe_cmd; train_cmd; optimize_cmd; submit_cmd; oracle_cmd; check_cmd ]))
+          [
+            list_cmd;
+            probe_cmd;
+            train_cmd;
+            optimize_cmd;
+            submit_cmd;
+            oracle_cmd;
+            check_cmd;
+            stats_cmd;
+          ]))

@@ -51,6 +51,7 @@ let codes =
     ("PLAN005", "chosen levels are not admissible for the ABs");
     ("PLAN006", "predicted QoS exceeds the phase sub-budget");
     ("PLAN007", "plan schedule shape differs from the models'");
+    ("PLAN008", "plan choices are not one-per-phase in phase order");
   ]
 
 let is_failure ~strict d =

@@ -124,6 +124,23 @@ let check_plan v =
     in
     sub_budget @ admissible @ feasible
   in
+  let order =
+    (* Plans execute phase 0 first whatever order the optimizer visited
+       phases in; consumers (env-var encoding, reporting) index choices
+       by position, so a plan must carry exactly one choice per phase, in
+       phase order.  This catches both optimizer regressions (PR 4 fixed
+       choices arriving in descending-ROI order) and doctored external
+       plans. *)
+    let phases = List.map (fun c -> c.phase) v.choices in
+    if phases <> List.init v.n_phases Fun.id then
+      [
+        D.v ~app ~code:"PLAN008" D.Error
+          "plan choices are not one-per-phase in phase order (got [%s], want [0..%d])"
+          (String.concat ";" (List.map string_of_int phases))
+          (v.n_phases - 1);
+      ]
+    else []
+  in
   let split =
     let total = List.fold_left (fun acc c -> acc +. c.sub_budget) 0.0 v.choices in
     if Float.is_finite total && total > v.budget +. feasibility_eps v.budget then
@@ -161,4 +178,4 @@ let check_plan v =
         (Lint_schedule.check ~app ~abs:v.abs ~n_phases:v.n_phases v.schedule)
     else []
   in
-  List.concat_map per_choice v.choices @ split @ shape @ sched
+  List.concat_map per_choice v.choices @ order @ split @ shape @ sched

@@ -40,5 +40,6 @@ val check_plan : plan_view -> Diagnostic.t list
     the wrong arity), [PLAN006] (a choice's conservative QoS exceeding
     its sub-budget — the optimizer's own feasibility contract;
     [Warning]), [PLAN007] (schedule shape differing from the models'),
-    plus the [SCHED***] findings of {!Lint_schedule.check} on the plan's
-    schedule. *)
+    [PLAN008] (choices not one-per-phase in phase order — consumers
+    index choices by position), plus the [SCHED***] findings of
+    {!Lint_schedule.check} on the plan's schedule. *)

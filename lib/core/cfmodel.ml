@@ -1,7 +1,13 @@
 module App = Opprox_sim.App
 module Driver = Opprox_sim.Driver
 module Dtree = Opprox_ml.Dtree
+module Metrics = Opprox_obs.Metrics
 
+let log_src = Logs.Src.create "opprox.cfmodel" ~doc:"OPPROX control-flow classifier"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let m_unknown = Metrics.counter "cfmodel.unknown_signature"
 let signature_length = 8
 
 type t = {
@@ -42,7 +48,15 @@ let classify t input = Dtree.predict t.tree input
 let class_of_trace t trace =
   match Hashtbl.find_opt t.classes (signature_of_trace trace) with
   | Some id -> id
-  | None -> 0
+  | None ->
+      (* Falling back to class 0 keeps the pipeline alive, but a trace the
+         classifier never saw means the training inputs missed a control
+         flow — surface it instead of mapping silently. *)
+      Metrics.incr m_unknown;
+      Log.warn (fun m ->
+          m "unseen control-flow signature [%s]; falling back to class 0"
+            (String.concat ";" (List.map string_of_int (signature_of_trace trace))));
+      0
 
 let n_classes t = t.n_classes
 let training_accuracy t = t.accuracy
@@ -77,9 +91,17 @@ let of_sexp sexp =
             (Sexp.to_int id)
       | _ -> failwith "Cfmodel.of_sexp: malformed class entry")
     (Sexp.to_list (Sexp.field sexp "classes"));
+  let n_classes = Sexp.to_int (Sexp.field sexp "n_classes") in
+  (* Signatures map 1:1 to class ids, so a persisted [n_classes] that
+     disagrees with the class table marks a corrupted or hand-edited
+     artifact; loading it would misindex every per-class model. *)
+  if n_classes <> Hashtbl.length classes then
+    failwith
+      (Printf.sprintf "Cfmodel.of_sexp: n_classes %d disagrees with %d persisted signatures"
+         n_classes (Hashtbl.length classes));
   {
     classes;
     tree = Dtree.of_sexp (Sexp.field sexp "tree");
     accuracy = Sexp.to_float (Sexp.field sexp "accuracy");
-    n_classes = Sexp.to_int (Sexp.field sexp "n_classes");
+    n_classes;
   }

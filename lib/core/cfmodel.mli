@@ -25,7 +25,9 @@ val classify : t -> float array -> int
 (** Predict the control-flow class of an input from its parameters. *)
 
 val class_of_trace : t -> int list -> int
-(** Class id of an observed trace; unseen signatures map to class 0. *)
+(** Class id of an observed trace; unseen signatures map to class 0,
+    logging a warning and bumping the [cfmodel.unknown_signature]
+    metric (a coverage gap in the training inputs). *)
 
 val n_classes : t -> int
 
@@ -36,4 +38,6 @@ val to_sexp : t -> Opprox_util.Sexp.t
 (** Serialize the signature table and the trained classifier. *)
 
 val of_sexp : Opprox_util.Sexp.t -> t
-(** Inverse of {!to_sexp}; raises [Failure] on malformed input. *)
+(** Inverse of {!to_sexp}; raises [Failure] on malformed input,
+    including a persisted [n_classes] that disagrees with the class
+    table (a corrupted artifact would misindex per-class models). *)

@@ -3,10 +3,18 @@ module Schedule = Opprox_sim.Schedule
 module Config_space = Opprox_sim.Config_space
 module Diagnostic = Opprox_analysis.Diagnostic
 module Lint_plan = Opprox_analysis.Lint_plan
+module Metrics = Opprox_obs.Metrics
+module Trace = Opprox_obs.Trace
 
 let log_src = Logs.Src.create "opprox.optimizer" ~doc:"OPPROX phase optimizer"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let m_solves = Metrics.counter "optimizer.solves"
+let m_sweeps = Metrics.counter "optimizer.sweeps"
+let m_predict_hits = Metrics.counter "optimizer.predict.hit"
+let m_predict_misses = Metrics.counter "optimizer.predict.miss"
+let m_reopts = Metrics.counter "optimizer.phase.reopt"
 
 type phase_choice = {
   phase : int;
@@ -118,6 +126,8 @@ let log_diags diags =
     diags
 
 let optimize ?search ?(enumeration_limit = 20000) ~models ~roi ~input ~budget () =
+  Trace.with_span ~cat:"optimizer" "optimizer.solve" @@ fun () ->
+  Metrics.incr m_solves;
   let app = Models.app models in
   let n_phases = Models.n_phases models in
   (* Pre-flight: budget / ROI / input defects become structured
@@ -143,8 +153,11 @@ let optimize ?search ?(enumeration_limit = 20000) ~models ~roi ~input ~budget ()
   let predict_cached ~input:_ ~phase ~levels =
     let key = (phase, Array.to_list levels) in
     match Hashtbl.find_opt cache key with
-    | Some p -> p
+    | Some p ->
+        Metrics.incr m_predict_hits;
+        p
     | None ->
+        Metrics.incr m_predict_misses;
         let p = predict_compiled ~phase ~levels in
         Hashtbl.replace cache key p;
         p
@@ -189,6 +202,9 @@ let optimize ?search ?(enumeration_limit = 20000) ~models ~roi ~input ~budget ()
               | None -> true
             in
             if better then begin
+              (* Replacing an earlier sweep's choice is a phase
+                 re-optimization; a first choice is not. *)
+              if chosen.(phase) <> None then Metrics.incr m_reopts;
               chosen.(phase) <- Some (levels, p);
               changed := true
             end;
@@ -204,16 +220,26 @@ let optimize ?search ?(enumeration_limit = 20000) ~models ~roi ~input ~budget ()
       order;
     !changed
   in
+  (* At most [max_sweeps] Algorithm-2 passes run, and the count below is
+     the number actually executed: the cap is checked {e before} a sweep
+     starts.  (An earlier revision tested the cap after the call, running
+     a sixth sweep whose convergence signal was discarded, and logged a
+     count one past the executed sweeps on early convergence.) *)
+  let max_sweeps = 5 in
   let sweeps = ref 0 in
-  while sweep () && !sweeps < 5 do
-    incr sweeps
+  let converged = ref false in
+  while (not !converged) && !sweeps < max_sweeps do
+    incr sweeps;
+    Metrics.incr m_sweeps;
+    converged := not (Trace.with_span ~cat:"optimizer" "optimizer.sweep" sweep)
   done;
   Log.debug (fun m ->
-      m "budget %.2f settled after %d sweep(s); consumed %.2f" budget (!sweeps + 1)
+      m "budget %.2f settled after %d sweep(s); consumed %.2f" budget !sweeps
         (total_consumed ()));
+  (* Choices are reported in phase order — the order the plan executes —
+     not in the descending-ROI order the sweeps visited them in. *)
   let choices =
-    List.map
-      (fun phase ->
+    List.init n_phases (fun phase ->
         let levels, predicted =
           match chosen.(phase) with
           | Some (levels, p) -> (levels, p)
@@ -223,7 +249,6 @@ let optimize ?search ?(enumeration_limit = 20000) ~models ~roi ~input ~budget ()
         in
         schedule_levels.(phase) <- levels;
         { phase; levels; predicted; sub_budget = allocated.(phase) })
-      order
   in
   let predicted_speedup =
     compose_speedup (List.map (fun c -> c.predicted.Models.speedup) choices)

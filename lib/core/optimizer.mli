@@ -25,7 +25,9 @@ type phase_choice = {
 
 type plan = {
   schedule : Opprox_sim.Schedule.t;
-  choices : phase_choice list;  (** in the visit (descending-ROI) order *)
+  choices : phase_choice list;
+      (** one choice per phase, in phase (execution) order — audited by
+          {!Opprox_analysis.Lint_plan} as PLAN008 *)
   predicted_speedup : float;  (** composed whole-run speedup estimate *)
   predicted_qos : float;  (** sum of per-phase conservative QoS estimates *)
   budget : float;
@@ -54,7 +56,15 @@ val optimize :
     {!Opprox_analysis.Diagnostic.Lint_error} carrying [PLAN***]
     diagnostics (instead of the ad-hoc [Invalid_argument] of earlier
     revisions).  The constructed plan is audited the same way
-    ({!Opprox_analysis.Lint_plan.check_plan}) before it is returned. *)
+    ({!Opprox_analysis.Lint_plan.check_plan}) before it is returned.
+
+    Observability: each solve runs at most five Algorithm-2 sweeps and
+    accounts for itself in the {!Opprox_obs.Metrics} registry —
+    [optimizer.solves], [optimizer.sweeps] (sweeps actually executed),
+    [optimizer.predict.hit]/[optimizer.predict.miss] (the per-solve
+    prediction memo) and [optimizer.phase.reopt] (choices replaced by a
+    later sweep) — and emits one {!Opprox_obs.Trace} span per solve and
+    per sweep. *)
 
 val lint : models:Models.t -> plan -> Opprox_analysis.Diagnostic.t list
 (** Audit any plan — including one doctored or deserialized outside the

@@ -3,8 +3,14 @@ module Driver = Opprox_sim.Driver
 module Schedule = Opprox_sim.Schedule
 module Config_space = Opprox_sim.Config_space
 module Pool = Opprox_util.Pool
+module Metrics = Opprox_obs.Metrics
+module Trace = Opprox_obs.Trace
 
 type result = { levels : int array; evaluation : Driver.evaluation }
+
+let m_space_hits = Metrics.counter "oracle.space.hit"
+let m_space_misses = Metrics.counter "oracle.space.miss"
+let m_configs = Metrics.counter "oracle.space.configs"
 
 (* Measured spaces are memoized on the same stable (app, input-bits)
    string key the driver uses, behind a mutex so the oracle can be
@@ -26,10 +32,15 @@ let measured_space ?pool (app : App.t) ~input =
     r
   in
   match cached with
-  | Some r -> r
+  | Some r ->
+      Metrics.incr m_space_hits;
+      r
   | None ->
+      Metrics.incr m_space_misses;
+      Trace.with_span ~cat:"oracle" "oracle.measured_space" @@ fun () ->
       let exact = Driver.run_exact app input in
       let configs = Array.of_list (Config_space.all app.App.abs) in
+      Metrics.add m_configs (Array.length configs);
       (* The exhaustive sweep is embarrassingly parallel: every
          configuration is scored independently against the shared exact
          baseline.  Index-preserving map keeps the enumeration order. *)

@@ -1,6 +1,13 @@
 module App = Opprox_sim.App
 module Driver = Opprox_sim.Driver
 module Schedule = Opprox_sim.Schedule
+module Metrics = Opprox_obs.Metrics
+
+let log_src = Logs.Src.create "opprox.runtime" ~doc:"OPPROX runtime job submission"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let m_dup_keys = Metrics.counter "runtime.config.dup_key"
 
 type job = {
   app_name : string;
@@ -27,6 +34,14 @@ let parse_config content =
             let value = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
             if key = "" then
               failwith (Printf.sprintf "Runtime.parse_config: line %d: empty key" (lineno + 1));
+            if Hashtbl.mem table key then begin
+              (* Last binding wins (unchanged), but silently is how typos
+                 ship a job with the wrong budget — count and warn. *)
+              Metrics.incr m_dup_keys;
+              Log.warn (fun m ->
+                  m "config line %d: duplicate key %S overrides an earlier value" (lineno + 1)
+                    key)
+            end;
             Hashtbl.replace table key value)
     (String.split_on_char '\n' content);
   let required key =
@@ -59,9 +74,13 @@ let parse_config content =
 
 let load_config path =
   let ic = open_in path in
-  let n = in_channel_length ic in
-  let content = really_input_string ic n in
-  close_in ic;
+  (* [really_input_string] raises on a file truncated between the length
+     probe and the read; without the protection that leaked [ic]. *)
+  let content =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
   parse_config content
 
 let env_var_name ~phase ~ab_name =

@@ -19,7 +19,8 @@ val parse_config : string -> job
 (** Parse a [key = value] configuration (one pair per line; [#] starts a
     comment).  Required keys: [app], [budget], [models].  Optional:
     [input] (comma-separated floats).  Raises [Failure] on missing or
-    malformed keys. *)
+    malformed keys.  A key bound more than once keeps its last value,
+    logs a warning, and bumps the [runtime.config.dup_key] metric. *)
 
 val load_config : string -> job
 (** {!parse_config} on a file's contents. *)

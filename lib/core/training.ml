@@ -4,10 +4,15 @@ module Schedule = Opprox_sim.Schedule
 module Config_space = Opprox_sim.Config_space
 module Rng = Opprox_util.Rng
 module Pool = Opprox_util.Pool
+module Metrics = Opprox_obs.Metrics
+module Trace = Opprox_obs.Trace
 
 let log_src = Logs.Src.create "opprox.training" ~doc:"OPPROX training sampler"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let m_collects = Metrics.counter "training.collects"
+let m_runs = Metrics.counter "training.runs"
 
 type sample = {
   input : float array;
@@ -81,24 +86,32 @@ let sampling_plan ~config ~n_phases ~inputs abs =
 
 let collect ?(config = default_config) ?pool app ~n_phases =
   if n_phases < 1 then invalid_arg "Training.collect: n_phases must be >= 1";
+  Trace.with_span ~cat:"training" "training.collect" @@ fun () ->
+  Metrics.incr m_collects;
   let inputs = match config.inputs with Some i -> i | None -> app.App.training_inputs in
   (* Hoist the exact baseline: one golden run per input, computed up front
      (in parallel across inputs) so the driver's exact-run memo is warm
      before the sampling plan fans out. *)
   let _exacts : Driver.exact_run array =
-    Pool.parallel_map ?pool ~chunk:1 (Driver.run_exact app) inputs
+    Trace.with_span ~cat:"training" "training.exact_baselines" (fun () ->
+        Pool.parallel_map ?pool ~chunk:1 (Driver.run_exact app) inputs)
   in
-  let classes = Cfmodel.build app ~inputs in
+  let classes =
+    Trace.with_span ~cat:"training" "training.cfmodel" (fun () -> Cfmodel.build app ~inputs)
+  in
   (* The plan visits phases in ascending order per input, so the first
      phase-1 run of an input creates the phase-1 boundary checkpoint, the
      first phase-2 run extends it, and so on — each exact phase prefix is
      simulated at most once per (input, n_phases). *)
   let plan = sampling_plan ~config ~n_phases ~inputs app.App.abs in
   let samples =
-    Pool.parallel_map ?pool
-      (fun t -> evaluate_sample ~classes ~app ~n_phases ~input:t.input ~phase:t.phase t.levels)
-      plan
+    Trace.with_span ~cat:"training" "training.sampling" (fun () ->
+        Pool.parallel_map ?pool
+          (fun t ->
+            evaluate_sample ~classes ~app ~n_phases ~input:t.input ~phase:t.phase t.levels)
+          plan)
   in
+  Metrics.add m_runs (Array.length samples);
   Log.info (fun m ->
       m "collected %d profiling runs for %s (%d phases, %d inputs)" (Array.length samples)
         app.App.name n_phases (Array.length inputs));

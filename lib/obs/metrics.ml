@@ -1,0 +1,192 @@
+(* The registry holds every instrument ever created; instruments hold
+   only Atomic.t cells, so mutation never touches the registry mutex.
+   The [on] flag is read with one Atomic.get per mutation — the entire
+   cost of a disabled metric. *)
+
+let on = Atomic.make true
+let enabled () = Atomic.get on
+let set_enabled b = Atomic.set on b
+
+type counter = { c_name : string; v : int Atomic.t }
+type gauge = { g_name : string; g : float Atomic.t }
+
+type histogram = {
+  h_name : string;
+  edges : float array;  (* strictly increasing; buckets = len edges + 1 *)
+  buckets : int Atomic.t array;
+  count : int Atomic.t;
+  sum : float Atomic.t;  (* CAS loop; observation order is irrelevant *)
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let reg_mutex = Mutex.create ()
+
+let registered name make describe =
+  Mutex.lock reg_mutex;
+  let r =
+    match Hashtbl.find_opt registry name with
+    | Some existing -> Either.Left existing
+    | None ->
+        let m = make () in
+        Hashtbl.replace registry name m;
+        Either.Right m
+  in
+  Mutex.unlock reg_mutex;
+  match r with
+  | Either.Right m -> m
+  | Either.Left existing -> (
+      match describe existing with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S is already registered with a different kind" name))
+
+let counter name =
+  match
+    registered name
+      (fun () -> C { c_name = name; v = Atomic.make 0 })
+      (function C c -> Some (C c) | _ -> None)
+  with
+  | C c -> c
+  | _ -> assert false
+
+let gauge name =
+  match
+    registered name
+      (fun () -> G { g_name = name; g = Atomic.make 0.0 })
+      (function G g -> Some (G g) | _ -> None)
+  with
+  | G g -> g
+  | _ -> assert false
+
+let exponential ?(base = 2.0) ~start n =
+  if n < 1 then invalid_arg "Metrics.exponential: need at least one edge";
+  if not (start > 0.0 && base > 1.0) then
+    invalid_arg "Metrics.exponential: start must be > 0 and base > 1";
+  Array.init n (fun i -> start *. (base ** float_of_int i))
+
+(* 1-2-5 ladder over seven decades: covers sub-microsecond cache lookups
+   through multi-second training sweeps when observations are in us. *)
+let default_edges =
+  Array.concat
+    (List.init 7 (fun d ->
+         let scale = 10.0 ** float_of_int d in
+         [| scale; 2.0 *. scale; 5.0 *. scale |]))
+
+let validate_edges edges =
+  if Array.length edges = 0 then invalid_arg "Metrics.histogram: empty bucket layout";
+  Array.iteri
+    (fun i e ->
+      if not (Float.is_finite e) then invalid_arg "Metrics.histogram: non-finite bucket edge";
+      if i > 0 && e <= edges.(i - 1) then
+        invalid_arg "Metrics.histogram: bucket edges must be strictly increasing")
+    edges
+
+let histogram ?(edges = default_edges) name =
+  validate_edges edges;
+  match
+    registered name
+      (fun () ->
+        H
+          {
+            h_name = name;
+            edges = Array.copy edges;
+            buckets = Array.init (Array.length edges + 1) (fun _ -> Atomic.make 0);
+            count = Atomic.make 0;
+            sum = Atomic.make 0.0;
+          })
+      (function
+        | H h -> if h.edges = edges then Some (H h) else None
+        | _ -> None)
+  with
+  | H h -> h
+  | _ -> assert false
+
+(* ------------------------------------------------------------ mutation *)
+
+let incr c = if Atomic.get on then Atomic.incr c.v
+let add c n = if Atomic.get on then ignore (Atomic.fetch_and_add c.v n)
+let set g x = if Atomic.get on then Atomic.set g.g x
+
+let bucket_index edges v =
+  (* First edge >= v; linear scan — layouts are tens of edges at most and
+     durations cluster in the low buckets. *)
+  let n = Array.length edges in
+  let rec go i = if i >= n || v <= edges.(i) then i else go (i + 1) in
+  go 0
+
+let rec cas_add sum x =
+  let old = Atomic.get sum in
+  if not (Atomic.compare_and_set sum old (old +. x)) then cas_add sum x
+
+let observe h v =
+  if Atomic.get on then begin
+    Atomic.incr h.buckets.(bucket_index h.edges v);
+    Atomic.incr h.count;
+    cas_add h.sum v
+  end
+
+(* ------------------------------------------------------------- reading *)
+
+let value c = Atomic.get c.v
+let gauge_value g = Atomic.get g.g
+let histogram_count h = Atomic.get h.count
+let histogram_sum h = Atomic.get h.sum
+
+let histogram_buckets h =
+  Array.init
+    (Array.length h.buckets)
+    (fun i ->
+      let edge = if i < Array.length h.edges then h.edges.(i) else Float.infinity in
+      (edge, Atomic.get h.buckets.(i)))
+
+type value_view =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { edges : float array; counts : int array; count : int; sum : float }
+
+let view = function
+  | C c -> Counter (value c)
+  | G g -> Gauge (gauge_value g)
+  | H h ->
+      Histogram
+        {
+          edges = Array.copy h.edges;
+          counts = Array.map Atomic.get h.buckets;
+          count = Atomic.get h.count;
+          sum = Atomic.get h.sum;
+        }
+
+let dump () =
+  Mutex.lock reg_mutex;
+  let entries = Hashtbl.fold (fun name m acc -> (name, view m) :: acc) registry [] in
+  Mutex.unlock reg_mutex;
+  List.sort (fun (a, _) (b, _) -> compare a b) entries
+
+let find name =
+  Mutex.lock reg_mutex;
+  let m = Hashtbl.find_opt registry name in
+  Mutex.unlock reg_mutex;
+  Option.map view m
+
+let reset () =
+  Mutex.lock reg_mutex;
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | C c -> Atomic.set c.v 0
+      | G g -> Atomic.set g.g 0.0
+      | H h ->
+          Array.iter (fun b -> Atomic.set b 0) h.buckets;
+          Atomic.set h.count 0;
+          Atomic.set h.sum 0.0)
+    registry;
+  Mutex.unlock reg_mutex
+
+(* The *_name fields exist for error messages and future exporters; keep
+   the compiler quiet about them until one lands. *)
+let _ = fun (c : counter) -> c.c_name
+let _ = fun (g : gauge) -> g.g_name
+let _ = fun (h : histogram) -> h.h_name

@@ -1,0 +1,86 @@
+(** Domain-safe metrics registry.
+
+    One process-wide registry of named instruments, designed for the
+    pipeline's hot paths: every mutation is a single atomic operation (or
+    a handful, for histograms) guarded by one load of the global enable
+    flag, so instrumented code pays one predictable branch when metrics
+    are collected and close to nothing when they are off.
+
+    Names are stable dotted keys ([driver.ckpt.hit],
+    [optimizer.sweeps], ...).  Registration is idempotent: asking for an
+    existing name returns the existing instrument, so modules can
+    register their instruments at initialization without coordinating.
+    Registering a name twice with a different kind (or a histogram with
+    different bucket edges) raises [Invalid_argument] — a name collision
+    is a programming error, not a runtime condition.
+
+    Collection is {b enabled by default}: the registry doubles as the
+    system's accounting substrate (cache hit/miss counts that tests and
+    benches assert against).  {!set_enabled}[ false] turns every mutation
+    into a no-op for overhead-critical runs; values read back frozen. *)
+
+type counter
+type gauge
+type histogram
+
+(** {2 Registration} *)
+
+val counter : string -> counter
+(** Monotonically increasing integer (resettable via {!reset}). *)
+
+val gauge : string -> gauge
+(** A float that goes up and down (queue depths, capacities). *)
+
+val histogram : ?edges:float array -> string -> histogram
+(** Fixed-bucket histogram.  [edges] must be strictly increasing; an
+    observation [v] lands in the first bucket with [v <= edge], or in the
+    implicit overflow bucket after the last edge.  The default layout
+    {!default_edges} is a 1-2-5 decade ladder from 1 to 1e7, sized for
+    microsecond durations. *)
+
+val default_edges : float array
+
+val exponential : ?base:float -> start:float -> int -> float array
+(** [exponential ~start n] — [n] edges growing geometrically from
+    [start] by [base] (default 2.0). *)
+
+(** {2 Mutation — no-ops while disabled} *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set : gauge -> float -> unit
+val observe : histogram -> float -> unit
+
+(** {2 Reading — always live} *)
+
+val value : counter -> int
+val gauge_value : gauge -> float
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val histogram_buckets : histogram -> (float * int) array
+(** [(edge, count)] per bucket; the overflow bucket reports
+    [(infinity, count)].  Counts are cumulative per bucket (not
+    cumulative across buckets, unlike Prometheus [le] series). *)
+
+(** {2 Registry} *)
+
+type value_view =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { edges : float array; counts : int array; count : int; sum : float }
+
+val dump : unit -> (string * value_view) list
+(** Every registered instrument with its current value, sorted by name. *)
+
+val find : string -> value_view option
+
+val reset : unit -> unit
+(** Zero every instrument's value; registrations survive.  Works even
+    while collection is disabled. *)
+
+(** {2 Global switch} *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit

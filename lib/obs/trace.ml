@@ -1,0 +1,103 @@
+(* Events are appended to a mutex-protected list; each append happens
+   after the span body finished, so the lock is never held while user
+   code runs.  Timestamps are Unix.gettimeofday relative to the first
+   enable, in microseconds (the unit Chrome's trace viewer expects). *)
+
+type event = {
+  name : string;
+  cat : string;
+  ph : char;  (* 'X' complete span, 'i' instant *)
+  ts : float;  (* microseconds since epoch0 *)
+  dur : float;  (* microseconds; 0 for instants *)
+  tid : int;  (* domain id *)
+}
+
+let on = Atomic.make false
+let epoch0 = Atomic.make 0.0
+let events : event list ref = ref []
+let n_events = Atomic.make 0
+let mutex = Mutex.create ()
+let now_us () = Unix.gettimeofday () *. 1e6
+
+let set_enabled b =
+  if b && Atomic.get epoch0 = 0.0 then Atomic.set epoch0 (now_us ());
+  Atomic.set on b
+
+let enabled () = Atomic.get on
+
+let record ev =
+  Mutex.lock mutex;
+  events := ev :: !events;
+  Atomic.incr n_events;
+  Mutex.unlock mutex
+
+let tid () = (Domain.self () :> int)
+
+let with_span ?(cat = "opprox") name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let t0 = now_us () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = now_us () in
+        record
+          { name; cat; ph = 'X'; ts = t0 -. Atomic.get epoch0; dur = t1 -. t0; tid = tid () })
+      f
+  end
+
+let instant ?(cat = "opprox") name =
+  if Atomic.get on then
+    record { name; cat; ph = 'i'; ts = now_us () -. Atomic.get epoch0; dur = 0.0; tid = tid () }
+
+let event_count () = Atomic.get n_events
+
+let clear () =
+  Mutex.lock mutex;
+  events := [];
+  Atomic.set n_events 0;
+  Mutex.unlock mutex
+
+(* ------------------------------------------------------------- export *)
+
+let escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let to_json () =
+  let evs =
+    Mutex.lock mutex;
+    let evs = List.rev !events in
+    Mutex.unlock mutex;
+    evs
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let pid = Unix.getpid () in
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n{\"name\":\"";
+      escape b ev.name;
+      Buffer.add_string b "\",\"cat\":\"";
+      escape b ev.cat;
+      Buffer.add_string b (Printf.sprintf "\",\"ph\":\"%c\"" ev.ph);
+      if ev.ph = 'i' then Buffer.add_string b ",\"s\":\"t\"";
+      Buffer.add_string b (Printf.sprintf ",\"ts\":%.3f" ev.ts);
+      if ev.ph = 'X' then Buffer.add_string b (Printf.sprintf ",\"dur\":%.3f" ev.dur);
+      Buffer.add_string b (Printf.sprintf ",\"pid\":%d,\"tid\":%d}" pid ev.tid))
+    evs;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b
+
+let export path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc (to_json ()))

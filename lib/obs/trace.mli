@@ -1,0 +1,44 @@
+(** Span-based tracer with Chrome trace-event export.
+
+    Spans bracket a unit of work ([optimizer.sweep], [training.collect],
+    one pool task, ...) and record wall-clock start and duration plus the
+    executing domain.  The recorded timeline exports as Chrome
+    trace-event JSON ([chrome://tracing], Perfetto, speedscope): one
+    complete event (["ph":"X"]) per span, with the domain id as the
+    thread lane.
+
+    Tracing is {b disabled by default} — a disabled {!with_span} is one
+    atomic load and a tail call, so permanent instrumentation of hot
+    paths is safe.  Enable with {!set_enabled} (the CLI's [--trace FILE]
+    does, exporting at exit). *)
+
+val set_enabled : bool -> unit
+(** Turning tracing on stamps the epoch all subsequent timestamps are
+    relative to (first enable only). *)
+
+val enabled : unit -> bool
+
+val with_span : ?cat:string -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] and, when tracing is on, records a span
+    covering it (also when [f] raises).  [cat] is the Chrome trace
+    category (default ["opprox"]). *)
+
+val instant : ?cat:string -> string -> unit
+(** A zero-duration marker event. *)
+
+val now_us : unit -> float
+(** Monotonic-enough wall clock in microseconds (shared with the metrics
+    instrumentation so span and histogram timings agree). *)
+
+val event_count : unit -> int
+(** Spans and markers currently buffered. *)
+
+val clear : unit -> unit
+(** Drop every buffered event (the epoch is kept). *)
+
+val to_json : unit -> string
+(** The buffered timeline as a Chrome trace-event JSON object
+    ([{"traceEvents": [...], ...}]). *)
+
+val export : string -> unit
+(** Write {!to_json} to a file. *)

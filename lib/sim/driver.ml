@@ -1,5 +1,6 @@
 module Rng = Opprox_util.Rng
 module Dmutex = Opprox_util.Dmutex
+module Metrics = Opprox_obs.Metrics
 
 type exact_run = { output : float array; work : int; iters : int; trace : int list }
 
@@ -108,46 +109,57 @@ let set_eval_cache b = Atomic.set eval_cache_on b
 let set_checkpoint_capacity n = Bounded.set_capacity checkpoint_cache n
 let set_eval_cache_capacity n = Bounded.set_capacity eval_cache n
 
-(* Counters are atomics so pool workers can bump them without the cache
-   mutexes; tests and benches assert reuse against them instead of
-   inferring it from wall-clock. *)
-let exact_executions = Atomic.make 0
-let exact_hits = Atomic.make 0
-let ckpt_hits = Atomic.make 0
-let ckpt_misses = Atomic.make 0
-let ckpt_saves = Atomic.make 0
-let eval_hits = Atomic.make 0
-let eval_misses = Atomic.make 0
-let exact_run_count () = Atomic.get exact_executions
-let reset_exact_run_count () = Atomic.set exact_executions 0
+(* Cache accounting lives in the process-wide metrics registry (atomic
+   counters, so pool workers bump them without the cache mutexes); tests
+   and benches assert reuse against these instead of inferring it from
+   wall-clock.  The accessor functions below are thin reads over the
+   registry, kept for source compatibility. *)
+let exact_executions = Metrics.counter "driver.exact.run"
+let exact_hits = Metrics.counter "driver.exact.hit"
+let ckpt_hits = Metrics.counter "driver.ckpt.hit"
+let ckpt_misses = Metrics.counter "driver.ckpt.miss"
+let ckpt_saves = Metrics.counter "driver.ckpt.save"
+let eval_hits = Metrics.counter "driver.eval.hit"
+let eval_misses = Metrics.counter "driver.eval.miss"
+
+(* Resettable counters: Metrics.reset is registry-wide, but the cache
+   accounting must be zeroable in isolation (tests bracket one collect).
+   Each counter keeps a baseline subtracted on read. *)
+let baselines : (string * int Atomic.t * Metrics.counter) list =
+  List.map
+    (fun (name, c) -> (name, Atomic.make 0, c))
+    [
+      ("driver.exact.run", exact_executions);
+      ("driver.exact.hit", exact_hits);
+      ("driver.ckpt.hit", ckpt_hits);
+      ("driver.ckpt.miss", ckpt_misses);
+      ("driver.ckpt.save", ckpt_saves);
+      ("driver.eval.hit", eval_hits);
+      ("driver.eval.miss", eval_misses);
+    ]
+
+let read c =
+  let _, base, _ = List.find (fun (_, _, c') -> c' == c) baselines in
+  Metrics.value c - Atomic.get base
+
+let exact_run_count () = read exact_executions
+let reset_exact_run_count () =
+  let _, base, _ = List.find (fun (_, _, c') -> c' == exact_executions) baselines in
+  Atomic.set base (Metrics.value exact_executions)
 
 let exact_cache_stats () =
-  {
-    hits = Atomic.get exact_hits;
-    misses = Atomic.get exact_executions;
-    size = Bounded.size exact_cache;
-  }
+  { hits = read exact_hits; misses = read exact_executions; size = Bounded.size exact_cache }
 
 let checkpoint_stats () =
-  {
-    hits = Atomic.get ckpt_hits;
-    misses = Atomic.get ckpt_misses;
-    size = Bounded.size checkpoint_cache;
-  }
+  { hits = read ckpt_hits; misses = read ckpt_misses; size = Bounded.size checkpoint_cache }
 
 let eval_cache_stats () =
-  { hits = Atomic.get eval_hits; misses = Atomic.get eval_misses; size = Bounded.size eval_cache }
+  { hits = read eval_hits; misses = read eval_misses; size = Bounded.size eval_cache }
 
-let checkpoint_save_count () = Atomic.get ckpt_saves
+let checkpoint_save_count () = read ckpt_saves
 
 let reset_cache_stats () =
-  Atomic.set exact_executions 0;
-  Atomic.set exact_hits 0;
-  Atomic.set ckpt_hits 0;
-  Atomic.set ckpt_misses 0;
-  Atomic.set ckpt_saves 0;
-  Atomic.set eval_hits 0;
-  Atomic.set eval_misses 0
+  List.iter (fun (_, base, c) -> Atomic.set base (Metrics.value c)) baselines
 
 let input_key (app : App.t) input =
   let b = Buffer.create 64 in
@@ -193,10 +205,10 @@ let run_exact (app : App.t) input =
   let key = input_key app input in
   match Bounded.find exact_cache key with
   | Some r ->
-      Atomic.incr exact_hits;
+      Metrics.incr exact_hits;
       r
   | None ->
-      Atomic.incr exact_executions;
+      Metrics.incr exact_executions;
       let sched = Schedule.exact ~n_abs:(App.n_abs app) in
       let env, output = execute app sched ~expected_iters:0 input in
       let r =
@@ -249,11 +261,11 @@ let execute_checkpointed (app : App.t) mk sched ~(exact : exact_run) input =
     let env, inst, q_start =
       match lookup q_max with
       | Some (q, c) ->
-          Atomic.incr ckpt_hits;
+          Metrics.incr ckpt_hits;
           let env = Env.resume c.snap ~sched ~expected_iters:i_total in
           (env, c.frozen.App.clone env, q)
       | None ->
-          Atomic.incr ckpt_misses;
+          Metrics.incr ckpt_misses;
           let rng = Rng.create (seed_for app input) in
           let env = Env.create ~rng ~sched ~expected_iters:i_total ~n_abs:(App.n_abs app) in
           (env, (mk env input : App.instance), 0)
@@ -271,7 +283,7 @@ let execute_checkpointed (app : App.t) mk sched ~(exact : exact_run) input =
       if Env.outer_iters env = b then begin
         let snap = Env.snapshot env in
         let frozen = inst.App.clone (Env.resume snap ~sched ~expected_iters:i_total) in
-        if Bounded.add checkpoint_cache (key q) { snap; frozen } then Atomic.incr ckpt_saves
+        if Bounded.add checkpoint_cache (key q) { snap; frozen } then Metrics.incr ckpt_saves
       end
     done;
     while inst.App.step () do
@@ -349,10 +361,10 @@ let evaluate ?exact (app : App.t) sched input =
         let key = input_key app input ^ sched_key sched in
         match Bounded.find eval_cache key with
         | Some ev ->
-            Atomic.incr eval_hits;
+            Metrics.incr eval_hits;
             copy_evaluation ev
         | None ->
-            Atomic.incr eval_misses;
+            Metrics.incr eval_misses;
             let ev = compute_evaluation app sched ~exact:(run_exact app input) input in
             ignore (Bounded.add eval_cache key (copy_evaluation ev));
             ev

@@ -4,6 +4,19 @@
    also makes nested submissions from inside a task deadlock-free: the
    worker that submits keeps draining the queue instead of blocking. *)
 
+module Metrics = Opprox_obs.Metrics
+module Trace = Opprox_obs.Trace
+
+(* Shared across every pool: depth of the pending queue (sampled at each
+   push/pop), tasks executed, and per-task busy time.  Busy time is only
+   clocked while metrics are enabled, so the disabled path never calls
+   the clock. *)
+let m_queue_depth = Metrics.gauge "pool.queue.depth"
+let m_tasks = Metrics.counter "pool.tasks"
+let m_busy_us = Metrics.counter "pool.busy_us"
+let m_task_us = Metrics.histogram "pool.task_us"
+let m_at_exit = Metrics.counter "pool.default.at_exit_registrations"
+
 type t = {
   jobs : int;
   mutex : Dmutex.t;
@@ -13,6 +26,21 @@ type t = {
   mutable workers : unit Domain.t list;
 }
 
+let sample_depth_locked t = Metrics.set m_queue_depth (float_of_int (Queue.length t.pending))
+
+(* Run one task with its busy-time accounting.  [task] never raises: the
+   submission wrapper in [run_tasks] already catches. *)
+let run_task task =
+  if Metrics.enabled () then begin
+    let t0 = Trace.now_us () in
+    task ();
+    let dt = Trace.now_us () -. t0 in
+    Metrics.incr m_tasks;
+    Metrics.add m_busy_us (int_of_float dt);
+    Metrics.observe m_task_us dt
+  end
+  else task ()
+
 let rec worker_loop t =
   Dmutex.lock t.mutex;
   while Queue.is_empty t.pending && not t.closing do
@@ -21,8 +49,9 @@ let rec worker_loop t =
   if Queue.is_empty t.pending then Dmutex.unlock t.mutex (* closing *)
   else begin
     let task = Queue.pop t.pending in
+    sample_depth_locked t;
     Dmutex.unlock t.mutex;
-    task ();
+    run_task task;
     worker_loop t
   end
 
@@ -82,6 +111,7 @@ let run_tasks t tasks =
     in
     Dmutex.lock t.mutex;
     Array.iter (fun task -> Queue.push (wrap task) t.pending) tasks;
+    sample_depth_locked t;
     Condition.broadcast t.wake;
     (* Help execute until every task of this submission has completed.
        Helping may also pick up tasks from concurrent submissions; that
@@ -90,8 +120,9 @@ let run_tasks t tasks =
       if !remaining > 0 then
         if not (Queue.is_empty t.pending) then begin
           let task = Queue.pop t.pending in
+          sample_depth_locked t;
           Dmutex.unlock t.mutex;
-          task ();
+          run_task task;
           Dmutex.lock t.mutex;
           help ()
         end
@@ -110,6 +141,25 @@ let run_tasks t tasks =
 let default_pool = ref None
 let default_lock = Dmutex.create ()
 
+(* One at_exit hook for the lifetime of the process, registered the
+   first time a default pool exists; it shuts down whatever the default
+   is at exit.  Earlier revisions registered a fresh closure per
+   [set_default_jobs] call, accumulating hooks that re-joined every pool
+   ever installed. *)
+let at_exit_registered = ref false
+
+let register_default_at_exit_locked () =
+  if not !at_exit_registered then begin
+    at_exit_registered := true;
+    Metrics.incr m_at_exit;
+    at_exit (fun () ->
+        Dmutex.lock default_lock;
+        let p = !default_pool in
+        default_pool := None;
+        Dmutex.unlock default_lock;
+        match p with Some p -> shutdown p | None -> ())
+  end
+
 let default () =
   Dmutex.lock default_lock;
   let pool =
@@ -118,7 +168,7 @@ let default () =
     | None ->
         let p = create () in
         default_pool := Some p;
-        at_exit (fun () -> shutdown p);
+        register_default_at_exit_locked ();
         p
   in
   Dmutex.unlock default_lock;
@@ -130,7 +180,7 @@ let set_default_jobs n =
   let old = !default_pool in
   let p = create ~jobs:n () in
   default_pool := Some p;
-  at_exit (fun () -> shutdown p);
+  register_default_at_exit_locked ();
   Dmutex.unlock default_lock;
   match old with Some p -> shutdown p | None -> ()
 

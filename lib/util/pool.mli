@@ -25,7 +25,16 @@
     when set to a positive integer, otherwise
     [Domain.recommended_domain_count ()].  With one job every combinator
     degrades to the plain sequential implementation — no domains are
-    spawned, no locks are taken. *)
+    spawned, no locks are taken.
+
+    {2 Observability}
+
+    The parallel path feeds the {!Opprox_obs.Metrics} registry: the
+    [pool.queue.depth] gauge samples the pending-queue length at every
+    push/pop, [pool.tasks] counts tasks executed through the queue, and
+    [pool.busy_us] / [pool.task_us] accumulate per-task busy time
+    (clocked only while metrics collection is enabled).  The sequential
+    fast path stays uninstrumented. *)
 
 type t
 (** A pool of worker domains.  The pool owning [jobs t = n] runs tasks on
@@ -53,7 +62,9 @@ val default : unit -> t
 
 val set_default_jobs : int -> unit
 (** Replace the process-wide pool with one of the given size (the
-    [--jobs] CLI flag).  Shuts the previous default pool down. *)
+    [--jobs] CLI flag).  Shuts the previous default pool down.  A single
+    process-wide [at_exit] hook (registered once, whatever the number of
+    replacements) joins whichever pool is the default at exit. *)
 
 val parallel_map : ?pool:t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map f arr] is [Array.map f arr] evaluated on the pool

@@ -1,0 +1,428 @@
+(* Observability layer: the metrics registry and span tracer, plus the
+   regression tests for the bug fixes that landed with it (optimizer
+   sweep cap, plan choice ordering, duplicate config keys, unknown
+   control-flow signatures, the default pool's at_exit hook). *)
+
+open Fixtures
+module Metrics = Opprox_obs.Metrics
+module Trace = Opprox_obs.Trace
+module Pool = Opprox_util.Pool
+module Sexp = Opprox_util.Sexp
+module App = Opprox_sim.App
+module Schedule = Opprox_sim.Schedule
+module Optimizer = Opprox.Optimizer
+module Cfmodel = Opprox.Cfmodel
+module Runtime = Opprox.Runtime
+module Lint_plan = Opprox_analysis.Lint_plan
+module Diagnostic = Opprox_analysis.Diagnostic
+
+let counter_value name =
+  match Metrics.find name with
+  | Some (Metrics.Counter n) -> n
+  | Some _ -> Alcotest.failf "%s is registered with the wrong kind" name
+  | None -> Alcotest.failf "counter %s is not registered" name
+
+let has_code code = List.exists (fun d -> d.Diagnostic.code = code)
+
+(* Trained once, shared by the optimizer-facing tests. *)
+let trained = lazy (Opprox.train ~config:{ Opprox.default_train_config with n_phases = Some 2 } toy)
+
+(* ------------------------------------------------------------- registry *)
+
+let test_counter_gauge_basics () =
+  let c = Metrics.counter "test.obs.basic" in
+  let before = Metrics.value c in
+  Metrics.incr c;
+  Metrics.add c 4;
+  check_int "counter counts" (before + 5) (Metrics.value c);
+  let g = Metrics.gauge "test.obs.gauge" in
+  Metrics.set g 2.5;
+  check_float "gauge holds last value" 2.5 (Metrics.gauge_value g);
+  Metrics.set g 1.0;
+  check_float "gauge moves down" 1.0 (Metrics.gauge_value g);
+  check_bool "registration is idempotent" true (c == Metrics.counter "test.obs.basic");
+  check_bool "find sees it" true (Metrics.find "test.obs.basic" <> None);
+  check_bool "unknown name is None" true (Metrics.find "test.obs.nonesuch" = None)
+
+let test_kind_collision_rejected () =
+  let _ = Metrics.counter "test.obs.collide" in
+  (match Metrics.gauge "test.obs.collide" with
+  | _ -> Alcotest.fail "kind collision accepted"
+  | exception Invalid_argument _ -> ());
+  let _ = Metrics.histogram ~edges:[| 1.0; 2.0 |] "test.obs.collide_h" in
+  match Metrics.histogram ~edges:[| 1.0; 3.0 |] "test.obs.collide_h" with
+  | _ -> Alcotest.fail "edge mismatch accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_histogram_bucket_edges () =
+  let h = Metrics.histogram ~edges:[| 1.0; 2.0; 5.0 |] "test.obs.hist" in
+  (* v lands in the first bucket with v <= edge; past the last edge it
+     lands in the implicit overflow bucket. *)
+  List.iter (Metrics.observe h) [ 1.0; 1.5; 2.0; 5.0; 7.0; 0.25 ];
+  let buckets = Metrics.histogram_buckets h in
+  check_int "edge buckets plus overflow" 4 (Array.length buckets);
+  let counts = Array.map snd buckets in
+  check_int "v <= 1 (boundary inclusive)" 2 counts.(0);
+  check_int "1 < v <= 2" 2 counts.(1);
+  check_int "2 < v <= 5" 1 counts.(2);
+  check_int "overflow" 1 counts.(3);
+  check_bool "overflow edge is infinite" true (fst buckets.(3) = infinity);
+  check_int "count totals observations" 6 (Metrics.histogram_count h);
+  check_float "sum accumulates" 16.75 (Metrics.histogram_sum h)
+
+let test_histogram_rejects_bad_edges () =
+  match Metrics.histogram ~edges:[| 2.0; 1.0 |] "test.obs.bad_edges" with
+  | _ -> Alcotest.fail "non-increasing edges accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_exponential_edges () =
+  let edges = Metrics.exponential ~start:1.0 4 in
+  check_int "length" 4 (Array.length edges);
+  check_float "doubles" 8.0 edges.(3)
+
+let prop_parallel_counter_sum =
+  (* Increments race from several domains; the atomic counter must lose
+     none of them.  The histogram's float sum uses a CAS loop — same
+     exactness requirement (the addends are integer-valued, so float
+     addition is associative here). *)
+  qcheck_case ~count:20 "parallel increments sum exactly"
+    QCheck.(pair (int_range 2 4) (int_range 1 200))
+    (fun (domains, per) ->
+      let c = Metrics.counter "test.obs.parallel" in
+      let h = Metrics.histogram ~edges:[| 10.0 |] "test.obs.parallel_h" in
+      let c0 = Metrics.value c and n0 = Metrics.histogram_count h in
+      let s0 = Metrics.histogram_sum h in
+      let workers =
+        List.init domains (fun _ ->
+            Domain.spawn (fun () ->
+                for _ = 1 to per do
+                  Metrics.incr c;
+                  Metrics.observe h 1.0
+                done))
+      in
+      List.iter Domain.join workers;
+      Metrics.value c - c0 = domains * per
+      && Metrics.histogram_count h - n0 = domains * per
+      && Metrics.histogram_sum h -. s0 = float_of_int (domains * per))
+
+let test_disabled_is_noop () =
+  let c = Metrics.counter "test.obs.disabled" in
+  let g = Metrics.gauge "test.obs.disabled_g" in
+  let h = Metrics.histogram ~edges:[| 1.0 |] "test.obs.disabled_h" in
+  Metrics.set g 3.0;
+  let v0 = Metrics.value c in
+  Fun.protect
+    ~finally:(fun () -> Metrics.set_enabled true)
+    (fun () ->
+      Metrics.set_enabled false;
+      check_bool "reports disabled" false (Metrics.enabled ());
+      Metrics.incr c;
+      Metrics.add c 10;
+      Metrics.set g 9.0;
+      Metrics.observe h 0.5;
+      check_int "counter frozen" v0 (Metrics.value c);
+      check_float "gauge frozen" 3.0 (Metrics.gauge_value g);
+      check_int "histogram frozen" 0 (Metrics.histogram_count h));
+  check_bool "re-enabled" true (Metrics.enabled ());
+  Metrics.incr c;
+  check_int "counts again" (v0 + 1) (Metrics.value c)
+
+let test_dump_is_sorted () =
+  let names = List.map fst (Metrics.dump ()) in
+  check_bool "dump sorted by name" true (names = List.sort compare names);
+  check_bool "pipeline counters registered" true
+    (List.mem "driver.exact.run" names && List.mem "optimizer.sweeps" names)
+
+(* --------------------------------------------------------------- tracer *)
+
+(* Minimal JSON syntax checker — enough to guarantee the exported trace
+   is loadable, without pulling a JSON dependency into the tests. *)
+let json_is_valid s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c = if peek () = Some c then incr pos else raise Exit in
+  let literal w =
+    let l = String.length w in
+    if !pos + l <= n && String.sub s !pos l = w then pos := !pos + l else raise Exit
+  in
+  let string_lit () =
+    expect '"';
+    let rec go () =
+      if !pos >= n then raise Exit
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            pos := !pos + 2;
+            go ()
+        | _ ->
+            incr pos;
+            go ()
+    in
+    go ()
+  in
+  let number () =
+    let start = !pos in
+    while
+      !pos < n
+      && match s.[!pos] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    do
+      incr pos
+    done;
+    if !pos = start then raise Exit
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> compound '{' '}' (fun () -> string_lit (); skip_ws (); expect ':'; value ())
+    | Some '[' -> compound '[' ']' value
+    | Some '"' -> string_lit ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | _ -> raise Exit
+  and compound opening closing element =
+    expect opening;
+    skip_ws ();
+    if peek () = Some closing then incr pos
+    else
+      let rec elements () =
+        skip_ws ();
+        element ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            incr pos;
+            elements ()
+        | Some c when c = closing -> incr pos
+        | _ -> raise Exit
+      in
+      elements ()
+  in
+  match
+    value ();
+    skip_ws ();
+    !pos = n
+  with
+  | complete -> complete
+  | exception Exit -> false
+
+let with_tracing f =
+  Trace.set_enabled true;
+  Trace.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.clear ())
+    f
+
+let test_trace_disabled_is_noop () =
+  check_bool "off by default" false (Trace.enabled ());
+  let before = Trace.event_count () in
+  let r = Trace.with_span "invisible" (fun () -> 41 + 1) in
+  check_int "value passes through" 42 r;
+  Trace.instant "also invisible";
+  check_int "nothing recorded" before (Trace.event_count ())
+
+let test_trace_records_and_exports () =
+  with_tracing (fun () ->
+      let r =
+        Trace.with_span ~cat:"test" "outer" (fun () ->
+            Trace.with_span ~cat:"test" "inner" (fun () -> ());
+            Trace.instant "marker";
+            7)
+      in
+      check_int "span returns the body's value" 7 r;
+      check_int "two spans and a marker" 3 (Trace.event_count ());
+      let json = Trace.to_json () in
+      check_bool "export is valid JSON" true (json_is_valid json);
+      check_bool "events array present" true
+        (String.length json > 0
+        &&
+        let re_sub needle hay =
+          let nl = String.length needle and hl = String.length hay in
+          let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+          at 0
+        in
+        re_sub "\"traceEvents\"" json && re_sub "\"outer\"" json && re_sub "\"inner\"" json))
+
+let test_trace_escapes_names () =
+  with_tracing (fun () ->
+      Trace.instant "quote\" slash\\ newline\n tab\t";
+      check_bool "escaped name still valid JSON" true (json_is_valid (Trace.to_json ())))
+
+let test_trace_records_on_raise () =
+  with_tracing (fun () ->
+      (match Trace.with_span "raises" (fun () -> failwith "boom") with
+      | () -> Alcotest.fail "exception swallowed"
+      | exception Failure _ -> ());
+      check_int "span recorded despite the raise" 1 (Trace.event_count ()))
+
+(* -------------------------------------------------- bugfix: sweep bound *)
+
+let test_optimizer_sweeps_bounded () =
+  (* The per-budget sweep loop settles in at most 5 sweeps and no longer
+     burns a discarded 6th; [optimizer.sweeps] pins the count. *)
+  let tr = Lazy.force trained in
+  List.iter
+    (fun budget ->
+      let s0 = counter_value "optimizer.sweeps" in
+      let v0 = counter_value "optimizer.solves" in
+      let _plan = Opprox.optimize tr ~budget in
+      let sweeps = counter_value "optimizer.sweeps" - s0 in
+      check_int "one solve" 1 (counter_value "optimizer.solves" - v0);
+      check_bool
+        (Printf.sprintf "budget %.1f: %d sweeps within [1, 5]" budget sweeps)
+        true
+        (sweeps >= 1 && sweeps <= 5))
+    [ 0.0; 2.0; 8.0; 25.0 ]
+
+(* ------------------------------------------------ bugfix: choice order *)
+
+let test_plan_choices_in_phase_order () =
+  let tr = Lazy.force trained in
+  let plan = Opprox.optimize tr ~budget:10.0 in
+  let phases = List.map (fun (c : Optimizer.phase_choice) -> c.phase) plan.Optimizer.choices in
+  check_bool "one choice per phase, in phase order" true
+    (phases = List.init (Schedule.n_phases plan.Optimizer.schedule) Fun.id)
+
+let test_plan_lint_rejects_misordered_choices () =
+  let choice phase =
+    { Lint_plan.phase; levels = [| 1; 0 |]; sub_budget = 0.5; qos_hi = 0.0 }
+  in
+  let view choices =
+    {
+      Lint_plan.app_name = "toy";
+      abs = toy_abs;
+      n_phases = 2;
+      budget = 2.0;
+      choices;
+      schedule = Schedule.make [| [| 1; 0 |]; [| 1; 0 |] |];
+    }
+  in
+  check_bool "in-order plan passes PLAN008" false
+    (has_code "PLAN008" (Lint_plan.check_plan (view [ choice 0; choice 1 ])));
+  check_bool "reversed choices rejected" true
+    (has_code "PLAN008" (Lint_plan.check_plan (view [ choice 1; choice 0 ])));
+  check_bool "duplicated phase rejected" true
+    (has_code "PLAN008" (Lint_plan.check_plan (view [ choice 0; choice 0 ])))
+
+(* -------------------------------------------- bugfix: duplicate config *)
+
+let test_config_duplicate_key_counted () =
+  let d0 = counter_value "runtime.config.dup_key" in
+  let job =
+    Runtime.parse_config "app = toy\nbudget = 5\nmodels = m.sexp\nbudget = 7.5\n"
+  in
+  check_float "last binding wins" 7.5 job.Runtime.budget;
+  check_int "duplicate counted" (d0 + 1) (counter_value "runtime.config.dup_key");
+  let job = Runtime.parse_config "app = toy\nbudget = 5\nmodels = m.sexp\n" in
+  check_float "clean config unaffected" 5.0 job.Runtime.budget;
+  check_int "no false positives" (d0 + 1) (counter_value "runtime.config.dup_key")
+
+let test_load_config_closes_channel () =
+  (* Parse failures must not leak the channel: the file stays removable
+     (and on repeated failures, the fd table stays bounded). *)
+  let path = Filename.temp_file "opprox_obs" ".conf" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "app toy without equals\n";
+      close_out oc;
+      for _ = 1 to 64 do
+        match Runtime.load_config path with
+        | _ -> Alcotest.fail "malformed config accepted"
+        | exception Failure _ -> ()
+      done)
+
+(* --------------------------------------- bugfix: unknown cf signatures *)
+
+let test_cfmodel_unknown_signature_counted () =
+  let m = Cfmodel.build flow ~inputs:flow.App.training_inputs in
+  let seen = (Opprox_sim.Driver.run_exact flow flow.App.default_input).trace in
+  let u0 = counter_value "cfmodel.unknown_signature" in
+  check_int "known signature resolves silently" (Cfmodel.class_of_trace m seen)
+    (Cfmodel.class_of_trace m seen);
+  check_int "no count for known traces" u0 (counter_value "cfmodel.unknown_signature");
+  let unknown = List.init Cfmodel.signature_length (fun i -> 900 + i) in
+  check_int "unseen signature falls back to class 0" 0 (Cfmodel.class_of_trace m unknown);
+  check_int "fallback counted" (u0 + 1) (counter_value "cfmodel.unknown_signature")
+
+let test_cfmodel_of_sexp_rejects_inconsistent_n_classes () =
+  let m = Cfmodel.build flow ~inputs:flow.App.training_inputs in
+  let sexp = Cfmodel.to_sexp m in
+  let reloaded = Cfmodel.of_sexp sexp in
+  check_int "faithful roundtrip" (Cfmodel.n_classes m) (Cfmodel.n_classes reloaded);
+  let doctored =
+    Sexp.record
+      [
+        ("classes", Sexp.field sexp "classes");
+        ("tree", Sexp.field sexp "tree");
+        ("accuracy", Sexp.field sexp "accuracy");
+        ("n_classes", Sexp.int (Cfmodel.n_classes m + 1));
+      ]
+  in
+  match Cfmodel.of_sexp doctored with
+  | _ -> Alcotest.fail "inconsistent n_classes accepted"
+  | exception Failure _ -> ()
+
+(* ------------------------------------------- bugfix: pool at_exit hook *)
+
+let test_default_pool_at_exit_registered_once () =
+  Pool.set_default_jobs 1;
+  let after_first = counter_value "pool.default.at_exit_registrations" in
+  check_int "one process-wide hook" 1 after_first;
+  Pool.set_default_jobs 1;
+  Pool.set_default_jobs 2;
+  check_int "resizing registers no further hooks" after_first
+    (counter_value "pool.default.at_exit_registrations")
+
+let test_pool_task_accounting () =
+  let t0 = counter_value "pool.tasks" in
+  let pool = Pool.create ~jobs:2 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let out = Pool.parallel_map ~pool ~chunk:1 (fun x -> x * x) (Array.init 8 Fun.id) in
+      check_int "map still correct" 140 (Array.fold_left ( + ) 0 out));
+  check_int "every chunk counted as a task" (t0 + 8) (counter_value "pool.tasks")
+
+let suite =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "counter and gauge basics" `Quick test_counter_gauge_basics;
+        Alcotest.test_case "kind collisions rejected" `Quick test_kind_collision_rejected;
+        Alcotest.test_case "histogram bucket edges" `Quick test_histogram_bucket_edges;
+        Alcotest.test_case "histogram rejects bad edges" `Quick test_histogram_rejects_bad_edges;
+        Alcotest.test_case "exponential edge builder" `Quick test_exponential_edges;
+        prop_parallel_counter_sum;
+        Alcotest.test_case "disabled metrics are no-ops" `Quick test_disabled_is_noop;
+        Alcotest.test_case "dump is sorted and populated" `Quick test_dump_is_sorted;
+        Alcotest.test_case "disabled tracing is a no-op" `Quick test_trace_disabled_is_noop;
+        Alcotest.test_case "trace records and exports JSON" `Quick test_trace_records_and_exports;
+        Alcotest.test_case "trace escapes span names" `Quick test_trace_escapes_names;
+        Alcotest.test_case "span recorded when body raises" `Quick test_trace_records_on_raise;
+        Alcotest.test_case "optimizer sweeps bounded" `Quick test_optimizer_sweeps_bounded;
+        Alcotest.test_case "plan choices in phase order" `Quick test_plan_choices_in_phase_order;
+        Alcotest.test_case "PLAN008 rejects misordered choices" `Quick
+          test_plan_lint_rejects_misordered_choices;
+        Alcotest.test_case "duplicate config keys counted" `Quick test_config_duplicate_key_counted;
+        Alcotest.test_case "load_config closes the channel" `Quick test_load_config_closes_channel;
+        Alcotest.test_case "unknown cf signature counted" `Quick
+          test_cfmodel_unknown_signature_counted;
+        Alcotest.test_case "of_sexp rejects bad n_classes" `Quick
+          test_cfmodel_of_sexp_rejects_inconsistent_n_classes;
+        Alcotest.test_case "at_exit hook registered once" `Quick
+          test_default_pool_at_exit_registered_once;
+        Alcotest.test_case "pool task accounting" `Quick test_pool_task_accounting;
+      ] );
+  ]
