@@ -1,6 +1,6 @@
 # Convenience aliases; dune is the build system.
 
-.PHONY: all check test lint stats fixtures bench bench-snapshot fmt clean
+.PHONY: all check test lint stats serve-smoke fixtures bench bench-snapshot fmt clean
 
 all:
 	dune build @all
@@ -49,6 +49,38 @@ stats:
 	  --metrics-sexp > /dev/null
 	@test -s /tmp/opprox_stats_trace.json && echo "stats: trace written (ok)"
 	@rm -f /tmp/opprox_stats_trace.json
+
+# Serving smoke test: a daemon on a temp socket must answer a cold
+# request with a plan (cache miss), the repeat from the cache (hit),
+# reject a bad budget and a malformed frame with nonzero exits, and
+# drain to exit status 0 on SIGTERM.
+serve-smoke:
+	dune build bin/opprox_cli.exe
+	@set -e; \
+	SOCK=$$(mktemp -u /tmp/opprox-smoke-XXXXXX.sock); \
+	OPX="dune exec --no-build bin/opprox_cli.exe --"; \
+	$$OPX serve --socket $$SOCK --models test/fixtures/trained_kmeans.sexp \
+	  > /tmp/opprox_serve_smoke.log 2>&1 & \
+	SRV=$$!; \
+	trap 'kill $$SRV 2>/dev/null || true; rm -f $$SOCK /tmp/opprox_serve_smoke.log' EXIT; \
+	for i in $$(seq 1 100); do [ -S $$SOCK ] && break; sleep 0.1; done; \
+	[ -S $$SOCK ] || { echo "serve-smoke: daemon never bound $$SOCK"; exit 1; }; \
+	$$OPX request kmeans --socket $$SOCK --budget 12 | grep -q "cache: miss" \
+	  && echo "serve-smoke: cold request planned (ok)"; \
+	$$OPX request kmeans --socket $$SOCK --budget 12 | grep -q "cache: hit" \
+	  && echo "serve-smoke: repeat served from cache (ok)"; \
+	if $$OPX request kmeans --socket $$SOCK --budget 150 >/dev/null 2>&1; then \
+	  echo "serve-smoke: bad budget was NOT rejected"; exit 1; \
+	else echo "serve-smoke: bad budget rejected (ok)"; fi; \
+	if $$OPX request --socket $$SOCK --malformed >/dev/null 2>&1; then \
+	  echo "serve-smoke: malformed frame was NOT rejected"; exit 1; \
+	else echo "serve-smoke: malformed frame rejected (ok)"; fi; \
+	kill -TERM $$SRV; \
+	if wait $$SRV; then echo "serve-smoke: graceful drain on SIGTERM (ok)"; \
+	else echo "serve-smoke: daemon exited non-zero on SIGTERM"; \
+	  cat /tmp/opprox_serve_smoke.log; exit 1; fi; \
+	if [ -S $$SOCK ]; then echo "serve-smoke: socket file not removed"; exit 1; fi; \
+	echo "serve-smoke: ok"
 
 # Regenerate the committed corruption fixtures under test/fixtures/.
 fixtures:

@@ -343,6 +343,76 @@ let write_obs_snapshot entries =
   Printf.fprintf oc "  \"eval_memo_on_over_off\": %s\n}\n" ratio;
   close_out oc
 
+(* ---------------------------------------------------------- serve group *)
+
+(* The daemon's request path through the in-process loopback transport,
+   which runs the full admission / validation / cache / solve pipeline
+   plus both wire codecs — everything but the socket itself.  The hit
+   arm is the steady state the cache exists for; the cold arm bypasses
+   the lookup ([no_cache]) and pays an optimizer solve every call; the
+   reject arm prices boundary validation.  BENCH_serve.json records the
+   estimates and the cold/hit ratio — the cache's whole value
+   proposition as one number. *)
+module Serve_protocol = Opprox_serve.Protocol
+module Serve_server = Opprox_serve.Server
+module Serve_client = Opprox_serve.Client
+
+let serve_payload =
+  lazy
+    (let server = Serve_server.create [ Lazy.force optimizer_payload ] in
+     let client = Serve_client.loopback server in
+     (server, client))
+
+let serve_hit_request = lazy (Serve_protocol.request ~app:"comd" ~budget:10.0 ())
+
+let serve_cold_request =
+  lazy (Serve_protocol.request ~no_cache:true ~app:"comd" ~budget:10.0 ())
+
+let serve_reject_request = lazy (Serve_protocol.request ~app:"comd" ~budget:0.0 ())
+
+let serve_roundtrip req () =
+  let _, client = Lazy.force serve_payload in
+  ignore (Serve_client.request client (Lazy.force req))
+
+let serve_fingerprint () =
+  ignore
+    (Opprox_serve.Plancache.fingerprint ~app:"comd"
+       ~input:[| 1.0; 2.0; 3.0 |]
+       ~budget:10.0 ~models_hash:"0123456789abcdef0123456789abcdef")
+
+let serve_tests =
+  [
+    Test.make ~name:"serve:cache-hit" (Staged.stage (serve_roundtrip serve_hit_request));
+    Test.make ~name:"serve:cold-solve" (Staged.stage (serve_roundtrip serve_cold_request));
+    Test.make ~name:"serve:validation-reject"
+      (Staged.stage (serve_roundtrip serve_reject_request));
+    Test.make ~name:"serve:fingerprint" (Staged.stage serve_fingerprint);
+  ]
+
+let serve_snapshot_file = "BENCH_serve.json"
+
+let write_serve_snapshot entries =
+  let est name = Option.join (List.assoc_opt name entries) in
+  let oc = open_out serve_snapshot_file in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"transport\": \"loopback (codecs + request path, no socket)\",\n";
+  Printf.fprintf oc "  \"benchmarks\": [\n";
+  let n = List.length entries in
+  List.iteri
+    (fun i (name, est) ->
+      let value = match est with Some ns -> Printf.sprintf "%.1f" ns | None -> "null" in
+      Printf.fprintf oc "    { \"name\": %S, \"ns_per_run\": %s }%s\n" name value
+        (if i = n - 1 then "" else ","))
+    entries;
+  Printf.fprintf oc "  ],\n";
+  let ratio =
+    match (est "serve:cold-solve", est "serve:cache-hit") with
+    | Some cold, Some hit when hit > 0.0 -> Printf.sprintf "%.1f" (cold /. hit)
+    | _ -> "null"
+  in
+  Printf.fprintf oc "  \"cold_over_hit\": %s\n}\n" ratio;
+  close_out oc
+
 let pool_snapshot_file = "BENCH_pool.json"
 
 let write_pool_snapshot entries =
@@ -434,6 +504,13 @@ let run () =
   List.iter print_entry obs_entries;
   write_obs_snapshot obs_entries;
   Printf.printf "  obs group snapshot -> %s\n%!" obs_snapshot_file;
+  (* Warm the plan cache so the hit arm measures the steady state. *)
+  serve_roundtrip serve_hit_request ();
+  let serve_entries = List.concat_map (measure cfg instances) serve_tests in
+  let serve_entries = List.sort (fun (a, _) (b, _) -> compare a b) serve_entries in
+  List.iter print_entry serve_entries;
+  write_serve_snapshot serve_entries;
+  Printf.printf "  serve group snapshot -> %s\n%!" serve_snapshot_file;
   (* The scratch collect arm re-simulates everything and takes seconds per
      run; give the checkpoint group a larger quota so both arms get
      enough iterations for a stable estimate. *)

@@ -128,6 +128,15 @@ let print_metrics_table () =
    writes the requested dumps. *)
 let obs_arg =
   let setup trace_file metrics_sexp =
+    (* With an export requested, SIGINT/SIGTERM must become an orderly
+       [exit] so the at-exit dumps below still run when a long pipeline
+       run is interrupted; the default behaviour kills the process
+       before any hook fires.  Commands with their own lifecycle
+       (opprox serve) install their handlers after this one. *)
+    if trace_file <> None || metrics_sexp then begin
+      Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> exit 130));
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> exit 143))
+    end;
     (match trace_file with
     | None -> ()
     | Some path ->
@@ -247,6 +256,25 @@ let load_arg =
     & info [ "load" ] ~docv:"FILE"
         ~doc:"Load a pipeline saved by $(b,train) instead of retraining.")
 
+(* One plan rendered as the per-phase choice table — shared by
+   [optimize] (local solve) and [request] (daemon reply). *)
+let print_plan_table ~budget (plan : Opprox.Optimizer.plan) =
+  let t = Table.create [ "phase"; "levels"; "sub-budget %"; "predicted qos-hi %" ] in
+  List.iter
+    (fun (c : Opprox.Optimizer.phase_choice) ->
+      Table.add_row t
+        [
+          string_of_int (c.phase + 1);
+          Printf.sprintf "[%s]"
+            (String.concat ";" (Array.to_list (Array.map string_of_int c.levels)));
+          Printf.sprintf "%.2f" c.sub_budget;
+          Printf.sprintf "%.2f" c.predicted.Opprox.Models.qos_hi;
+        ])
+    (List.sort
+       (fun (a : Opprox.Optimizer.phase_choice) b -> compare a.phase b.phase)
+       plan.Opprox.Optimizer.choices);
+  Table.print ~title:(Printf.sprintf "Plan for budget %.1f%%" budget) t
+
 let optimize_cmd =
   let run () () (app : App.t) budget phases load verbose =
     setup_logs verbose;
@@ -270,21 +298,7 @@ let optimize_cmd =
       (Opprox.Models.qos_r2 trained.Opprox.models)
       (Opprox.Models.speedup_r2 trained.Opprox.models);
     let plan = Opprox.optimize trained ~budget in
-    let t = Table.create [ "phase"; "levels"; "sub-budget %"; "predicted qos-hi %" ] in
-    List.iter
-      (fun (c : Opprox.Optimizer.phase_choice) ->
-        Table.add_row t
-          [
-            string_of_int (c.phase + 1);
-            Printf.sprintf "[%s]"
-              (String.concat ";" (Array.to_list (Array.map string_of_int c.levels)));
-            Printf.sprintf "%.2f" c.sub_budget;
-            Printf.sprintf "%.2f" c.predicted.Opprox.Models.qos_hi;
-          ])
-      (List.sort
-         (fun (a : Opprox.Optimizer.phase_choice) b -> compare a.phase b.phase)
-         plan.Opprox.Optimizer.choices);
-    Table.print ~title:(Printf.sprintf "Plan for budget %.1f%%" budget) t;
+    print_plan_table ~budget plan;
     let outcome = Opprox.apply trained plan in
     Printf.printf "Measured: speedup %.3f, qos degradation %.2f%% (budget %.1f%%)%s\n"
       outcome.Driver.speedup outcome.Driver.qos_degradation budget
@@ -353,6 +367,14 @@ let check_cmd =
       & info [ "schedule" ] ~docv:"FILE"
           ~doc:"Audit a serialized schedule (shape, level ranges against $(i,APP)).")
   in
+  let request_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "request" ] ~docv:"FILE"
+          ~doc:"Audit a serving request (budget range, known app, input arity — the \
+                $(b,SRV) rules the daemon applies at its boundary).")
+  in
   let strict_arg =
     Arg.(
       value & flag
@@ -372,7 +394,7 @@ let check_cmd =
       value & flag
       & info [ "sexp" ] ~doc:"Also print each finding as an s-expression on stdout.")
   in
-  let run app models_file schedule_file strict_flag disabled sexp_out verbose =
+  let run app models_file schedule_file request_file strict_flag disabled sexp_out verbose =
     setup_logs verbose;
     let strict = strict_flag || Diagnostic.strict_env () in
     let checker =
@@ -432,6 +454,46 @@ let check_cmd =
               Checker.add checker
                 (Lint_schedule.check ~app:a.name ~abs:a.abs (Schedule.make raw))
           | None -> ());
+    (match request_file with
+    | None -> ()
+    | Some path ->
+        (* The registry stands in for a serving target: every bundled app
+           is "loaded", and with no model set at hand the hash rule
+           (SRV003) has nothing to compare against. *)
+        let module Protocol = Opprox_serve.Protocol in
+        let module Lint_request = Opprox_analysis.Lint_request in
+        let target =
+          {
+            Lint_request.known_apps = Opprox_apps.Registry.names ();
+            param_arity =
+              (fun name ->
+                match Opprox_apps.Registry.find name with
+                | a -> Some (Array.length a.App.param_names)
+                | exception Not_found -> None);
+            expected_hash = (fun _ -> None);
+          }
+        in
+        let findings =
+          match Opprox_util.Sexp.load path with
+          | exception Failure msg -> [ Lint_request.malformed msg ]
+          | sexp -> (
+              match Protocol.frame_version sexp with
+              | exception Failure msg -> [ Lint_request.malformed msg ]
+              | v when v <> Protocol.version -> [ Lint_request.bad_version ~got:v ]
+              | _ -> (
+                  match Protocol.request_of_sexp sexp with
+                  | exception Failure msg -> [ Lint_request.malformed msg ]
+                  | req ->
+                      Lint_request.check target
+                        {
+                          Lint_request.app = req.Protocol.app;
+                          budget = req.Protocol.budget;
+                          input = req.Protocol.input;
+                          models_hash = req.Protocol.models_hash;
+                          deadline_ms = req.Protocol.deadline_ms;
+                        }))
+        in
+        Checker.add checker findings);
     if sexp_out then
       List.iter
         (fun d -> print_endline (Opprox_util.Sexp.to_string (Diagnostic.to_sexp d)))
@@ -446,8 +508,8 @@ let check_cmd =
           Exit status 0 when clean (or only notes/warnings), 1 when any error — or any \
           warning under $(b,--strict) — fired, 2 on usage problems.")
     Term.(
-      const run $ app_opt_arg $ models_arg $ schedule_arg $ strict_arg $ disable_arg $ sexp_arg
-      $ verbose_arg)
+      const run $ app_opt_arg $ models_arg $ schedule_arg $ request_arg $ strict_arg
+      $ disable_arg $ sexp_arg $ verbose_arg)
 
 (* ---------------------------------------------------------------- oracle *)
 
@@ -513,6 +575,274 @@ let stats_cmd =
           (counters, gauges, histograms) it produced.")
     Term.(const run $ jobs_arg $ obs_arg $ app_opt_arg $ budget_arg $ verbose_arg)
 
+(* ----------------------------------------------------------------- serve *)
+
+module Protocol = Opprox_serve.Protocol
+module Server = Opprox_serve.Server
+module Client = Opprox_serve.Client
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path the daemon listens on.")
+
+let serve_cmd =
+  let models_arg =
+    Arg.(
+      non_empty
+      & opt_all file []
+      & info [ "models" ] ~docv:"FILE"
+          ~doc:"Trained pipeline saved by $(b,train); repeat to serve several applications.")
+  in
+  let max_inflight_arg =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.max_inflight
+      & info [ "max-inflight" ] ~docv:"K"
+          ~doc:"Admission bound: requests beyond $(docv) in flight are shed with an \
+                $(b,overloaded) reply.")
+  in
+  let cache_cap_arg =
+    Arg.(
+      value
+      & opt int Server.default_config.Server.cache_capacity
+      & info [ "cache-cap" ] ~docv:"C" ~doc:"Plan-cache capacity in entries.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Default per-request deadline applied when a request carries none.")
+  in
+  let run () () socket models max_inflight cache_cap deadline_ms verbose =
+    setup_logs verbose;
+    let socket =
+      match socket with
+      | Some s -> s
+      | None ->
+          Printf.eprintf "opprox serve: --socket PATH is required\n";
+          exit 2
+    in
+    let pipelines =
+      List.map
+        (fun path ->
+          Printf.printf "Loading trained pipeline from %s...\n%!" path;
+          match Opprox.load ~resolve:Opprox_apps.Registry.find path with
+          | trained -> trained
+          | exception Failure msg ->
+              Printf.eprintf "opprox serve: cannot load %s: %s\n" path msg;
+              exit 2
+          | exception Not_found ->
+              Printf.eprintf "opprox serve: %s names an unregistered application\n" path;
+              exit 2)
+        models
+    in
+    let config =
+      {
+        Server.default_config with
+        Server.max_inflight;
+        cache_capacity = cache_cap;
+        default_deadline_ms = deadline_ms;
+      }
+    in
+    let server =
+      try Server.create ~config pipelines with
+      | Invalid_argument msg ->
+          Printf.eprintf "opprox serve: %s\n" msg;
+          exit 2
+      | Opprox_analysis.Diagnostic.Lint_error diags ->
+          Format.eprintf "opprox serve: model audit failed:@.%a@."
+            Opprox_analysis.Diagnostic.pp_list diags;
+          exit 1
+    in
+    Server.install_signal_handlers server;
+    List.iter
+      (fun app ->
+        Printf.printf "  serving %s (models %s)\n%!" app
+          (Option.value ~default:"?" (Server.models_hash server app)))
+      (Server.apps server);
+    (match Server.serve server ~socket with
+    | () -> ()
+    | exception Unix.Unix_error (err, fn, arg) ->
+        Printf.eprintf "opprox serve: %s(%s): %s\n" fn arg (Unix.error_message err);
+        exit 1);
+    let stats = Server.cache_stats server in
+    Printf.printf "Drained.  Cache: %d hit(s), %d miss(es), %d eviction(s)\n"
+      stats.Opprox_serve.Plancache.hits stats.Opprox_serve.Plancache.misses
+      stats.Opprox_serve.Plancache.evictions
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the plan-serving daemon: load trained pipelines once, then answer plan \
+          requests over a Unix-domain socket with a sharded plan cache, per-request \
+          deadlines, and overload shedding.  SIGINT/SIGTERM drain in-flight requests \
+          before exit.")
+    Term.(
+      const run $ jobs_arg $ obs_arg $ socket_arg $ models_arg $ max_inflight_arg
+      $ cache_cap_arg $ deadline_arg $ verbose_arg)
+
+(* --------------------------------------------------------------- request *)
+
+let request_cmd =
+  let app_opt_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"APP" ~doc:"Application to request a plan for.")
+  in
+  let input_arg =
+    Arg.(
+      value
+      & opt (some (list float)) None
+      & info [ "input" ] ~docv:"CSV"
+          ~doc:"Input parameter vector, comma-separated (default: the app's default input).")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Reply-by deadline for this request.")
+  in
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Bypass the server's plan-cache lookup (the solve still populates it).")
+  in
+  let hash_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "models-hash" ] ~docv:"MD5"
+          ~doc:"Assert the server's models match this hash ($(b,SRV003) error on mismatch).")
+  in
+  let batch_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "batch" ] ~docv:"FILE"
+          ~doc:"Send every request in $(docv) (an s-expression list of request records) \
+                over one connection instead of building one from the flags.")
+  in
+  let sexp_arg =
+    Arg.(
+      value & flag
+      & info [ "sexp" ] ~doc:"Print each reply as its wire s-expression instead of a table.")
+  in
+  let malformed_arg =
+    Arg.(
+      value & flag
+      & info [ "malformed" ]
+          ~doc:"Send a deliberately undecodable frame and print the server's reply — \
+                exercises the $(b,SRV004) path (needs $(b,--socket)).")
+  in
+  let loopback_models_arg =
+    Arg.(
+      value
+      & opt_all file []
+      & info [ "models" ] ~docv:"FILE"
+          ~doc:"Without $(b,--socket): answer in-process from these trained pipelines \
+                (the loopback transport the tests use).")
+  in
+  let print_response ~sexp_out (resp : Protocol.response) =
+    if sexp_out then print_endline (Opprox_util.Sexp.to_string (Protocol.response_to_sexp resp));
+    match resp with
+    | Protocol.Plan { plan; cache; models_hash; elapsed_ms } ->
+        Printf.printf "cache: %s  (%.2f ms, models %s)\n"
+          (match cache with Protocol.Hit -> "hit" | Protocol.Miss -> "miss")
+          elapsed_ms models_hash;
+        if not sexp_out then print_plan_table ~budget:plan.Opprox.Optimizer.budget plan;
+        true
+    | Protocol.Error diags ->
+        Format.eprintf "request rejected:@.%a@." Opprox_analysis.Diagnostic.pp_list diags;
+        false
+    | Protocol.Timeout { elapsed_ms; deadline_ms } ->
+        Printf.eprintf "request timed out: %.2f ms elapsed, %.2f ms deadline\n" elapsed_ms
+          deadline_ms;
+        false
+    | Protocol.Overloaded { inflight; limit } ->
+        Printf.eprintf "server overloaded: %d in flight, limit %d\n" inflight limit;
+        false
+  in
+  let run () () socket app input budget deadline_ms no_cache models_hash batch sexp_out
+      malformed loopback_models verbose =
+    setup_logs verbose;
+    let client =
+      match (socket, loopback_models) with
+      | Some path, _ -> (
+          try Client.connect ~socket:path
+          with Unix.Unix_error (err, _, _) ->
+            Printf.eprintf "opprox request: cannot connect to %s: %s\n" path
+              (Unix.error_message err);
+            exit 2)
+      | None, [] ->
+          Printf.eprintf "opprox request: need --socket PATH or --models FILE\n";
+          exit 2
+      | None, models ->
+          let pipelines =
+            List.map (fun p -> Opprox.load ~resolve:Opprox_apps.Registry.find p) models
+          in
+          Client.loopback (Server.create pipelines)
+    in
+    Fun.protect
+      ~finally:(fun () -> Client.close client)
+      (fun () ->
+        let requests =
+          if malformed then []
+          else
+            match batch with
+            | Some path -> (
+                match
+                  List.map Protocol.request_of_sexp
+                    (Opprox_util.Sexp.to_list (Opprox_util.Sexp.load path))
+                with
+                | reqs -> reqs
+                | exception Failure msg ->
+                    Printf.eprintf "opprox request: cannot load %s: %s\n" path msg;
+                    exit 2)
+            | None -> (
+                match app with
+                | None ->
+                    Printf.eprintf "opprox request: need APP or --batch FILE\n";
+                    exit 2
+                | Some app ->
+                    [
+                      Protocol.request ?input:(Option.map Array.of_list input) ?deadline_ms
+                        ?models_hash ~no_cache ~app ~budget ();
+                    ])
+        in
+        let ok =
+          if malformed then (
+            match Client.send_raw client "((v 1) (app" with
+            | resp -> print_response ~sexp_out resp
+            | exception Failure msg ->
+                Printf.eprintf "opprox request: %s\n" msg;
+                false)
+          else
+            List.fold_left
+              (fun acc req ->
+                match Client.request client req with
+                | resp -> print_response ~sexp_out resp && acc
+                | exception Failure msg ->
+                    Printf.eprintf "opprox request: %s\n" msg;
+                    false)
+              true requests
+        in
+        if not ok then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Ask a running $(b,opprox serve) daemon (or an in-process loopback server) for a \
+          plan.  Exit status 0 only when every reply is a plan.")
+    Term.(
+      const run $ jobs_arg $ obs_arg $ socket_arg $ app_opt_arg $ input_arg
+      $ budget_arg $ deadline_arg $ no_cache_arg $ hash_arg $ batch_arg $ sexp_arg
+      $ malformed_arg $ loopback_models_arg $ verbose_arg)
+
 let () =
   let doc = "phase-aware optimization of approximate programs (OPPROX, CGO 2017)" in
   exit
@@ -527,4 +857,6 @@ let () =
             oracle_cmd;
             check_cmd;
             stats_cmd;
+            serve_cmd;
+            request_cmd;
           ]))

@@ -52,6 +52,14 @@ let codes =
     ("PLAN006", "predicted QoS exceeds the phase sub-budget");
     ("PLAN007", "plan schedule shape differs from the models'");
     ("PLAN008", "plan choices are not one-per-phase in phase order");
+    ("SRV001", "request budget non-finite or outside (0, 100]");
+    ("SRV002", "request names an application the server holds no models for");
+    ("SRV003", "request models-hash differs from the loaded models");
+    ("SRV004", "malformed, oversized, or truncated request frame");
+    ("SRV005", "unsupported serving-protocol version");
+    ("SRV006", "request input vector invalid (arity or non-finite values)");
+    ("SRV007", "request deadline is not positive");
+    ("SRV008", "internal server error while solving a plan");
   ]
 
 let is_failure ~strict d =
@@ -102,6 +110,29 @@ let to_sexp d =
     @ opt "ab" Sexp.int d.location.ab
     @ opt "detail" Sexp.string d.location.detail
     @ [ ("message", Sexp.string d.message) ])
+
+let of_sexp sexp =
+  let opt name conv = Option.map conv (Sexp.field_opt sexp name) in
+  let severity =
+    match Sexp.to_string_atom (Sexp.field sexp "severity") with
+    | "error" -> Error
+    | "warning" -> Warning
+    | "info" -> Info
+    | s -> failwith (Printf.sprintf "Diagnostic.of_sexp: unknown severity %S" s)
+  in
+  {
+    code = Sexp.to_string_atom (Sexp.field sexp "code");
+    severity;
+    location =
+      {
+        app = opt "app" Sexp.to_string_atom;
+        cls = opt "class" Sexp.to_int;
+        phase = opt "phase" Sexp.to_int;
+        ab = opt "ab" Sexp.to_int;
+        detail = opt "detail" Sexp.to_string_atom;
+      };
+    message = Sexp.to_string_atom (Sexp.field sexp "message");
+  }
 
 let () =
   Printexc.register_printer (function

@@ -79,3 +79,8 @@ val pp_list : Format.formatter -> t list -> unit
 val to_sexp : t -> Opprox_util.Sexp.t
 (** Machine rendering: a record of code, severity, location fields and
     message. *)
+
+val of_sexp : Opprox_util.Sexp.t -> t
+(** Inverse of {!to_sexp} — this is how the plan-serving client
+    reconstructs a server-side error reply.  Raises [Failure] on a
+    malformed record. *)

@@ -1,0 +1,81 @@
+module D = Diagnostic
+
+type view = {
+  app : string;
+  budget : float;
+  input : float array option;
+  models_hash : string option;
+  deadline_ms : float option;
+}
+
+type target = {
+  known_apps : string list;
+  param_arity : string -> int option;
+  expected_hash : string -> string option;
+}
+
+let check_budget v =
+  if not (Float.is_finite v.budget) then
+    [ D.v ~code:"SRV001" D.Error "budget %f is not finite" v.budget ]
+  else if v.budget <= 0.0 || v.budget > 100.0 then
+    [
+      D.v ~code:"SRV001" D.Error "budget %g%% is outside (0, 100] (percent QoS degradation)"
+        v.budget;
+    ]
+  else []
+
+let check_app target v =
+  if List.mem v.app target.known_apps then []
+  else
+    [
+      D.v ~app:v.app ~code:"SRV002" D.Error "no models loaded for %s (serving: %s)" v.app
+        (match target.known_apps with [] -> "nothing" | l -> String.concat ", " l);
+    ]
+
+let check_hash target v =
+  match (v.models_hash, target.expected_hash v.app) with
+  | Some asserted, Some expected when asserted <> expected ->
+      [
+        D.v ~app:v.app ~code:"SRV003" D.Error
+          "request asserts models %s but the server loaded %s" asserted expected;
+      ]
+  | _ -> []
+
+let check_input target v =
+  match v.input with
+  | None -> []
+  | Some input -> (
+      let bad_values =
+        Array.to_list input
+        |> List.mapi (fun i x -> (i, x))
+        |> List.filter_map (fun (i, x) ->
+               if Float.is_finite x then None
+               else
+                 Some
+                   (D.v ~app:v.app ~code:"SRV006"
+                      ~detail:(Printf.sprintf "input[%d]" i)
+                      D.Error "input component %d is %f" i x))
+      in
+      match target.param_arity v.app with
+      | Some arity when arity <> Array.length input ->
+          D.v ~app:v.app ~code:"SRV006" D.Error "input has %d components, %s takes %d"
+            (Array.length input) v.app arity
+          :: bad_values
+      | _ -> bad_values)
+
+let check_deadline v =
+  match v.deadline_ms with
+  | Some d when (not (Float.is_finite d)) || d <= 0.0 ->
+      [ D.v ~code:"SRV007" D.Error "deadline %gms can never be met" d ]
+  | _ -> []
+
+let check target v =
+  check_budget v @ check_app target v @ check_hash target v @ check_input target v
+  @ check_deadline v
+
+let malformed msg = D.v ~code:"SRV004" D.Error "malformed frame: %s" msg
+
+let bad_version ~got =
+  D.v ~code:"SRV005" D.Error "protocol version %d is not supported (this server speaks 1)" got
+
+let internal msg = D.v ~code:"SRV008" D.Error "plan solve failed: %s" msg

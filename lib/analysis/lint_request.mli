@@ -1,0 +1,59 @@
+(** Serving-boundary request rules (codes [SRV***]).
+
+    The plan-serving daemon ({!module:Opprox_serve}) answers
+    per-job plan queries against models loaded at startup — the paper's
+    "optimize at job-submission time" step turned into a long-lived
+    service.  Everything that crosses that boundary is untrusted: a bad
+    budget, an unknown application, stale client-side model assumptions.
+    These rules validate one request against one serving target, so both
+    [opprox check --request] and the server reply with the same stable
+    diagnostic codes instead of crashing or answering garbage.
+
+    Rules:
+    + [SRV001] — budget non-finite or outside (0, 100] (percent QoS
+      degradation, same unit as the rest of the pipeline);
+    + [SRV002] — the target holds no models for the requested app;
+    + [SRV003] — the client-asserted models hash differs from the hash of
+      the models actually loaded (the client planned against different
+      coefficients);
+    + [SRV006] — input vector arity differs from the app's parameters, or
+      a component is non-finite;
+    + [SRV007] — a non-positive deadline (can never be met).
+
+    [SRV004] (malformed frame), [SRV005] (protocol version) and [SRV008]
+    (internal solve failure) are constructed by the framing and serving
+    layers through the helpers below — they describe transport and server
+    conditions, not request fields. *)
+
+type view = {
+  app : string;
+  budget : float;  (** percent QoS degradation, like the whole pipeline *)
+  input : float array option;
+  models_hash : string option;  (** client-asserted, when it cares *)
+  deadline_ms : float option;
+}
+(** One request, as seen at the serving boundary. *)
+
+type target = {
+  known_apps : string list;  (** apps the server holds models for *)
+  param_arity : string -> int option;  (** input arity per known app *)
+  expected_hash : string -> string option;
+      (** hash of the loaded models per known app; [None] mutes [SRV003]
+          (e.g. [opprox check] without a models file) *)
+}
+(** What the request is validated against. *)
+
+val check : target -> view -> Diagnostic.t list
+(** Every [SRV001]/[SRV002]/[SRV003]/[SRV006]/[SRV007] finding for one
+    request.  Never raises: the server boundary turns the findings into a
+    structured error reply. *)
+
+val malformed : string -> Diagnostic.t
+(** [SRV004] — an undecodable, oversized, or truncated frame. *)
+
+val bad_version : got:int -> Diagnostic.t
+(** [SRV005] — a frame whose [(v N)] is not the supported version. *)
+
+val internal : string -> Diagnostic.t
+(** [SRV008] — the solve raised something that is not a lint finding;
+    the exception text is carried in the message. *)

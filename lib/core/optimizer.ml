@@ -266,3 +266,66 @@ let optimize ?search ?(enumeration_limit = 20000) ~models ~roi ~input ~budget ()
   log_diags diags;
   Diagnostic.raise_errors ~strict:false diags;
   plan
+
+(* ---------------------------------------------------------- serialization *)
+
+(* Plans travel over the serving protocol (daemon reply) and into audit
+   tooling, so the codec round-trips every field bit-exactly (floats via
+   Sexp.float's 17 significant digits). *)
+
+module Sexp = Opprox_util.Sexp
+
+let prediction_to_sexp (p : Models.prediction) =
+  Sexp.record
+    [
+      ("speedup", Sexp.float p.Models.speedup);
+      ("qos", Sexp.float p.Models.qos);
+      ("speedup_lo", Sexp.float p.Models.speedup_lo);
+      ("qos_hi", Sexp.float p.Models.qos_hi);
+      ("iters_ratio", Sexp.float p.Models.iters_ratio);
+    ]
+
+let prediction_of_sexp sexp =
+  {
+    Models.speedup = Sexp.to_float (Sexp.field sexp "speedup");
+    qos = Sexp.to_float (Sexp.field sexp "qos");
+    speedup_lo = Sexp.to_float (Sexp.field sexp "speedup_lo");
+    qos_hi = Sexp.to_float (Sexp.field sexp "qos_hi");
+    iters_ratio = Sexp.to_float (Sexp.field sexp "iters_ratio");
+  }
+
+let choice_to_sexp c =
+  Sexp.record
+    [
+      ("phase", Sexp.int c.phase);
+      ("levels", Sexp.int_array c.levels);
+      ("predicted", prediction_to_sexp c.predicted);
+      ("sub_budget", Sexp.float c.sub_budget);
+    ]
+
+let choice_of_sexp sexp =
+  {
+    phase = Sexp.to_int (Sexp.field sexp "phase");
+    levels = Sexp.to_int_array (Sexp.field sexp "levels");
+    predicted = prediction_of_sexp (Sexp.field sexp "predicted");
+    sub_budget = Sexp.to_float (Sexp.field sexp "sub_budget");
+  }
+
+let plan_to_sexp plan =
+  Sexp.record
+    [
+      ("budget", Sexp.float plan.budget);
+      ("predicted_speedup", Sexp.float plan.predicted_speedup);
+      ("predicted_qos", Sexp.float plan.predicted_qos);
+      ("schedule", Schedule.to_sexp plan.schedule);
+      ("choices", Sexp.list (List.map choice_to_sexp plan.choices));
+    ]
+
+let plan_of_sexp sexp =
+  {
+    budget = Sexp.to_float (Sexp.field sexp "budget");
+    predicted_speedup = Sexp.to_float (Sexp.field sexp "predicted_speedup");
+    predicted_qos = Sexp.to_float (Sexp.field sexp "predicted_qos");
+    schedule = Schedule.of_sexp (Sexp.field sexp "schedule");
+    choices = List.map choice_of_sexp (Sexp.to_list (Sexp.field sexp "choices"));
+  }

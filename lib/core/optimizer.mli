@@ -71,6 +71,18 @@ val lint : models:Models.t -> plan -> Opprox_analysis.Diagnostic.t list
     optimizer — against the models it is meant to run under: budget
     split, level admissibility, schedule shape. *)
 
+val plan_to_sexp : plan -> Opprox_util.Sexp.t
+(** Serialize a plan — schedule, per-phase choices with their predictions,
+    composed estimates, budget.  This is the payload of the plan-serving
+    daemon's reply and round-trips bit-exactly. *)
+
+val plan_of_sexp : Opprox_util.Sexp.t -> plan
+(** Inverse of {!plan_to_sexp}.  Raises [Failure] on malformed input and
+    [Invalid_argument] (via {!Opprox_sim.Schedule.make}) on a stored
+    schedule violating the shape invariants.  A deserialized plan is
+    untrusted: run it through {!lint} (or let {!Opprox.apply} do so)
+    before executing it. *)
+
 val compose_speedup : float list -> float
 (** Combine per-phase whole-run speedups: each phase contributes work
     savings [1 - 1/s]; savings add, so the composed speedup is

@@ -72,16 +72,7 @@ let parse_config content =
   in
   { app_name = required "app"; budget; model_path = required "models"; input }
 
-let load_config path =
-  let ic = open_in path in
-  (* [really_input_string] raises on a file truncated between the length
-     probe and the read; without the protection that leaked [ic]. *)
-  let content =
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  parse_config content
+let load_config path = parse_config (Opprox_util.Sexp.read_file path)
 
 let env_var_name ~phase ~ab_name =
   let sanitized =

@@ -1,0 +1,60 @@
+type transport =
+  | Socket of { fd : Unix.file_descr; mutable closed : bool }
+  | Loopback of Server.t
+
+type t = { transport : transport }
+
+let connect ~socket =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { transport = Socket { fd; closed = false } }
+
+let loopback server = { transport = Loopback server }
+
+let read_response fd =
+  match Protocol.read_frame fd with
+  | None -> failwith "Client.request: server closed the connection"
+  | Some sexp -> Protocol.response_of_sexp sexp
+
+let request t req =
+  match t.transport with
+  | Socket { fd; closed } ->
+      if closed then failwith "Client.request: connection is closed";
+      Protocol.write_frame fd (Protocol.request_to_sexp req);
+      read_response fd
+  | Loopback server ->
+      (* Round-trip both directions through the codecs so loopback
+         traffic proves the wire format, not just the server logic. *)
+      let req =
+        Protocol.request_of_sexp (Opprox_util.Sexp.of_string
+                                    (Opprox_util.Sexp.to_string (Protocol.request_to_sexp req)))
+      in
+      Protocol.response_of_sexp
+        (Opprox_util.Sexp.of_string
+           (Opprox_util.Sexp.to_string (Protocol.response_to_sexp (Server.handle server req))))
+
+let batch t reqs = List.map (request t) reqs
+
+let send_raw t payload =
+  match t.transport with
+  | Socket { fd; closed } ->
+      if closed then failwith "Client.send_raw: connection is closed";
+      Protocol.write_raw_frame fd payload;
+      read_response fd
+  | Loopback _ -> failwith "Client.send_raw: raw frames need a socket transport"
+
+let close t =
+  match t.transport with
+  | Socket s ->
+      if not s.closed then begin
+        s.closed <- true;
+        try Unix.close s.fd with Unix.Unix_error _ -> ()
+      end
+  | Loopback _ -> ()
+
+let with_connection ~socket f =
+  let t = connect ~socket in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,41 @@
+(** Client for the plan-serving daemon — also a library.
+
+    Two transports behind one type: a Unix-domain-socket connection to a
+    running [opprox serve] daemon ({!connect}), and an in-process
+    loopback around a {!Server.t} ({!loopback}) that exercises the full
+    request path {e and} both wire codecs without a socket or a fork —
+    what the tests and the bench suite hammer.
+
+    A connection answers requests sequentially (one frame out, one frame
+    in); it is not safe to share across domains without external
+    locking. *)
+
+type t
+
+val connect : socket:string -> t
+(** Connect to a daemon.  Raises [Unix.Unix_error] when nothing listens
+    on [socket]. *)
+
+val loopback : Server.t -> t
+(** In-process transport: {!request} runs {!Server.handle} with the
+    request and reply round-tripped through the wire codecs, so loopback
+    traffic exercises exactly what the socket carries. *)
+
+val request : t -> Protocol.request -> Protocol.response
+(** Send one request, wait for the reply.  Raises [Failure] when the
+    server closes the connection or replies with an undecodable frame,
+    [Unix.Unix_error] on transport failure. *)
+
+val batch : t -> Protocol.request list -> Protocol.response list
+(** Sequential {!request}s over the one connection, replies in order. *)
+
+val send_raw : t -> string -> Protocol.response
+(** Frame arbitrary bytes and send them — for probing the server's
+    malformed-frame ([SRV004]) path.  Raises [Failure] on a loopback
+    client (raw frames need a wire). *)
+
+val close : t -> unit
+(** Close the connection (idempotent; loopback is a no-op). *)
+
+val with_connection : socket:string -> (t -> 'a) -> 'a
+(** {!connect}, run, {!close} (also on raise). *)

@@ -1,0 +1,155 @@
+module Dmutex = Opprox_util.Dmutex
+module Metrics = Opprox_obs.Metrics
+
+(* Process-wide mirrors (aggregated across instances); the exact
+   per-instance numbers live in the shard counters below. *)
+let m_hit = Metrics.counter "plancache.hit"
+let m_miss = Metrics.counter "plancache.miss"
+let m_eviction = Metrics.counter "plancache.eviction"
+let m_insertion = Metrics.counter "plancache.insertion"
+let m_size = Metrics.gauge "plancache.size"
+
+(* One entry: the value plus its shard-local recency stamp.  Recency is a
+   monotonically increasing generation per shard; eviction scans for the
+   minimum.  Shards are small (capacity/shards entries), so the O(n)
+   scan on eviction is cheaper than maintaining an intrusive list and
+   much harder to get wrong under concurrency. *)
+type 'v entry = { mutable value : 'v; mutable gen : int }
+
+type 'v shard = {
+  mutex : Dmutex.t;
+  table : (string, 'v entry) Hashtbl.t;
+  cap : int;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable insertions : int;
+}
+
+type 'v t = { shard_table : 'v shard array; total_capacity : int }
+
+type stats = { hits : int; misses : int; evictions : int; insertions : int }
+
+let create ?(shards = 8) ~capacity () =
+  if capacity < 1 then invalid_arg "Plancache.create: capacity must be >= 1";
+  if shards < 1 then invalid_arg "Plancache.create: shards must be >= 1";
+  let shards = Stdlib.min shards capacity in
+  (* Split the capacity exactly: the first [capacity mod shards] shards
+     take one extra slot, so the per-shard caps sum to [capacity]. *)
+  let base = capacity / shards and extra = capacity mod shards in
+  let shard_table =
+    Array.init shards (fun i ->
+        let cap = base + if i < extra then 1 else 0 in
+        {
+          mutex = Dmutex.create ();
+          table = Hashtbl.create (2 * cap);
+          cap;
+          clock = 0;
+          hits = 0;
+          misses = 0;
+          evictions = 0;
+          insertions = 0;
+        })
+  in
+  { shard_table; total_capacity = capacity }
+
+let shard_of t key =
+  t.shard_table.(Hashtbl.hash key mod Array.length t.shard_table)
+
+let with_shard s f =
+  Dmutex.lock s.mutex;
+  Fun.protect ~finally:(fun () -> Dmutex.unlock s.mutex) f
+
+let tick s =
+  s.clock <- s.clock + 1;
+  s.clock
+
+let find t key =
+  let s = shard_of t key in
+  with_shard s (fun () ->
+      match Hashtbl.find_opt s.table key with
+      | Some e ->
+          e.gen <- tick s;
+          s.hits <- s.hits + 1;
+          Metrics.incr m_hit;
+          Some e.value
+      | None ->
+          s.misses <- s.misses + 1;
+          Metrics.incr m_miss;
+          None)
+
+let evict_lru_locked s =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key e ->
+      match !victim with
+      | Some (_, g) when g <= e.gen -> ()
+      | _ -> victim := Some (key, e.gen))
+    s.table;
+  match !victim with
+  | None -> ()
+  | Some (key, _) ->
+      Hashtbl.remove s.table key;
+      s.evictions <- s.evictions + 1;
+      Metrics.incr m_eviction
+
+let total_size t =
+  Array.fold_left (fun acc s -> acc + with_shard s (fun () -> Hashtbl.length s.table)) 0
+    t.shard_table
+
+let add t key value =
+  let s = shard_of t key in
+  with_shard s (fun () ->
+      match Hashtbl.find_opt s.table key with
+      | Some e ->
+          e.value <- value;
+          e.gen <- tick s
+      | None ->
+          if Hashtbl.length s.table >= s.cap then evict_lru_locked s;
+          Hashtbl.replace s.table key { value; gen = tick s };
+          s.insertions <- s.insertions + 1;
+          Metrics.incr m_insertion);
+  Metrics.set m_size (float_of_int (total_size t))
+
+let mem t key =
+  let s = shard_of t key in
+  with_shard s (fun () -> Hashtbl.mem s.table key)
+
+let size = total_size
+let capacity t = t.total_capacity
+let shards t = Array.length t.shard_table
+
+let clear t =
+  Array.iter (fun s -> with_shard s (fun () -> Hashtbl.reset s.table)) t.shard_table;
+  Metrics.set m_size 0.0
+
+let stats t =
+  Array.fold_left
+    (fun acc s ->
+      with_shard s (fun () ->
+          {
+            hits = acc.hits + s.hits;
+            misses = acc.misses + s.misses;
+            evictions = acc.evictions + s.evictions;
+            insertions = acc.insertions + s.insertions;
+          }))
+    { hits = 0; misses = 0; evictions = 0; insertions = 0 }
+    t.shard_table
+
+(* ------------------------------------------------------------ fingerprint *)
+
+let fingerprint ~app ~input ~budget ~models_hash =
+  let b = Buffer.create (String.length app + String.length models_hash + (17 * (Array.length input + 1)) + 4) in
+  Buffer.add_string b app;
+  Buffer.add_char b '|';
+  Array.iter
+    (fun x ->
+      Buffer.add_string b (Printf.sprintf "%Lx" (Int64.bits_of_float x));
+      Buffer.add_char b '.')
+    input;
+  Buffer.add_char b '|';
+  Buffer.add_string b (Printf.sprintf "%Lx" (Int64.bits_of_float budget));
+  Buffer.add_char b '|';
+  Buffer.add_string b models_hash;
+  Buffer.contents b

@@ -1,0 +1,60 @@
+(** Sharded LRU plan cache.
+
+    The daemon's whole point is that a plan query for a (app, input,
+    budget, models) combination it has answered before must cost a cache
+    lookup, not an optimizer solve.  Keys are canonical fingerprints
+    ({!fingerprint}): the IEEE-754 bits of every float go into the key,
+    so two inputs that print alike but differ in the last ulp never
+    collide, and two requests that are bitwise equal always do —
+    whatever intermediate re-parsing they went through.
+
+    The table is sharded: a key's shard is a hash of the key, each shard
+    is an independent mutex-guarded LRU, so concurrent worker domains
+    contend per shard rather than on one global lock.  Total capacity is
+    split across shards (remainder to the first shards); the global
+    [size] therefore never exceeds [capacity], though a hot shard can
+    evict while a cold one has room — the standard sharding trade.
+
+    Recency is exact within a shard: every {!find} hit and every {!add}
+    bumps the entry to most-recent; eviction removes the least recent
+    entry of the full shard.  Counters ({!stats}) are exact per instance;
+    the process-wide [plancache.*] metrics aggregate across instances. *)
+
+type 'v t
+
+val create : ?shards:int -> capacity:int -> unit -> 'v t
+(** [create ~capacity ()] — [capacity >= 1] entries in total, spread over
+    [shards] (default 8, clamped to [capacity]) independent LRUs.
+    Raises [Invalid_argument] on a non-positive capacity or shard
+    count. *)
+
+val find : 'v t -> string -> 'v option
+(** Lookup; a hit bumps the entry to most-recent.  Counted as one hit or
+    one miss. *)
+
+val add : 'v t -> string -> 'v -> unit
+(** Insert a fresh key (counted as an insertion) or overwrite an existing
+    one in place (not counted); either way the entry becomes most-recent.
+    When a fresh key finds its shard full, the shard's least-recent entry
+    is evicted (counted). *)
+
+val mem : 'v t -> string -> bool
+(** Membership without touching recency or counters. *)
+
+val size : 'v t -> int
+val capacity : 'v t -> int
+val shards : 'v t -> int
+
+val clear : 'v t -> unit
+(** Drop every entry; counters keep accumulating. *)
+
+type stats = { hits : int; misses : int; evictions : int; insertions : int }
+
+val stats : 'v t -> stats
+(** Exact per-instance counters, summed over shards. *)
+
+val fingerprint : app:string -> input:float array -> budget:float -> models_hash:string -> string
+(** Canonical cache key: application name, the IEEE-754 bit pattern of
+    every input component and of the budget, and the models hash.  Equal
+    requests — also equal-but-reconstructed ones — map to equal keys;
+    any bit of difference changes the key. *)

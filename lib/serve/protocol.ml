@@ -1,0 +1,178 @@
+module Sexp = Opprox_util.Sexp
+module Diagnostic = Opprox_analysis.Diagnostic
+module Optimizer = Opprox.Optimizer
+
+let version = 1
+let max_frame_bytes = 16 * 1024 * 1024
+
+type request = {
+  app : string;
+  input : float array option;
+  budget : float;
+  deadline_ms : float option;
+  models_hash : string option;
+  no_cache : bool;
+}
+
+let request ?input ?deadline_ms ?models_hash ?(no_cache = false) ~app ~budget () =
+  { app; input; budget; deadline_ms; models_hash; no_cache }
+
+type cache_status = Hit | Miss
+
+type response =
+  | Plan of {
+      plan : Optimizer.plan;
+      cache : cache_status;
+      models_hash : string;
+      elapsed_ms : float;
+    }
+  | Error of Diagnostic.t list
+  | Timeout of { elapsed_ms : float; deadline_ms : float }
+  | Overloaded of { inflight : int; limit : int }
+
+(* ---------------------------------------------------------------- codecs *)
+
+let opt name conv = function None -> [] | Some v -> [ (name, conv v) ]
+
+let request_to_sexp r =
+  Sexp.record
+    ([ ("v", Sexp.int version); ("app", Sexp.string r.app); ("budget", Sexp.float r.budget) ]
+    @ opt "input" Sexp.float_array r.input
+    @ opt "deadline_ms" Sexp.float r.deadline_ms
+    @ opt "models_hash" Sexp.string r.models_hash
+    @ (if r.no_cache then [ ("no_cache", Sexp.atom "true") ] else []))
+
+let frame_version sexp =
+  match Sexp.field_opt sexp "v" with None -> version | Some v -> Sexp.to_int v
+
+let request_of_sexp sexp =
+  {
+    app = Sexp.to_string_atom (Sexp.field sexp "app");
+    budget = Sexp.to_float (Sexp.field sexp "budget");
+    input = Option.map Sexp.to_float_array (Sexp.field_opt sexp "input");
+    deadline_ms = Option.map Sexp.to_float (Sexp.field_opt sexp "deadline_ms");
+    models_hash = Option.map Sexp.to_string_atom (Sexp.field_opt sexp "models_hash");
+    no_cache =
+      (match Sexp.field_opt sexp "no_cache" with
+      | Some (Sexp.Atom "true") -> true
+      | Some (Sexp.Atom "false") | None -> false
+      | Some s -> failwith (Printf.sprintf "request: bad no_cache %s" (Sexp.to_string s)));
+  }
+
+let cache_status_string = function Hit -> "hit" | Miss -> "miss"
+
+let response_to_sexp = function
+  | Plan { plan; cache; models_hash; elapsed_ms } ->
+      Sexp.record
+        [
+          ("v", Sexp.int version);
+          ("status", Sexp.atom "plan");
+          ("cache", Sexp.atom (cache_status_string cache));
+          ("models_hash", Sexp.string models_hash);
+          ("elapsed_ms", Sexp.float elapsed_ms);
+          ("plan", Optimizer.plan_to_sexp plan);
+        ]
+  | Error diags ->
+      Sexp.record
+        [
+          ("v", Sexp.int version);
+          ("status", Sexp.atom "error");
+          ("diagnostics", Sexp.list (List.map Diagnostic.to_sexp diags));
+        ]
+  | Timeout { elapsed_ms; deadline_ms } ->
+      Sexp.record
+        [
+          ("v", Sexp.int version);
+          ("status", Sexp.atom "timeout");
+          ("elapsed_ms", Sexp.float elapsed_ms);
+          ("deadline_ms", Sexp.float deadline_ms);
+        ]
+  | Overloaded { inflight; limit } ->
+      Sexp.record
+        [
+          ("v", Sexp.int version);
+          ("status", Sexp.atom "overloaded");
+          ("inflight", Sexp.int inflight);
+          ("limit", Sexp.int limit);
+        ]
+
+let response_of_sexp sexp =
+  match Sexp.to_string_atom (Sexp.field sexp "status") with
+  | "plan" ->
+      Plan
+        {
+          plan = Optimizer.plan_of_sexp (Sexp.field sexp "plan");
+          cache =
+            (match Sexp.to_string_atom (Sexp.field sexp "cache") with
+            | "hit" -> Hit
+            | "miss" -> Miss
+            | s -> failwith (Printf.sprintf "response: bad cache status %S" s));
+          models_hash = Sexp.to_string_atom (Sexp.field sexp "models_hash");
+          elapsed_ms = Sexp.to_float (Sexp.field sexp "elapsed_ms");
+        }
+  | "error" ->
+      Error (List.map Diagnostic.of_sexp (Sexp.to_list (Sexp.field sexp "diagnostics")))
+  | "timeout" ->
+      Timeout
+        {
+          elapsed_ms = Sexp.to_float (Sexp.field sexp "elapsed_ms");
+          deadline_ms = Sexp.to_float (Sexp.field sexp "deadline_ms");
+        }
+  | "overloaded" ->
+      Overloaded
+        {
+          inflight = Sexp.to_int (Sexp.field sexp "inflight");
+          limit = Sexp.to_int (Sexp.field sexp "limit");
+        }
+  | s -> failwith (Printf.sprintf "response: unknown status %S" s)
+
+(* --------------------------------------------------------------- framing *)
+
+(* EINTR-safe full write: [Unix.write] may transfer a prefix. *)
+let rec write_all fd bytes off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd bytes off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd bytes (off + n) (len - n)
+  end
+
+let write_raw_frame fd payload =
+  let len = String.length payload in
+  if len > max_frame_bytes then
+    failwith (Printf.sprintf "Protocol.write_frame: payload of %d bytes exceeds %d" len
+                max_frame_bytes);
+  let frame = Bytes.create (4 + len) in
+  Bytes.set_int32_be frame 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 frame 4 len;
+  write_all fd frame 0 (4 + len)
+
+let write_frame fd sexp = write_raw_frame fd (Sexp.to_string sexp)
+
+(* Read exactly [len] bytes; [`Eof n] reports how many arrived first. *)
+let read_exact fd len =
+  let buf = Bytes.create len in
+  let rec go off =
+    if off = len then `Ok buf
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> `Eof off
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let read_frame fd =
+  match read_exact fd 4 with
+  | `Eof 0 -> None
+  | `Eof n -> failwith (Printf.sprintf "frame truncated in length prefix (%d of 4 bytes)" n)
+  | `Ok header ->
+      let len = Int32.to_int (Bytes.get_int32_be header 0) in
+      if len < 0 || len > max_frame_bytes then
+        failwith (Printf.sprintf "frame length %d outside [0, %d]" len max_frame_bytes)
+      else begin
+        match read_exact fd len with
+        | `Eof n -> failwith (Printf.sprintf "frame truncated (%d of %d payload bytes)" n len)
+        | `Ok payload -> Some (Sexp.of_string (Bytes.unsafe_to_string payload))
+      end

@@ -1,0 +1,107 @@
+(** Wire protocol of the plan-serving daemon.
+
+    One frame is a 4-byte big-endian payload length followed by that many
+    bytes of s-expression text ({!Opprox_util.Sexp}); requests and
+    replies are records carrying an explicit protocol version [(v 1)].
+    Length-prefixed framing keeps the parser trivial and makes frame
+    boundaries survive malformed payloads: a server that fails to decode
+    one frame can reply with a structured [SRV004] error and keep the
+    connection.
+
+    A request names an application, a QoS degradation budget (percent,
+    like the whole pipeline), and optionally an input vector, a deadline,
+    a client-asserted models hash, and a cache bypass.  A reply is one of
+    four shapes: a plan (with its prediction, cache status, and the hash
+    of the models that produced it), a structured diagnostic error, a
+    deadline miss, or an overload shed.
+
+    {2 Frame layout}
+
+    {v
+    +----------+----------------------------------------+
+    | len: u32 | payload: len bytes of sexp text        |
+    |  (BE)    | ((v 1) (app kmeans) (budget 10) ...)   |
+    +----------+----------------------------------------+
+    v}
+
+    Payloads above {!max_frame_bytes} are rejected without being read —
+    a garbage length prefix must not allocate gigabytes. *)
+
+val version : int
+(** The protocol version this build speaks (1). *)
+
+val max_frame_bytes : int
+(** Upper bound on a payload (16 MiB). *)
+
+type request = {
+  app : string;
+  input : float array option;  (** [None]: the app's default input *)
+  budget : float;  (** percent QoS degradation, in (0, 100] *)
+  deadline_ms : float option;
+      (** reply-by budget, measured from frame receipt; [None] defers to
+          the server's default *)
+  models_hash : string option;
+      (** assert the server's models match what the client planned
+          against ([SRV003] on mismatch) *)
+  no_cache : bool;
+      (** bypass the plan-cache lookup (the solve still populates it) *)
+}
+
+val request :
+  ?input:float array ->
+  ?deadline_ms:float ->
+  ?models_hash:string ->
+  ?no_cache:bool ->
+  app:string ->
+  budget:float ->
+  unit ->
+  request
+
+type cache_status = Hit | Miss
+
+type response =
+  | Plan of {
+      plan : Opprox.Optimizer.plan;
+      cache : cache_status;
+      models_hash : string;  (** hash of the models that solved it *)
+      elapsed_ms : float;
+    }
+  | Error of Opprox_analysis.Diagnostic.t list
+      (** boundary validation or solve failure; every diagnostic carries
+          a stable [SRV***] (or [PLAN***]) code *)
+  | Timeout of { elapsed_ms : float; deadline_ms : float }
+  | Overloaded of { inflight : int; limit : int }
+
+(** {2 Codecs} *)
+
+val request_to_sexp : request -> Opprox_util.Sexp.t
+
+val request_of_sexp : Opprox_util.Sexp.t -> request
+(** Raises [Failure] on a malformed record.  A missing [(v N)] field is
+    treated as the current version — hand-written batch files need not
+    carry it — but a {e present} mismatched version must be rejected by
+    the caller (see {!frame_version}). *)
+
+val frame_version : Opprox_util.Sexp.t -> int
+(** The [(v N)] field of a frame, defaulting to {!version} when absent. *)
+
+val response_to_sexp : response -> Opprox_util.Sexp.t
+
+val response_of_sexp : Opprox_util.Sexp.t -> response
+(** Raises [Failure] on a malformed record. *)
+
+(** {2 Framing} *)
+
+val write_frame : Unix.file_descr -> Opprox_util.Sexp.t -> unit
+(** Write one length-prefixed frame; loops over partial writes.  Raises
+    [Unix.Unix_error] on transport failure. *)
+
+val write_raw_frame : Unix.file_descr -> string -> unit
+(** Frame arbitrary bytes without sexp validation — deliberately
+    malformed payloads for testing the server's [SRV004] path. *)
+
+val read_frame : Unix.file_descr -> Opprox_util.Sexp.t option
+(** Read one frame.  [None] on clean EOF at a frame boundary; raises
+    [Failure] on a truncated frame, an oversized length prefix, or an
+    unparseable payload, and [Unix.Unix_error] on transport failure
+    (including a receive timeout). *)

@@ -1,0 +1,331 @@
+module App = Opprox_sim.App
+module Diagnostic = Opprox_analysis.Diagnostic
+module Lint_request = Opprox_analysis.Lint_request
+module Metrics = Opprox_obs.Metrics
+module Trace = Opprox_obs.Trace
+module Pool = Opprox_util.Pool
+module Sexp = Opprox_util.Sexp
+
+let log_src = Logs.Src.create "opprox.serve" ~doc:"OPPROX plan-serving daemon"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let m_requests = Metrics.counter "server.requests"
+let m_connections = Metrics.counter "server.connections"
+let m_overloaded = Metrics.counter "server.overloaded"
+let m_timeouts = Metrics.counter "server.timeouts"
+let m_errors = Metrics.counter "server.errors"
+let m_inflight = Metrics.gauge "server.inflight"
+let m_request_us = Metrics.histogram "server.request_us"
+let m_solve_us = Metrics.histogram "server.solve_us"
+
+type config = {
+  jobs : int option;
+  max_inflight : int;
+  cache_capacity : int;
+  cache_shards : int;
+  default_deadline_ms : float option;
+  idle_timeout_s : float;
+  drain_timeout_s : float;
+}
+
+let default_config =
+  {
+    jobs = None;
+    max_inflight = 64;
+    cache_capacity = 512;
+    cache_shards = 8;
+    default_deadline_ms = None;
+    idle_timeout_s = 30.0;
+    drain_timeout_s = 10.0;
+  }
+
+type served = { trained : Opprox.trained; hash : string }
+
+type t = {
+  config : config;
+  served : (string, served) Hashtbl.t;
+  target : Lint_request.target;
+  cache : Protocol.response Plancache.t;
+      (* cached values are always [Plan {cache = Miss; ...}] templates;
+         hits re-stamp the cache status and elapsed time *)
+  pool : Pool.t option;  (* [None]: the shared default pool *)
+  inflight : int Atomic.t;
+  stopping : bool Atomic.t;
+}
+
+let create ?(config = default_config) pipelines =
+  if pipelines = [] then invalid_arg "Server.create: no trained pipelines";
+  if config.max_inflight < 1 then invalid_arg "Server.create: max_inflight must be >= 1";
+  let served = Hashtbl.create (List.length pipelines) in
+  List.iter
+    (fun (tr : Opprox.trained) ->
+      let name = tr.Opprox.app.App.name in
+      if Hashtbl.mem served name then
+        invalid_arg (Printf.sprintf "Server.create: duplicate models for %s" name);
+      (* Loading already audited (Models.of_sexp); re-audit here so
+         in-process construction from a fresh [train] gets the same
+         fail-at-startup guarantee as the daemon's load path. *)
+      let diags = Opprox.Models.lint tr.Opprox.models in
+      List.iter (fun d -> Log.info (fun m -> m "%s: %a" name Diagnostic.pp d)) diags;
+      Diagnostic.raise_errors ~strict:false diags;
+      let hash =
+        Digest.to_hex (Digest.string (Sexp.to_string (Opprox.Models.to_sexp tr.Opprox.models)))
+      in
+      Hashtbl.add served name { trained = tr; hash })
+    pipelines;
+  let known_apps = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) served []) in
+  let target =
+    {
+      Lint_request.known_apps;
+      param_arity =
+        (fun app ->
+          Option.map
+            (fun s -> Array.length s.trained.Opprox.app.App.param_names)
+            (Hashtbl.find_opt served app));
+      expected_hash = (fun app -> Option.map (fun s -> s.hash) (Hashtbl.find_opt served app));
+    }
+  in
+  {
+    config;
+    served;
+    target;
+    cache = Plancache.create ~shards:config.cache_shards ~capacity:config.cache_capacity ();
+    pool = Option.map (fun jobs -> Pool.create ~jobs ()) config.jobs;
+    inflight = Atomic.make 0;
+    stopping = Atomic.make false;
+  }
+
+let apps t = t.target.Lint_request.known_apps
+let models_hash t app = t.target.Lint_request.expected_hash app
+let cache_stats t = Plancache.stats t.cache
+let cache_clear t = Plancache.clear t.cache
+let inflight t = Atomic.get t.inflight
+
+(* ------------------------------------------------------------ request path *)
+
+(* Validate + cache + deadline + solve for one admitted request.  [t0_us]
+   is when the request entered the server (frame fully read, or [handle]
+   called); the deadline and the latency histogram both measure from
+   there. *)
+let process t (req : Protocol.request) ~t0_us =
+  Metrics.incr m_requests;
+  Trace.with_span ~cat:"server" "server.request" (fun () ->
+      let elapsed_ms () = (Trace.now_us () -. t0_us) /. 1000.0 in
+      let view =
+        {
+          Lint_request.app = req.Protocol.app;
+          budget = req.Protocol.budget;
+          input = req.Protocol.input;
+          models_hash = req.Protocol.models_hash;
+          deadline_ms = req.Protocol.deadline_ms;
+        }
+      in
+      let diags = Lint_request.check t.target view in
+      if Diagnostic.errors diags <> [] then begin
+        Metrics.incr m_errors;
+        Protocol.Error diags
+      end
+      else begin
+        let served = Hashtbl.find t.served req.Protocol.app in
+        let input =
+          match req.Protocol.input with
+          | Some i -> i
+          | None -> served.trained.Opprox.app.App.default_input
+        in
+        let deadline_ms =
+          match req.Protocol.deadline_ms with
+          | Some d -> Some d
+          | None -> t.config.default_deadline_ms
+        in
+        let timed_out () =
+          match deadline_ms with Some d -> elapsed_ms () > d | None -> false
+        in
+        let timeout () =
+          Metrics.incr m_timeouts;
+          Protocol.Timeout
+            { elapsed_ms = elapsed_ms (); deadline_ms = Option.get deadline_ms }
+        in
+        let key =
+          Plancache.fingerprint ~app:req.Protocol.app ~input ~budget:req.Protocol.budget
+            ~models_hash:served.hash
+        in
+        let cached = if req.Protocol.no_cache then None else Plancache.find t.cache key in
+        match cached with
+        | Some (Protocol.Plan p) ->
+            Protocol.Plan { p with cache = Protocol.Hit; elapsed_ms = elapsed_ms () }
+        | Some _ | None -> (
+            if timed_out () then timeout ()
+            else
+              let solved =
+                try
+                  let t_solve = Trace.now_us () in
+                  let plan =
+                    Trace.with_span ~cat:"server" "server.solve" (fun () ->
+                        Opprox.optimize ~input served.trained ~budget:req.Protocol.budget)
+                  in
+                  Metrics.observe m_solve_us (Trace.now_us () -. t_solve);
+                  Ok plan
+                with
+                | Diagnostic.Lint_error ds -> Result.Error ds
+                | Stdlib.Exit | Stack_overflow | Out_of_memory | Assert_failure _ as e ->
+                    raise e
+                | e -> Result.Error [ Lint_request.internal (Printexc.to_string e) ]
+              in
+              match solved with
+              | Result.Error ds ->
+                  Metrics.incr m_errors;
+                  Protocol.Error ds
+              | Ok plan ->
+                  let reply =
+                    Protocol.Plan
+                      {
+                        plan;
+                        cache = Protocol.Miss;
+                        models_hash = served.hash;
+                        elapsed_ms = elapsed_ms ();
+                      }
+                  in
+                  Plancache.add t.cache key reply;
+                  (* The plan is kept (so the retry hits the cache), but a
+                     missed deadline still gets an honest timeout reply. *)
+                  if timed_out () then timeout () else reply)
+      end)
+
+(* Admission around one request: bump the in-flight counter, shed when
+   over the bound. *)
+let with_admission t f =
+  let n = Atomic.fetch_and_add t.inflight 1 in
+  Metrics.set m_inflight (float_of_int (n + 1));
+  Fun.protect
+    ~finally:(fun () ->
+      let n = Atomic.fetch_and_add t.inflight (-1) in
+      Metrics.set m_inflight (float_of_int (n - 1)))
+    (fun () ->
+      if n >= t.config.max_inflight then begin
+        Metrics.incr m_overloaded;
+        Protocol.Overloaded { inflight = n; limit = t.config.max_inflight }
+      end
+      else f ())
+
+let handle t req =
+  let t0_us = Trace.now_us () in
+  let resp = with_admission t (fun () -> process t req ~t0_us) in
+  Metrics.observe m_request_us (Trace.now_us () -. t0_us);
+  resp
+
+(* ------------------------------------------------------------- socket side *)
+
+(* Serve one admitted connection: answer frames until EOF, idle timeout,
+   a transport error, or drain.  Frame-level garbage gets a structured
+   SRV004/SRV005 reply; only transport failures close the connection
+   without one. *)
+let handle_conn t fd =
+  let reply sexp = Protocol.write_frame fd sexp in
+  let rec loop () =
+    match Protocol.read_frame fd with
+    | None -> ()
+    | exception Failure msg ->
+        Metrics.incr m_errors;
+        (try reply (Protocol.response_to_sexp (Protocol.Error [ Lint_request.malformed msg ]))
+         with Unix.Unix_error _ -> ())
+        (* Framing is lost after a malformed frame; drop the connection. *)
+    | Some frame ->
+        let t0_us = Trace.now_us () in
+        (match Protocol.frame_version frame with
+        | v when v <> Protocol.version ->
+            Metrics.incr m_errors;
+            reply
+              (Protocol.response_to_sexp
+                 (Protocol.Error [ Lint_request.bad_version ~got:v ]))
+        | _ -> (
+            match Protocol.request_of_sexp frame with
+            | exception Failure msg ->
+                Metrics.incr m_errors;
+                reply
+                  (Protocol.response_to_sexp
+                     (Protocol.Error [ Lint_request.malformed msg ]))
+            | req ->
+                let resp = process t req ~t0_us in
+                Metrics.observe m_request_us (Trace.now_us () -. t0_us);
+                reply (Protocol.response_to_sexp resp)));
+        (* During a drain, finish the frame just answered, then close. *)
+        if not (Atomic.get t.stopping) then loop ()
+  in
+  try loop () with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      Log.debug (fun m -> m "connection idle past %.0fs; closing" t.config.idle_timeout_s)
+  | Unix.Unix_error (e, _, _) ->
+      Log.debug (fun m -> m "connection dropped: %s" (Unix.error_message e))
+
+let stop t = Atomic.set t.stopping true
+
+let install_signal_handlers t =
+  let handler = Sys.Signal_handle (fun _ -> stop t) in
+  Sys.set_signal Sys.sigint handler;
+  Sys.set_signal Sys.sigterm handler
+
+let serve t ~socket =
+  Atomic.set t.stopping false;
+  if Sys.file_exists socket then Unix.unlink socket;
+  let lsock = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close lsock with Unix.Unix_error _ -> ());
+      try Unix.unlink socket with Unix.Unix_error _ | Sys_error _ -> ())
+    (fun () ->
+      Unix.bind lsock (Unix.ADDR_UNIX socket);
+      Unix.listen lsock 64;
+      Log.app (fun m ->
+          m "serving %s on %s (max in-flight %d, cache %d)"
+            (String.concat ", " (apps t))
+            socket t.config.max_inflight t.config.cache_capacity);
+      while not (Atomic.get t.stopping) do
+        (* Poll with a short timeout so a [stop] — e.g. from a signal
+           handler — is noticed without a pending connection. *)
+        match Unix.select [ lsock ] [] [] 0.05 with
+        | [], _, _ -> ()
+        | _ -> (
+            match Unix.accept ~cloexec:true lsock with
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            | fd, _ ->
+                Metrics.incr m_connections;
+                let n = Atomic.fetch_and_add t.inflight 1 in
+                Metrics.set m_inflight (float_of_int (n + 1));
+                let release () =
+                  let n = Atomic.fetch_and_add t.inflight (-1) in
+                  Metrics.set m_inflight (float_of_int (n - 1));
+                  try Unix.close fd with Unix.Unix_error _ -> ()
+                in
+                if n >= t.config.max_inflight then begin
+                  (* Shed in the accept loop itself: one explicit reply,
+                     no queueing behind busy workers. *)
+                  Metrics.incr m_overloaded;
+                  (try
+                     Protocol.write_frame fd
+                       (Protocol.response_to_sexp
+                          (Protocol.Overloaded
+                             { inflight = n; limit = t.config.max_inflight }))
+                   with Unix.Unix_error _ -> ());
+                  release ()
+                end
+                else begin
+                  (try
+                     Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.idle_timeout_s
+                   with Unix.Unix_error _ -> ());
+                  Pool.async ?pool:t.pool (fun () ->
+                      Fun.protect ~finally:release (fun () -> handle_conn t fd))
+                end)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      (* Drain: stop accepting (the listen socket closes in [finally]),
+         then wait for admitted requests to settle. *)
+      let deadline = Trace.now_us () +. (t.config.drain_timeout_s *. 1e6) in
+      while Atomic.get t.inflight > 0 && Trace.now_us () < deadline do
+        Unix.sleepf 0.02
+      done;
+      if Atomic.get t.inflight > 0 then
+        Log.warn (fun m ->
+            m "drain timed out with %d request(s) in flight" (Atomic.get t.inflight))
+      else Log.app (fun m -> m "drained; shutting down");
+      match t.pool with Some p -> Pool.shutdown p | None -> ())

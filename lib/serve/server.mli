@@ -1,0 +1,99 @@
+(** The plan-serving daemon.
+
+    OPPROX's deployment story is "train offline, optimize at
+    job-submission time from the stored models".  This server is that
+    submission-time step turned into a long-lived service: trained
+    pipelines are loaded {e once} at startup (audited by the
+    {!Opprox_analysis} model lints on the way in), and each request —
+    app, input, budget — costs one plan-cache lookup or one optimizer
+    solve, never a process start or a model load.
+
+    {2 Request path}
+
+    + {b Admission} — an atomic in-flight counter; a request arriving
+      while [max_inflight] are already in flight is shed with an explicit
+      [Overloaded] reply (never queued invisibly, never crashed into).
+    + {b Validation} — {!Opprox_analysis.Lint_request} at the boundary:
+      bad budget, unknown app, stale models hash, malformed input each
+      produce a structured [SRV***]-coded [Error] reply.
+    + {b Cache} — {!Plancache} keyed by the canonical fingerprint of
+      (app, input bits, budget bits, models hash).
+    + {b Deadline} — cooperative: checked after the cache lookup misses
+      and again after the solve.  A missed deadline replies [Timeout]
+      (the solved plan still enters the cache, so the retry hits).
+    + {b Solve} — {!Opprox.optimize} on a {!Opprox_util.Pool} worker
+      domain; concurrent solves share nothing but the models (immutable
+      after load) and the mutex-guarded caches.
+
+    The same path backs both transports: the Unix-domain-socket accept
+    loop ({!serve}) and the in-process loopback ({!handle}) that tests
+    and the bench suite hammer without forking.
+
+    Every request is instrumented through {!Opprox_obs}: [server.*]
+    counters/histograms/gauge, [plancache.*] counters, and a
+    [server.request] / [server.solve] span pair per request. *)
+
+type config = {
+  jobs : int option;
+      (** worker domains for connection handling; [None] = the shared
+          {!Opprox_util.Pool.default} pool *)
+  max_inflight : int;  (** admission bound; default 64 *)
+  cache_capacity : int;  (** plan-cache entries; default 512 *)
+  cache_shards : int;  (** default 8 *)
+  default_deadline_ms : float option;
+      (** applied to requests that carry no deadline; default [None] *)
+  idle_timeout_s : float;
+      (** receive timeout per connection, so an idle client cannot pin a
+          worker domain forever; default 30 s *)
+  drain_timeout_s : float;
+      (** bound on waiting for in-flight requests at shutdown; default 10 s *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> Opprox.trained list -> t
+(** Build a server holding the given trained pipelines.  Each model set
+    is audited ({!Opprox.Models.lint}): findings are logged, and
+    Error-severity findings raise
+    {!Opprox_analysis.Diagnostic.Lint_error} — a corrupt model file must
+    fail at startup, not per request.  Raises [Invalid_argument] on
+    duplicate app names, an empty list, or a non-positive bound. *)
+
+val apps : t -> string list
+(** Application names served, sorted. *)
+
+val models_hash : t -> string -> string option
+(** MD5 (hex) of the serialized model set for one app — what replies
+    report and [SRV003] checks client assertions against. *)
+
+val handle : t -> Protocol.request -> Protocol.response
+(** In-process loopback: the full admission / validation / cache /
+    deadline / solve path without any socket.  Never raises on request
+    defects — they come back as [Error] replies; programming errors
+    inside the server itself still raise. *)
+
+val serve : t -> socket:string -> unit
+(** Bind [socket] (an existing stale socket file is replaced), then
+    accept until {!stop}: each connection is handed to a pool worker,
+    which answers length-prefixed request frames sequentially until EOF
+    or idle timeout.  Admission is checked per accepted connection;
+    shed connections get one [Overloaded] frame and are closed.  On
+    {!stop}: stop accepting, close the listen socket, wait up to
+    [drain_timeout_s] for in-flight requests, remove the socket file,
+    return.  Raises [Unix.Unix_error] if the socket cannot be bound. *)
+
+val stop : t -> unit
+(** Request shutdown — one atomic store, safe from a signal handler.
+    {!serve} notices within ~50 ms. *)
+
+val install_signal_handlers : t -> unit
+(** Route SIGINT and SIGTERM to {!stop} for a graceful drain. *)
+
+val cache_stats : t -> Plancache.stats
+val cache_clear : t -> unit
+
+val inflight : t -> int
+(** Requests currently admitted (socket connections being served plus
+    in-process {!handle} calls in progress). *)

@@ -16,6 +16,7 @@ let m_tasks = Metrics.counter "pool.tasks"
 let m_busy_us = Metrics.counter "pool.busy_us"
 let m_task_us = Metrics.histogram "pool.task_us"
 let m_at_exit = Metrics.counter "pool.default.at_exit_registrations"
+let m_async_exn = Metrics.counter "pool.async.exceptions"
 
 type t = {
   jobs : int;
@@ -183,6 +184,37 @@ let set_default_jobs n =
   register_default_at_exit_locked ();
   Dmutex.unlock default_lock;
   match old with Some p -> shutdown p | None -> ()
+
+(* ------------------------------------------------------ async submission *)
+
+(* Fire-and-forget: enqueue one task for whichever worker wakes first and
+   return immediately.  The serving layer's accept loop hands connections
+   off through this.  Exceptions escaping the task are contained (a raise
+   must not kill a worker domain): they are counted and reported on
+   stderr, never re-raised anywhere. *)
+let async ?pool task =
+  let t = match pool with Some p -> p | None -> default () in
+  let task () =
+    try task ()
+    with e ->
+      Metrics.incr m_async_exn;
+      Printf.eprintf "Pool.async: task raised %s\n%!" (Printexc.to_string e)
+  in
+  if t.jobs <= 1 || t.workers = [] then task ()
+  else begin
+    Dmutex.lock t.mutex;
+    if t.closing then begin
+      (* The pool is draining; run in the caller rather than drop work. *)
+      Dmutex.unlock t.mutex;
+      task ()
+    end
+    else begin
+      Queue.push task t.pending;
+      sample_depth_locked t;
+      Condition.signal t.wake;
+      Dmutex.unlock t.mutex
+    end
+  end
 
 (* ----------------------------------------------------------- combinators *)
 

@@ -66,6 +66,16 @@ val set_default_jobs : int -> unit
     process-wide [at_exit] hook (registered once, whatever the number of
     replacements) joins whichever pool is the default at exit. *)
 
+val async : ?pool:t -> (unit -> unit) -> unit
+(** [async task] enqueues one fire-and-forget task on the pool ([?pool]
+    defaults to {!default}) and returns immediately; some worker domain
+    runs it as soon as one is free.  This is the serving layer's
+    hand-off: an accept loop stays responsive while request handlers run
+    on the workers.  With one job (or after {!shutdown}) the task runs
+    synchronously in the caller.  An exception escaping the task never
+    kills a worker: it is counted ([pool.async.exceptions]) and reported
+    on stderr. *)
+
 val parallel_map : ?pool:t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map f arr] is [Array.map f arr] evaluated on the pool
     ([?pool] defaults to {!default}).  Work is handed out in contiguous

@@ -193,19 +193,37 @@ let of_string input =
   (match peek st with None -> () | Some _ -> parse_error st "trailing input");
   result
 
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> failwith (Printf.sprintf "Sexp.read_file: %s" msg)
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          try really_input_string ic (in_channel_length ic)
+          with End_of_file ->
+            failwith (Printf.sprintf "Sexp.read_file: %s: truncated while reading" path))
+
 let save path sexp =
   let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  (try output_string oc (to_string sexp)
-   with e ->
-     close_out_noerr oc;
-     raise e);
-  close_out oc;
-  Sys.rename tmp path
+  match
+    let oc =
+      try open_out_bin tmp
+      with Sys_error msg -> failwith (Printf.sprintf "Sexp.save: %s" msg)
+    in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (to_string sexp);
+        (* Flush inside the protected region: [close_out_noerr] swallows
+           write errors, so a full disk must surface here, not silently. *)
+        flush oc)
+  with
+  | () -> Sys.rename tmp path
+  | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
 
 let load path =
-  let ic = open_in path in
-  let n = in_channel_length ic in
-  let content = really_input_string ic n in
-  close_in ic;
-  of_string content
+  let content = read_file path in
+  try of_string content with Failure msg -> failwith (Printf.sprintf "%s: %s" path msg)

@@ -49,7 +49,16 @@ val of_string : string -> t
 (** Parse one expression; raises [Failure] on syntax errors (with byte
     position) and on trailing garbage. *)
 
+val read_file : string -> string
+(** Slurp a whole file.  The channel is closed via [Fun.protect] on every
+    path, and failures ([Sys_error], truncation) re-raise as [Failure]
+    with the file path in the message. *)
+
 val save : string -> t -> unit
-(** Write to a file (atomically via a temp file + rename). *)
+(** Write to a file (atomically via a temp file + rename).  The channel
+    is closed via [Fun.protect]; on failure the temp file is removed and
+    the error re-raised. *)
 
 val load : string -> t
+(** {!read_file} followed by {!of_string}; parse errors carry the file
+    path ([Failure "PATH: Sexp: ... at byte N"]). *)

@@ -1,0 +1,467 @@
+(* Tests for the plan-serving daemon (Opprox_serve): the sharded LRU
+   plan cache against a reference model, wire-codec roundtrips, frame IO
+   over a socketpair, the full in-process request path (validation,
+   cache, deadlines, admission), and a daemon end-to-end over a real
+   Unix-domain socket. *)
+
+module Plancache = Opprox_serve.Plancache
+module Protocol = Opprox_serve.Protocol
+module Server = Opprox_serve.Server
+module Client = Opprox_serve.Client
+module Diagnostic = Opprox_analysis.Diagnostic
+module Schedule = Opprox_sim.Schedule
+open Fixtures
+
+(* ------------------------------------------------------------- plancache *)
+
+(* Reference model for a single-shard LRU: an association list kept in
+   recency order (most recent first). *)
+module Model = struct
+  type t = { cap : int; mutable entries : (int * int) list }
+
+  let create cap = { cap; entries = [] }
+
+  let find m k =
+    match List.assoc_opt k m.entries with
+    | None -> None
+    | Some v ->
+        m.entries <- (k, v) :: List.remove_assoc k m.entries;
+        Some v
+
+  let add m k v =
+    m.entries <- (k, v) :: List.remove_assoc k m.entries;
+    if List.length m.entries > m.cap then
+      m.entries <- List.filteri (fun i _ -> i < m.cap) m.entries
+end
+
+type op = Find of int | Add of int
+
+let op_gen =
+  QCheck.(
+    map
+      (fun (is_add, k) -> if is_add then Add k else Find k)
+      (pair bool (int_range 0 7)))
+
+let prop_lru_matches_model =
+  qcheck_case ~count:300 "single-shard LRU = reference model"
+    QCheck.(pair (int_range 1 5) (list_of_size (Gen.int_range 0 60) op_gen))
+    (fun (cap, ops) ->
+      let cache = Plancache.create ~shards:1 ~capacity:cap () in
+      let model = Model.create cap in
+      let key k = Printf.sprintf "k%d" k in
+      List.for_all
+        (fun (i, op) ->
+          match op with
+          | Find k -> Plancache.find cache (key k) = Model.find model k
+          | Add k ->
+              Plancache.add cache (key k) i;
+              Model.add model k i;
+              true)
+        (List.mapi (fun i op -> (i, op)) ops)
+      && Plancache.size cache = List.length model.Model.entries)
+
+let test_counters_exact () =
+  let c = Plancache.create ~shards:1 ~capacity:2 () in
+  ignore (Plancache.find c "a");
+  (* miss *)
+  Plancache.add c "a" 1;
+  Plancache.add c "b" 2;
+  ignore (Plancache.find c "a");
+  (* hit; "a" now most recent *)
+  Plancache.add c "c" 3;
+  (* evicts "b" *)
+  check_bool "a survives" true (Plancache.mem c "a");
+  check_bool "b evicted" false (Plancache.mem c "b");
+  let s = Plancache.stats c in
+  check_int "hits" 1 s.Plancache.hits;
+  check_int "misses" 1 s.Plancache.misses;
+  check_int "insertions" 3 s.Plancache.insertions;
+  check_int "evictions" 1 s.Plancache.evictions;
+  check_int "size" 2 (Plancache.size c)
+
+let test_capacity_bound_concurrent () =
+  let capacity = 16 in
+  let c = Plancache.create ~shards:4 ~capacity () in
+  let n_domains = 4 and per_domain = 500 in
+  let domains =
+    List.init n_domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_domain - 1 do
+              Plancache.add c (Printf.sprintf "d%d-%d" d i) i;
+              ignore (Plancache.find c (Printf.sprintf "d%d-%d" d i))
+            done))
+  in
+  List.iter Domain.join domains;
+  let s = Plancache.stats c in
+  check_bool "size <= capacity" true (Plancache.size c <= capacity);
+  check_int "insertions" (n_domains * per_domain) s.Plancache.insertions;
+  check_int "evictions = insertions - size"
+    (s.Plancache.insertions - Plancache.size c)
+    s.Plancache.evictions
+
+let test_fingerprint_stability () =
+  let fp input budget =
+    Plancache.fingerprint ~app:"toy" ~input ~budget ~models_hash:"abc"
+  in
+  (* Bit-identical floats, however reconstructed, give the same key. *)
+  let b = float_of_string (string_of_float 10.0) in
+  check_bool "reconstructed budget" true (fp [| 1.5 |] 10.0 = fp [| 1.5 |] b);
+  (* One ulp of difference anywhere changes the key. *)
+  let bump x = Int64.float_of_bits (Int64.succ (Int64.bits_of_float x)) in
+  check_bool "budget ulp" false (fp [| 1.5 |] 10.0 = fp [| 1.5 |] (bump 10.0));
+  check_bool "input ulp" false (fp [| 1.5 |] 10.0 = fp [| bump 1.5 |] 10.0);
+  check_bool "app" false
+    (fp [| 1.5 |] 10.0
+    = Plancache.fingerprint ~app:"toy2" ~input:[| 1.5 |] ~budget:10.0 ~models_hash:"abc");
+  check_bool "hash" false
+    (fp [| 1.5 |] 10.0
+    = Plancache.fingerprint ~app:"toy" ~input:[| 1.5 |] ~budget:10.0 ~models_hash:"abd")
+
+let test_create_validation () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Plancache.create: capacity must be >= 1") (fun () ->
+      ignore (Plancache.create ~capacity:0 ()));
+  let c = Plancache.create ~shards:64 ~capacity:3 () in
+  check_bool "shards clamped to capacity" true (Plancache.shards c <= 3)
+
+(* -------------------------------------------------------------- protocol *)
+
+let trained = lazy (Opprox.train ~config:{ Opprox.default_train_config with n_phases = Some 2 } toy)
+
+let roundtrip_request req =
+  Protocol.request_of_sexp
+    (Opprox_util.Sexp.of_string (Opprox_util.Sexp.to_string (Protocol.request_to_sexp req)))
+
+let roundtrip_response resp =
+  Protocol.response_of_sexp
+    (Opprox_util.Sexp.of_string (Opprox_util.Sexp.to_string (Protocol.response_to_sexp resp)))
+
+let test_request_roundtrip () =
+  let full =
+    Protocol.request ~input:[| 1.5; -0.25 |] ~deadline_ms:40.0 ~models_hash:"cafe"
+      ~no_cache:true ~app:"toy" ~budget:12.5 ()
+  in
+  check_bool "full request" true (roundtrip_request full = full);
+  let minimal = Protocol.request ~app:"toy" ~budget:10.0 () in
+  check_bool "minimal request" true (roundtrip_request minimal = minimal);
+  (* A frame without an explicit version parses as the current one. *)
+  let no_v =
+    Protocol.request_of_sexp (Opprox_util.Sexp.of_string "((app toy) (budget 10))")
+  in
+  check_bool "versionless frame" true (no_v.Protocol.app = "toy");
+  check_int "frame_version default" Protocol.version
+    (Protocol.frame_version (Opprox_util.Sexp.of_string "((app toy) (budget 10))"))
+
+let test_response_roundtrip () =
+  let plan = Opprox.optimize (Lazy.force trained) ~budget:10.0 in
+  let reply =
+    Protocol.Plan { plan; cache = Protocol.Miss; models_hash = "cafe"; elapsed_ms = 1.25 }
+  in
+  (match roundtrip_response reply with
+  | Protocol.Plan p ->
+      check_bool "cache status" true (p.cache = Protocol.Miss);
+      check_float "elapsed" 1.25 p.elapsed_ms;
+      check_bool "schedule" true
+        (Schedule.equal plan.Opprox.Optimizer.schedule p.plan.Opprox.Optimizer.schedule)
+  | _ -> Alcotest.fail "expected Plan");
+  let err = Protocol.Error [ Opprox_analysis.Lint_request.malformed "boom" ] in
+  (match roundtrip_response err with
+  | Protocol.Error [ d ] -> Alcotest.(check string) "code" "SRV004" d.Diagnostic.code
+  | _ -> Alcotest.fail "expected Error");
+  check_bool "timeout" true
+    (roundtrip_response (Protocol.Timeout { elapsed_ms = 3.0; deadline_ms = 2.0 })
+    = Protocol.Timeout { elapsed_ms = 3.0; deadline_ms = 2.0 });
+  check_bool "overloaded" true
+    (roundtrip_response (Protocol.Overloaded { inflight = 9; limit = 8 })
+    = Protocol.Overloaded { inflight = 9; limit = 8 })
+
+(* Frame IO over a socketpair: framing survives the wire, EOF is clean,
+   truncation and absurd lengths are Failures, not hangs or allocations. *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let test_frame_roundtrip () =
+  with_socketpair (fun a b ->
+      let sexp = Opprox_util.Sexp.of_string "((app toy) (budget 10) (v 1))" in
+      Protocol.write_frame a sexp;
+      Protocol.write_frame a sexp;
+      (match Protocol.read_frame b with
+      | Some s -> check_bool "first frame" true (Opprox_util.Sexp.to_string s = Opprox_util.Sexp.to_string sexp)
+      | None -> Alcotest.fail "expected a frame");
+      ignore (Protocol.read_frame b);
+      Unix.close a;
+      check_bool "clean EOF" true (Protocol.read_frame b = None))
+
+let test_frame_truncation () =
+  with_socketpair (fun a b ->
+      (* Length prefix promising 100 bytes, then only 5 and EOF. *)
+      let prefix = Bytes.make 4 '\000' in
+      Bytes.set prefix 3 (Char.chr 100);
+      ignore (Unix.write a prefix 0 4);
+      ignore (Unix.write_substring a "((a))" 0 5);
+      Unix.close a;
+      match Protocol.read_frame b with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "expected Failure on truncated frame")
+
+let test_frame_oversize () =
+  with_socketpair (fun a b ->
+      let prefix = Bytes.make 4 '\255' in
+      ignore (Unix.write a prefix 0 4);
+      match Protocol.read_frame b with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "expected Failure on oversized frame")
+
+(* ---------------------------------------------------------------- server *)
+
+let make_server ?config () = Server.create ?config [ Lazy.force trained ]
+
+let code_of = function
+  | Protocol.Error (d :: _) -> d.Diagnostic.code
+  | Protocol.Error [] -> "no-diagnostic"
+  | Protocol.Plan _ -> "plan"
+  | Protocol.Timeout _ -> "timeout"
+  | Protocol.Overloaded _ -> "overloaded"
+
+let test_cold_then_hit () =
+  let server = make_server () in
+  let client = Client.loopback server in
+  let req = Protocol.request ~app:"toy" ~budget:10.0 () in
+  (match Client.request client req with
+  | Protocol.Plan { plan; cache = Protocol.Miss; models_hash; _ } ->
+      (* The served plan is the same one a local solve produces. *)
+      let local = Opprox.optimize (Lazy.force trained) ~budget:10.0 in
+      check_bool "same schedule" true
+        (Schedule.equal plan.Opprox.Optimizer.schedule local.Opprox.Optimizer.schedule);
+      check_float "same predicted speedup" local.Opprox.Optimizer.predicted_speedup
+        plan.Opprox.Optimizer.predicted_speedup;
+      check_bool "hash reported" true
+        (Some models_hash = Server.models_hash server "toy")
+  | resp -> Alcotest.fail ("expected cold Plan, got " ^ code_of resp));
+  (match Client.request client req with
+  | Protocol.Plan { cache = Protocol.Hit; _ } -> ()
+  | resp -> Alcotest.fail ("expected cache hit, got " ^ code_of resp));
+  (* An explicit input equal to the default shares the cache entry. *)
+  (match
+     Client.request client
+       (Protocol.request ~input:toy.Opprox_sim.App.default_input ~app:"toy" ~budget:10.0 ())
+   with
+  | Protocol.Plan { cache = Protocol.Hit; _ } -> ()
+  | resp -> Alcotest.fail ("expected default-input hit, got " ^ code_of resp));
+  let s = Server.cache_stats server in
+  check_int "hits" 2 s.Plancache.hits;
+  check_int "misses" 1 s.Plancache.misses;
+  check_int "inflight settled" 0 (Server.inflight server)
+
+let test_no_cache_bypasses_lookup () =
+  let server = make_server () in
+  let client = Client.loopback server in
+  let req = Protocol.request ~no_cache:true ~app:"toy" ~budget:10.0 () in
+  (match Client.request client req with
+  | Protocol.Plan { cache = Protocol.Miss; _ } -> ()
+  | resp -> Alcotest.fail ("expected Miss, got " ^ code_of resp));
+  (match Client.request client req with
+  | Protocol.Plan { cache = Protocol.Miss; _ } -> ()
+  | resp -> Alcotest.fail ("expected Miss again, got " ^ code_of resp));
+  (* ...but the solves still populated the cache for ordinary requests. *)
+  (match Client.request client (Protocol.request ~app:"toy" ~budget:10.0 ()) with
+  | Protocol.Plan { cache = Protocol.Hit; _ } -> ()
+  | resp -> Alcotest.fail ("expected Hit, got " ^ code_of resp));
+  let s = Server.cache_stats server in
+  check_int "no lookups missed" 1 s.Plancache.hits;
+  (* The second bypassed solve overwrote the first's entry in place. *)
+  check_int "one key inserted" 1 s.Plancache.insertions
+
+let test_validation_errors () =
+  let server = make_server () in
+  let client = Client.loopback server in
+  let expect code req =
+    Alcotest.(check string) code code (code_of (Client.request client req))
+  in
+  expect "SRV001" (Protocol.request ~app:"toy" ~budget:0.0 ());
+  expect "SRV001" (Protocol.request ~app:"toy" ~budget:150.0 ());
+  expect "SRV001" (Protocol.request ~app:"toy" ~budget:Float.nan ());
+  expect "SRV002" (Protocol.request ~app:"nonesuch" ~budget:10.0 ());
+  expect "SRV003" (Protocol.request ~models_hash:"deadbeef" ~app:"toy" ~budget:10.0 ());
+  expect "SRV006" (Protocol.request ~input:[| 1.0; 2.0 |] ~app:"toy" ~budget:10.0 ());
+  expect "SRV006" (Protocol.request ~input:[| Float.infinity |] ~app:"toy" ~budget:10.0 ());
+  expect "SRV007" (Protocol.request ~deadline_ms:(-1.0) ~app:"toy" ~budget:10.0 ());
+  (* A correct client-asserted hash passes. *)
+  let hash = Option.get (Server.models_hash server "toy") in
+  (match Client.request client (Protocol.request ~models_hash:hash ~app:"toy" ~budget:10.0 ()) with
+  | Protocol.Plan _ -> ()
+  | resp -> Alcotest.fail ("expected Plan with correct hash, got " ^ code_of resp));
+  (* Rejected requests never reach cache or solver. *)
+  check_int "no cache traffic" 1 (Server.cache_stats server).Plancache.misses
+
+let test_deadline_timeout () =
+  let server = make_server () in
+  let client = Client.loopback server in
+  (match
+     Client.request client (Protocol.request ~deadline_ms:1e-6 ~app:"toy" ~budget:10.0 ())
+   with
+  | Protocol.Timeout { deadline_ms; elapsed_ms } ->
+      check_float "deadline echoed" 1e-6 deadline_ms;
+      check_bool "elapsed past deadline" true (elapsed_ms > deadline_ms)
+  | resp -> Alcotest.fail ("expected Timeout, got " ^ code_of resp));
+  (* A generous deadline answers normally. *)
+  match
+    Client.request client (Protocol.request ~deadline_ms:60_000.0 ~app:"toy" ~budget:10.0 ())
+  with
+  | Protocol.Plan _ -> ()
+  | resp -> Alcotest.fail ("expected Plan, got " ^ code_of resp)
+
+let test_default_deadline_config () =
+  let config = { Server.default_config with Server.default_deadline_ms = Some 1e-6 } in
+  let server = make_server ~config () in
+  let client = Client.loopback server in
+  (match Client.request client (Protocol.request ~app:"toy" ~budget:10.0 ()) with
+  | Protocol.Timeout _ -> ()
+  | resp -> Alcotest.fail ("expected Timeout from server default, got " ^ code_of resp));
+  (* An explicit per-request deadline overrides the default. *)
+  match
+    Client.request client (Protocol.request ~deadline_ms:60_000.0 ~app:"toy" ~budget:10.0 ())
+  with
+  | Protocol.Plan _ -> ()
+  | resp -> Alcotest.fail ("expected Plan, got " ^ code_of resp)
+
+let test_concurrent_handles () =
+  let server =
+    make_server ~config:{ Server.default_config with Server.max_inflight = 2 } ()
+  in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            List.init 10 (fun i ->
+                Server.handle server
+                  (Protocol.request ~no_cache:true ~app:"toy"
+                     ~budget:(5.0 +. float_of_int ((d * 10) + i))
+                     ()))))
+  in
+  let responses = List.concat_map Domain.join domains in
+  (* Under contention every reply is either a plan or an explicit shed —
+     never an exception, never a corrupted cache. *)
+  List.iter
+    (fun resp ->
+      match resp with
+      | Protocol.Plan _ | Protocol.Overloaded _ -> ()
+      | _ -> Alcotest.fail ("unexpected reply under load: " ^ code_of resp))
+    responses;
+  check_int "inflight settled" 0 (Server.inflight server);
+  check_bool "cache within capacity" true
+    ((Server.cache_stats server).Plancache.insertions <= 40)
+
+let test_create_rejects_duplicates () =
+  let tr = Lazy.force trained in
+  Alcotest.check_raises "duplicate apps"
+    (Invalid_argument "Server.create: duplicate models for toy") (fun () ->
+      ignore (Server.create [ tr; tr ]));
+  Alcotest.check_raises "empty" (Invalid_argument "Server.create: no trained pipelines")
+    (fun () -> ignore (Server.create []))
+
+(* -------------------------------------------------------- socket end-to-end *)
+
+let temp_socket () =
+  let path = Filename.temp_file "opprox_serve" ".sock" in
+  Sys.remove path;
+  path
+
+let rec connect_retry ~socket n =
+  match Client.connect ~socket with
+  | client -> client
+  | exception Unix.Unix_error _ when n > 0 ->
+      Unix.sleepf 0.05;
+      connect_retry ~socket (n - 1)
+
+let test_socket_end_to_end () =
+  let socket = temp_socket () in
+  let server =
+    make_server ~config:{ Server.default_config with Server.max_inflight = 1; jobs = Some 2 } ()
+  in
+  let daemon = Domain.spawn (fun () -> Server.serve server ~socket) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Domain.join daemon)
+    (fun () ->
+      let client = connect_retry ~socket 100 in
+      Fun.protect
+        ~finally:(fun () -> Client.close client)
+        (fun () ->
+          (* Cold then hot over the wire. *)
+          (match Client.request client (Protocol.request ~app:"toy" ~budget:10.0 ()) with
+          | Protocol.Plan { cache = Protocol.Miss; _ } -> ()
+          | resp -> Alcotest.fail ("expected Miss over socket, got " ^ code_of resp));
+          (match Client.request client (Protocol.request ~app:"toy" ~budget:10.0 ()) with
+          | Protocol.Plan { cache = Protocol.Hit; _ } -> ()
+          | resp -> Alcotest.fail ("expected Hit over socket, got " ^ code_of resp));
+          (* With max_inflight 1 and this connection holding the slot, a
+             second connection is shed at accept: the daemon volunteers
+             one Overloaded frame and closes without reading anything. *)
+          let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              Unix.connect fd (Unix.ADDR_UNIX socket);
+              match Protocol.read_frame fd with
+              | Some frame -> (
+                  match Protocol.response_of_sexp frame with
+                  | Protocol.Overloaded { limit; _ } -> check_int "limit" 1 limit
+                  | resp -> Alcotest.fail ("expected Overloaded, got " ^ code_of resp))
+              | None -> Alcotest.fail "shed connection closed without a frame"));
+      (* Wait for the worker serving the closed connection to release
+         its admission slot, or the next connect is shed too. *)
+      let rec settle n =
+        if Server.inflight server > 0 && n > 0 then begin
+          Unix.sleepf 0.01;
+          settle (n - 1)
+        end
+      in
+      settle 200;
+      (* Frame-level garbage gets a structured SRV004 reply. *)
+      let garbage = connect_retry ~socket 100 in
+      Fun.protect
+        ~finally:(fun () -> Client.close garbage)
+        (fun () ->
+          match Client.send_raw garbage "((v 1) (app" with
+          | Protocol.Error (d :: _) ->
+              Alcotest.(check string) "SRV004" "SRV004" d.Diagnostic.code
+          | resp -> Alcotest.fail ("expected SRV004, got " ^ code_of resp)));
+  check_bool "socket file removed at shutdown" false (Sys.file_exists socket)
+
+let suite =
+  [
+    ( "plancache",
+      [
+        prop_lru_matches_model;
+        Alcotest.test_case "counters exact" `Quick test_counters_exact;
+        Alcotest.test_case "capacity bound (4 domains)" `Quick test_capacity_bound_concurrent;
+        Alcotest.test_case "fingerprint stability" `Quick test_fingerprint_stability;
+        Alcotest.test_case "create validation" `Quick test_create_validation;
+      ] );
+    ( "serve-protocol",
+      [
+        Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+        Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
+        Alcotest.test_case "frame roundtrip + EOF" `Quick test_frame_roundtrip;
+        Alcotest.test_case "truncated frame" `Quick test_frame_truncation;
+        Alcotest.test_case "oversized frame" `Quick test_frame_oversize;
+      ] );
+    ( "serve-server",
+      [
+        Alcotest.test_case "cold solve then cache hit" `Quick test_cold_then_hit;
+        Alcotest.test_case "no-cache bypass" `Quick test_no_cache_bypasses_lookup;
+        Alcotest.test_case "SRV validation errors" `Quick test_validation_errors;
+        Alcotest.test_case "deadline timeout" `Quick test_deadline_timeout;
+        Alcotest.test_case "server default deadline" `Quick test_default_deadline_config;
+        Alcotest.test_case "concurrent handles" `Quick test_concurrent_handles;
+        Alcotest.test_case "create validation" `Quick test_create_rejects_duplicates;
+        Alcotest.test_case "socket end-to-end" `Quick test_socket_end_to_end;
+      ] );
+  ]
