@@ -1,6 +1,6 @@
 # Convenience aliases; dune is the build system.
 
-.PHONY: all check test lint stats serve-smoke fixtures bench bench-snapshot fmt clean
+.PHONY: all check test lint stats serve-smoke pool-smoke fixtures bench bench-snapshot fmt clean
 
 all:
 	dune build @all
@@ -82,6 +82,14 @@ serve-smoke:
 	if [ -S $$SOCK ]; then echo "serve-smoke: socket file not removed"; exit 1; fi; \
 	echo "serve-smoke: ok"
 
+# Pool scaling smoke test: a j2 pool must produce a bit-identical
+# training dataset no slower (within tolerance) than a j1 pool, even on
+# a single-core runner where the surplus worker parks under the active
+# cap.  Fast enough for CI; the full gate runs under bench-snapshot.
+pool-smoke:
+	dune build bench/main.exe
+	dune exec --no-build bench/main.exe -- --pool-smoke
+
 # Regenerate the committed corruption fixtures under test/fixtures/.
 fixtures:
 	dune exec test/gen_fixtures.exe
@@ -91,7 +99,9 @@ bench:
 	dune exec bench/main.exe -- --quick
 
 # Regenerate the committed benchmark snapshots (BENCH_pool.json,
-# BENCH_checkpoint.json, and BENCH_obs.json) from the bechamel micro-suite.
+# BENCH_checkpoint.json, BENCH_obs.json, and BENCH_serve.json) from the
+# bechamel micro-suite.  Exits non-zero if the pool scaling gate fails
+# (inverted scaling, or under 1.5x at j4 on a >= 4-core host).
 bench-snapshot:
 	dune exec bench/main.exe -- --bechamel
 

@@ -5,16 +5,17 @@
      dune exec bench/main.exe -- --only fig14   run one experiment
      dune exec bench/main.exe -- --quick        reduced sampling
      dune exec bench/main.exe -- --bechamel     micro-benchmarks only
+     dune exec bench/main.exe -- --pool-smoke   fast pool scaling check (CI)
      dune exec bench/main.exe -- --list         list experiment ids *)
 
 let usage () =
   print_endline
-    "usage: main.exe [--quick] [--list] [--bechamel] [--csv DIR] [--jobs N] [--only <id> ...]";
+    "usage: main.exe [--quick] [--list] [--bechamel] [--pool-smoke] [--csv DIR] [--jobs N] [--only <id> ...]";
   print_endline "experiments:";
   List.iter (fun (id, desc, _) -> Printf.printf "  %-14s %s\n" id desc) Experiments.all
 
 let () =
-  let only = ref [] and bechamel = ref false and list = ref false in
+  let only = ref [] and bechamel = ref false and list = ref false and pool_smoke = ref false in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -22,6 +23,9 @@ let () =
         parse rest
     | "--bechamel" :: rest ->
         bechamel := true;
+        parse rest
+    | "--pool-smoke" :: rest ->
+        pool_smoke := true;
         parse rest
     | "--list" :: rest ->
         list := true;
@@ -47,9 +51,13 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   if !list then usage ()
+  else if !pool_smoke then begin
+    if not (Bechamel_suite.pool_smoke ()) then exit 1
+  end
   else begin
     let t0 = Unix.gettimeofday () in
-    if !bechamel then Bechamel_suite.run ()
+    let gate_ok = ref true in
+    if !bechamel then gate_ok := Bechamel_suite.run ()
     else begin
       let selected =
         match !only with
@@ -75,7 +83,8 @@ let () =
           Printf.printf "[%s finished in %.1f s]\n%!" id dt)
         selected;
       (* The micro-benchmarks close the default full run. *)
-      if !only = [] then Bechamel_suite.run ()
+      if !only = [] then gate_ok := Bechamel_suite.run ()
     end;
-    Printf.printf "\nTotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0)
+    Printf.printf "\nTotal harness time: %.1f s\n" (Unix.gettimeofday () -. t0);
+    if not !gate_ok then exit 1
   end

@@ -13,25 +13,20 @@ let m_space_misses = Metrics.counter "oracle.space.miss"
 let m_configs = Metrics.counter "oracle.space.configs"
 
 (* Measured spaces are memoized on the same stable (app, input-bits)
-   string key the driver uses, behind a mutex so the oracle can be
-   queried from several domains at once (e.g. the experiment harness). *)
-let cache : (string, (int array * Driver.evaluation) list) Hashtbl.t = Hashtbl.create 16
-let cache_mutex = Mutex.create ()
+   string key the driver uses.  The table is sharded (mutex per shard)
+   so concurrent hot hits from pool workers — e.g. the experiment
+   harness sweeping many budgets over the same inputs — do not
+   serialize behind one lock. *)
+module Shardmap = Opprox_util.Shardmap
 
-let clear_cache () =
-  Mutex.lock cache_mutex;
-  Hashtbl.reset cache;
-  Mutex.unlock cache_mutex
+let cache : (int array * Driver.evaluation) list Shardmap.t =
+  Shardmap.create ~shards:8 ~capacity:max_int ()
+
+let clear_cache () = Shardmap.clear cache
 
 let measured_space ?pool (app : App.t) ~input =
   let key = Driver.input_key app input in
-  let cached =
-    Mutex.lock cache_mutex;
-    let r = Hashtbl.find_opt cache key in
-    Mutex.unlock cache_mutex;
-    r
-  in
-  match cached with
+  match Shardmap.find cache key with
   | Some r ->
       Metrics.incr m_space_hits;
       r
@@ -43,18 +38,19 @@ let measured_space ?pool (app : App.t) ~input =
       Metrics.add m_configs (Array.length configs);
       (* The exhaustive sweep is embarrassingly parallel: every
          configuration is scored independently against the shared exact
-         baseline.  Index-preserving map keeps the enumeration order. *)
+         baseline.  Index-preserving map keeps the enumeration order.
+         Per-config cost collapses to sub-microsecond once the driver's
+         eval memo is warm, so a grain of several configs keeps the
+         steal traffic proportional to useful work. *)
       let evaluations =
-        Pool.parallel_map ?pool
+        Pool.parallel_map ?pool ~grain:8
           (fun levels ->
             let ev = Driver.evaluate ~exact app (Schedule.uniform ~n_phases:1 levels) input in
             (levels, ev))
           configs
       in
       let measured = Array.to_list evaluations in
-      Mutex.lock cache_mutex;
-      (if not (Hashtbl.mem cache key) then Hashtbl.replace cache key measured);
-      Mutex.unlock cache_mutex;
+      ignore (Shardmap.add cache key measured);
       measured
 
 let search ?pool app ~input ~budget =

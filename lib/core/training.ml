@@ -94,7 +94,7 @@ let collect ?(config = default_config) ?pool app ~n_phases =
      before the sampling plan fans out. *)
   let _exacts : Driver.exact_run array =
     Trace.with_span ~cat:"training" "training.exact_baselines" (fun () ->
-        Pool.parallel_map ?pool ~chunk:1 (Driver.run_exact app) inputs)
+        Pool.parallel_map ?pool ~grain:1 (Driver.run_exact app) inputs)
   in
   let classes =
     Trace.with_span ~cat:"training" "training.cfmodel" (fun () -> Cfmodel.build app ~inputs)
@@ -104,12 +104,38 @@ let collect ?(config = default_config) ?pool app ~n_phases =
      first phase-2 run extends it, and so on — each exact phase prefix is
      simulated at most once per (input, n_phases). *)
   let plan = sampling_plan ~config ~n_phases ~inputs app.App.abs in
+  (* Parallelism is hoisted to whole inputs: the plan is input-major and
+     contiguous per input, so each group below is one input's full run
+     sequence.  One domain owning a whole input walks its phases in
+     ascending order — preserving the checkpoint-extension property above
+     without cross-domain coordination — and each group is big enough
+     (per-input sweep + joint samples) to amortize a steal.  Results are
+     concatenated in plan order, so the dataset is bit-identical to the
+     flat per-task map at any job count. *)
+  let groups =
+    let acc = ref [] in
+    let start = ref 0 in
+    Array.iteri
+      (fun i (t : task) ->
+        if i > 0 && t.input != plan.(i - 1).input then begin
+          acc := (!start, i - !start) :: !acc;
+          start := i
+        end)
+      plan;
+    if Array.length plan > 0 then acc := (!start, Array.length plan - !start) :: !acc;
+    Array.of_list (List.rev !acc)
+  in
   let samples =
     Trace.with_span ~cat:"training" "training.sampling" (fun () ->
-        Pool.parallel_map ?pool
-          (fun t ->
-            evaluate_sample ~classes ~app ~n_phases ~input:t.input ~phase:t.phase t.levels)
-          plan)
+        Array.concat
+          (Array.to_list
+             (Pool.parallel_map ?pool ~grain:1
+                (fun (start, len) ->
+                  Array.init len (fun j ->
+                      let t = plan.(start + j) in
+                      evaluate_sample ~classes ~app ~n_phases ~input:t.input ~phase:t.phase
+                        t.levels))
+                groups)))
   in
   Metrics.add m_runs (Array.length samples);
   Log.info (fun m ->

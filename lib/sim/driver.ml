@@ -22,70 +22,15 @@ type cache_stats = { hits : int; misses : int; size : int }
 (* ------------------------------------------------------------- caches *)
 
 (* Every driver cache follows the same discipline: stable string keys,
-   lookups under a mutex, computation outside it (two domains racing on
-   one key duplicate a deterministic computation instead of serializing
-   every distinct one behind it), FIFO eviction beyond [capacity] so long
-   bench matrices cannot grow memory without limit. *)
-module Bounded = struct
-  type 'a t = {
-    table : (string, 'a) Hashtbl.t;
-    order : string Queue.t;  (* insertion order; keys unique *)
-    mutable capacity : int;
-    mutex : Dmutex.t;
-  }
-
-  let create capacity =
-    { table = Hashtbl.create 64; order = Queue.create (); capacity; mutex = Dmutex.create () }
-
-  let find t key =
-    Dmutex.lock t.mutex;
-    let r = Hashtbl.find_opt t.table key in
-    Dmutex.unlock t.mutex;
-    r
-
-  let trim_locked t =
-    while Queue.length t.order > t.capacity do
-      Hashtbl.remove t.table (Queue.pop t.order)
-    done
-
-  (* Returns [true] iff the binding was inserted (first writer wins). *)
-  let add t key v =
-    Dmutex.lock t.mutex;
-    let inserted =
-      if Hashtbl.mem t.table key then false
-      else begin
-        Hashtbl.replace t.table key v;
-        Queue.push key t.order;
-        trim_locked t;
-        Hashtbl.mem t.table key
-      end
-    in
-    Dmutex.unlock t.mutex;
-    inserted
-
-  let clear t =
-    Dmutex.lock t.mutex;
-    Hashtbl.reset t.table;
-    Queue.clear t.order;
-    Dmutex.unlock t.mutex
-
-  let size t =
-    Dmutex.lock t.mutex;
-    let n = Hashtbl.length t.table in
-    Dmutex.unlock t.mutex;
-    n
-
-  let set_capacity t n =
-    if n < 0 then invalid_arg "Driver: cache capacity must be >= 0";
-    Dmutex.lock t.mutex;
-    t.capacity <- n;
-    trim_locked t;
-    Dmutex.unlock t.mutex
-end
-
-(* Exact runs are pure functions of (application, input); the memo is
-   unbounded like in previous revisions (one entry per distinct input). *)
-let exact_cache : exact_run Bounded.t = Bounded.create max_int
+   lookups under a per-shard mutex ({!Opprox_util.Shardmap}), computation
+   outside it (two domains racing on one key duplicate a deterministic
+   computation instead of serializing every distinct one behind it), FIFO
+   eviction beyond the capacity so long bench matrices cannot grow memory
+   without limit.  Hashing keys across shards means a hot memo hit from a
+   pool worker takes an uncontended lock with high probability — under
+   the old single-mutex tables the memo itself was the scaling
+   bottleneck once checkpointing collapsed per-task cost. *)
+module Bounded = Opprox_util.Shardmap
 
 (* Exact phase-boundary checkpoints: the paused state of the golden
    trajectory at the first iteration of phase q, keyed by
@@ -95,19 +40,46 @@ type checkpoint = {
   frozen : App.instance;  (* never stepped; cloned once per resume *)
 }
 
-let checkpoint_cache : checkpoint Bounded.t = Bounded.create 512
+let default_memo_shards = 16
+let memo_shards_n = ref default_memo_shards
+let ckpt_capacity = ref 512
+let eval_capacity = ref 4096
+
+(* Exact runs are pure functions of (application, input); the memo is
+   unbounded like in previous revisions (one entry per distinct input). *)
+let exact_cache : exact_run Bounded.t ref =
+  ref (Bounded.create ~shards:default_memo_shards ~capacity:max_int ())
+
+let checkpoint_cache : checkpoint Bounded.t ref =
+  ref (Bounded.create ~shards:default_memo_shards ~capacity:!ckpt_capacity ())
 
 (* Full-evaluation memo: schedules repeat across training sweeps, oracle
    probes and bench matrices, and an evaluation is a pure function of
    (app, input, schedule). *)
-let eval_cache : evaluation Bounded.t = Bounded.create 4096
+let eval_cache : evaluation Bounded.t ref =
+  ref (Bounded.create ~shards:default_memo_shards ~capacity:!eval_capacity ())
 
 let checkpointing_on = Atomic.make true
 let eval_cache_on = Atomic.make true
 let set_checkpointing b = Atomic.set checkpointing_on b
 let set_eval_cache b = Atomic.set eval_cache_on b
-let set_checkpoint_capacity n = Bounded.set_capacity checkpoint_cache n
-let set_eval_cache_capacity n = Bounded.set_capacity eval_cache n
+
+let set_checkpoint_capacity n =
+  ckpt_capacity := n;
+  Bounded.set_capacity !checkpoint_cache n
+
+let set_eval_cache_capacity n =
+  eval_capacity := n;
+  Bounded.set_capacity !eval_cache n
+
+let memo_shards () = !memo_shards_n
+
+let set_memo_shards n =
+  if n < 1 then invalid_arg "Driver.set_memo_shards: shards must be >= 1";
+  memo_shards_n := n;
+  exact_cache := Bounded.create ~shards:n ~capacity:max_int ();
+  checkpoint_cache := Bounded.create ~shards:n ~capacity:!ckpt_capacity ();
+  eval_cache := Bounded.create ~shards:n ~capacity:!eval_capacity ()
 
 (* Cache accounting lives in the process-wide metrics registry (atomic
    counters, so pool workers bump them without the cache mutexes); tests
@@ -148,13 +120,13 @@ let reset_exact_run_count () =
   Atomic.set base (Metrics.value exact_executions)
 
 let exact_cache_stats () =
-  { hits = read exact_hits; misses = read exact_executions; size = Bounded.size exact_cache }
+  { hits = read exact_hits; misses = read exact_executions; size = Bounded.size !exact_cache }
 
 let checkpoint_stats () =
-  { hits = read ckpt_hits; misses = read ckpt_misses; size = Bounded.size checkpoint_cache }
+  { hits = read ckpt_hits; misses = read ckpt_misses; size = Bounded.size !checkpoint_cache }
 
 let eval_cache_stats () =
-  { hits = read eval_hits; misses = read eval_misses; size = Bounded.size eval_cache }
+  { hits = read eval_hits; misses = read eval_misses; size = Bounded.size !eval_cache }
 
 let checkpoint_save_count () = read ckpt_saves
 
@@ -171,9 +143,9 @@ let input_key (app : App.t) input =
     input;
   Buffer.contents b
 
-let clear_cache () = Bounded.clear exact_cache
-let clear_checkpoints () = Bounded.clear checkpoint_cache
-let clear_eval_cache () = Bounded.clear eval_cache
+let clear_cache () = Bounded.clear !exact_cache
+let clear_checkpoints () = Bounded.clear !checkpoint_cache
+let clear_eval_cache () = Bounded.clear !eval_cache
 
 let clear_all_caches () =
   clear_cache ();
@@ -203,7 +175,7 @@ let execute (app : App.t) sched ~expected_iters input =
 
 let run_exact (app : App.t) input =
   let key = input_key app input in
-  match Bounded.find exact_cache key with
+  match Bounded.find !exact_cache key with
   | Some r ->
       Metrics.incr exact_hits;
       r
@@ -219,7 +191,7 @@ let run_exact (app : App.t) input =
           trace = Env.trace env;
         }
       in
-      ignore (Bounded.add exact_cache key r);
+      ignore (Bounded.add !exact_cache key r);
       r
 
 (* ------------------------------------------------- checkpointed path *)
@@ -254,7 +226,7 @@ let execute_checkpointed (app : App.t) mk sched ~(exact : exact_run) input =
     let rec lookup q =
       if q < 1 then None
       else
-        match Bounded.find checkpoint_cache (key q) with
+        match Bounded.find !checkpoint_cache (key q) with
         | Some c -> Some (q, c)
         | None -> lookup (q - 1)
     in
@@ -283,7 +255,7 @@ let execute_checkpointed (app : App.t) mk sched ~(exact : exact_run) input =
       if Env.outer_iters env = b then begin
         let snap = Env.snapshot env in
         let frozen = inst.App.clone (Env.resume snap ~sched ~expected_iters:i_total) in
-        if Bounded.add checkpoint_cache (key q) { snap; frozen } then Metrics.incr ckpt_saves
+        if Bounded.add !checkpoint_cache (key q) { snap; frozen } then Metrics.incr ckpt_saves
       end
     done;
     while inst.App.step () do
@@ -359,14 +331,14 @@ let evaluate ?exact (app : App.t) sched input =
         compute_evaluation app sched ~exact:(run_exact app input) input
       else begin
         let key = input_key app input ^ sched_key sched in
-        match Bounded.find eval_cache key with
+        match Bounded.find !eval_cache key with
         | Some ev ->
             Metrics.incr eval_hits;
             copy_evaluation ev
         | None ->
             Metrics.incr eval_misses;
             let ev = compute_evaluation app sched ~exact:(run_exact app input) input in
-            ignore (Bounded.add eval_cache key (copy_evaluation ev));
+            ignore (Bounded.add !eval_cache key (copy_evaluation ev));
             ev
       end
 

@@ -96,6 +96,17 @@ val set_checkpoint_capacity : int -> unit
 val set_eval_cache_capacity : int -> unit
 (** Bound the evaluation memo (FIFO eviction; default 4096 entries). *)
 
+val memo_shards : unit -> int
+(** Number of independent shards each memo table hashes its keys across
+    (default 16).  Each shard has its own mutex, so concurrent hot hits
+    from pool workers take uncontended locks with high probability. *)
+
+val set_memo_shards : int -> unit
+(** Rebuild all three memo tables with the given shard count.  {b Drops
+    every cached entry} (counters are untouched).  Sharding only
+    partitions keys across locks: hit/miss/save accounting and results
+    are identical at any shard count (property-tested against 1 shard). *)
+
 val exact_cache_stats : unit -> cache_stats
 val checkpoint_stats : unit -> cache_stats
 (** A miss is counted only when checkpointing {e applied} (iterative app,

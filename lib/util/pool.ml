@@ -1,36 +1,170 @@
-(* A small reusable domain pool.  Work arrives as thunks on a shared
-   queue; worker domains sleep on a condition variable between bursts.
-   The submitting domain participates in execution while it waits, which
-   also makes nested submissions from inside a task deadlock-free: the
-   worker that submits keeps draining the queue instead of blocking. *)
+(* Work-stealing execution engine.
+
+   Each worker domain owns a Chase–Lev deque: the owner pushes and pops
+   closures at the bottom (LIFO, cache-hot), thieves steal from the top
+   (FIFO) with a single compare-and-set.  External domains submit through
+   a small mutex-guarded inject queue; workers that find nothing to steal
+   back off exponentially and then park on a condition variable, so an
+   idle pool costs nothing and — crucially for hosts with fewer cores
+   than [jobs] — oversubscribed domains stay parked instead of turning
+   every minor GC into a stop-the-world sync storm.  The number of
+   simultaneously *awake* domains is bounded by [active_cap] (the host's
+   recommended domain count by default), while [jobs] remains the upper
+   bound on available parallelism.
+
+   Determinism is unchanged from the queue-based engine this replaces:
+   combinators write [f arr.(i)] into slot [i], and all seed-splitting
+   happens sequentially before any parallel execution. *)
 
 module Metrics = Opprox_obs.Metrics
 module Trace = Opprox_obs.Trace
 
-(* Shared across every pool: depth of the pending queue (sampled at each
-   push/pop), tasks executed, and per-task busy time.  Busy time is only
-   clocked while metrics are enabled, so the disabled path never calls
-   the clock. *)
-let m_queue_depth = Metrics.gauge "pool.queue.depth"
+let m_queue_depth = Metrics.gauge "pool.queue.depth" (* inject queue, sampled per push/pop *)
 let m_tasks = Metrics.counter "pool.tasks"
 let m_busy_us = Metrics.counter "pool.busy_us"
 let m_task_us = Metrics.histogram "pool.task_us"
 let m_at_exit = Metrics.counter "pool.default.at_exit_registrations"
 let m_async_exn = Metrics.counter "pool.async.exceptions"
+let m_steal_attempts = Metrics.counter "pool.steal.attempts"
+let m_steal_success = Metrics.counter "pool.steal.success"
+let m_steal_parks = Metrics.counter "pool.steal.parks"
+let m_deque_pushes = Metrics.counter "pool.deque.pushes"
+let m_deque_pops = Metrics.counter "pool.deque.pops"
+let m_deque_splits = Metrics.counter "pool.deque.splits"
+let m_bad_jobs = Metrics.counter "pool.env.bad_jobs"
+
+(* ------------------------------------------------------ Chase–Lev deque *)
+
+module Deque = struct
+  (* The owner pushes/pops [bottom]; thieves CAS [top].  The buffer is a
+     single mutable pointer to an immutable-shape record so a thief reads
+     (arr, mask) consistently; growth copies the live window [top, bottom)
+     into a doubled buffer.  A thief orders its reads top, bottom, buffer:
+     seeing a [bottom] past index [t] happens-after the push of entry [t],
+     which happens-after any growth that relocated it, so the buffer the
+     thief then reads contains entry [t].  The CAS on [top] validates the
+     read before the task is returned. *)
+  type buffer = { arr : (unit -> unit) array; mask : int }
+
+  type t = {
+    mutable buf : buffer;
+    top : int Atomic.t;
+    bottom : int Atomic.t;
+  }
+
+  let dummy () = ()
+  let create () = { buf = { arr = Array.make 64 dummy; mask = 63 }; top = Atomic.make 0; bottom = Atomic.make 0 }
+
+  (* Approximate size; exact for the owner. *)
+  let size d = Atomic.get d.bottom - Atomic.get d.top
+
+  let grow d b t =
+    let old = d.buf in
+    let n = Array.length old.arr in
+    let arr = Array.make (2 * n) dummy in
+    let mask = (2 * n) - 1 in
+    for i = t to b - 1 do
+      arr.(i land mask) <- old.arr.(i land old.mask)
+    done;
+    d.buf <- { arr; mask }
+
+  (* Owner only. *)
+  let push d task =
+    let b = Atomic.get d.bottom and t = Atomic.get d.top in
+    if b - t > d.buf.mask then grow d b t;
+    let buf = d.buf in
+    buf.arr.(b land buf.mask) <- task;
+    Atomic.set d.bottom (b + 1)
+
+  (* Owner only. *)
+  let pop d =
+    let b = Atomic.get d.bottom - 1 in
+    Atomic.set d.bottom b;
+    let t = Atomic.get d.top in
+    if b < t then begin
+      Atomic.set d.bottom t;
+      None
+    end
+    else begin
+      let buf = d.buf in
+      let task = buf.arr.(b land buf.mask) in
+      if b > t then begin
+        buf.arr.(b land buf.mask) <- dummy;
+        Some task
+      end
+      else begin
+        (* Last element: race against thieves for it. *)
+        let won = Atomic.compare_and_set d.top t (t + 1) in
+        Atomic.set d.bottom (t + 1);
+        if won then Some task else None
+      end
+    end
+
+  (* Any domain.  [None] covers both "empty" and "lost the race"; the
+     caller's search loop revisits victims anyway. *)
+  let steal d =
+    let t = Atomic.get d.top in
+    let b = Atomic.get d.bottom in
+    if t >= b then None
+    else begin
+      let buf = d.buf in
+      let task = buf.arr.(t land buf.mask) in
+      if Atomic.compare_and_set d.top t (t + 1) then Some task else None
+    end
+end
+
+(* ------------------------------------------------------------- the pool *)
 
 type t = {
   jobs : int;
-  mutex : Dmutex.t;
-  pending : (unit -> unit) Queue.t;
-  wake : Condition.t;
-  mutable closing : bool;
+  active_cap : int;
+  deques : Deque.t array; (* one per spawned worker: ids 0 .. jobs-2 *)
+  inject : (unit -> unit) Queue.t;
+  inject_n : int Atomic.t; (* mirrors Queue.length, read without the lock *)
+  inject_mutex : Dmutex.t;
+  park_mutex : Dmutex.t;
+  park_cond : Condition.t;
+  n_parked : int Atomic.t;
+  n_searching : int Atomic.t;
+  n_active : int Atomic.t;
+  closing : bool Atomic.t;
   mutable workers : unit Domain.t list;
 }
 
-let sample_depth_locked t = Metrics.set m_queue_depth (float_of_int (Queue.length t.pending))
+(* Identifies the current domain as a worker of some pool, so nested
+   submissions go straight onto its own deque. *)
+let dls_key : (t * int) option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
 
-(* Run one task with its busy-time accounting.  [task] never raises: the
-   submission wrapper in [run_tasks] already catches. *)
+let worker_slot pool =
+  match !(Domain.DLS.get dls_key) with
+  | Some (p, id) when p == pool -> Some id
+  | _ -> None
+
+let work_visible t =
+  Atomic.get t.inject_n > 0 || Array.exists (fun d -> Deque.size d > 0) t.deques
+
+(* Wake one parked worker.  Acquiring the park mutex orders the signal
+   after any in-flight park decision, so a worker that saw no work before
+   we published ours is guaranteed to be in [wait] when the signal fires. *)
+let wake_one t =
+  if Atomic.get t.n_parked > 0 then begin
+    Dmutex.lock t.park_mutex;
+    Condition.signal t.park_cond;
+    Dmutex.unlock t.park_mutex
+  end
+
+(* Recruit a worker for freshly published batch work, but never wake more
+   domains than the host can actually run: waking a 4th domain on a
+   single-core box only adds GC-synchronisation stalls. *)
+let recruit t =
+  if
+    Atomic.get t.n_searching = 0
+    && Atomic.get t.n_parked > 0
+    && Atomic.get t.n_active < t.active_cap
+  then wake_one t
+
+(* Run one task with its busy-time accounting.  Tasks handed to the
+   engine never raise: batch wrappers and [async] both catch. *)
 let run_task task =
   if Metrics.enabled () then begin
     let t0 = Trace.now_us () in
@@ -42,52 +176,292 @@ let run_task task =
   end
   else task ()
 
-let rec worker_loop t =
-  Dmutex.lock t.mutex;
-  while Queue.is_empty t.pending && not t.closing do
-    Dmutex.wait t.wake t.mutex
-  done;
-  if Queue.is_empty t.pending then Dmutex.unlock t.mutex (* closing *)
-  else begin
-    let task = Queue.pop t.pending in
-    sample_depth_locked t;
-    Dmutex.unlock t.mutex;
-    run_task task;
-    worker_loop t
+let sample_inject_depth t = Metrics.set m_queue_depth (float_of_int (Atomic.get t.inject_n))
+
+let inject_task t task =
+  Dmutex.lock t.inject_mutex;
+  Queue.push task t.inject;
+  Atomic.incr t.inject_n;
+  sample_inject_depth t;
+  Dmutex.unlock t.inject_mutex
+
+let try_inject t =
+  if Atomic.get t.inject_n > 0 then begin
+    Dmutex.lock t.inject_mutex;
+    let r =
+      if Queue.is_empty t.inject then None
+      else begin
+        Atomic.decr t.inject_n;
+        sample_inject_depth t;
+        Some (Queue.pop t.inject)
+      end
+    in
+    Dmutex.unlock t.inject_mutex;
+    r
   end
+  else None
+
+(* Cheap per-searcher xorshift for victim randomisation.  Scheduling
+   randomness only — results are written by index, so victim order can
+   never reach the output. *)
+let next_rand state =
+  let x = !state in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  state := x land max_int;
+  !state
+
+let try_steal t ~exclude rand =
+  let n = Array.length t.deques in
+  if n = 0 then None
+  else begin
+    let start = next_rand rand mod n in
+    let rec go k =
+      if k = n then None
+      else begin
+        let i = (start + k) mod n in
+        if i = exclude then go (k + 1)
+        else begin
+          Metrics.incr m_steal_attempts;
+          match Deque.steal t.deques.(i) with
+          | Some task ->
+              Metrics.incr m_steal_success;
+              Some task
+          | None -> go (k + 1)
+        end
+      end
+    in
+    go 0
+  end
+
+(* One full sweep: own deque (workers), then the inject queue, then every
+   victim in random order. *)
+let sweep t ~self rand =
+  let own =
+    match self with
+    | Some id -> (
+        match Deque.pop t.deques.(id) with
+        | Some task ->
+            Metrics.incr m_deque_pops;
+            Some task
+        | None -> None)
+    | None -> None
+  in
+  match own with
+  | Some _ as s -> s
+  | None -> (
+      match try_inject t with
+      | Some _ as s -> s
+      | None -> try_steal t ~exclude:(match self with Some id -> id | None -> -1) rand)
+
+(* Sweep with bounded exponential backoff between rounds; gives up (and
+   lets the caller park) after [max_rounds] empty sweeps. *)
+let search t ~self rand =
+  Atomic.incr t.n_searching;
+  let max_rounds = 6 in
+  let rec rounds r =
+    match sweep t ~self rand with
+    | Some _ as s -> s
+    | None ->
+        if r >= max_rounds then None
+        else begin
+          for _ = 1 to 16 lsl r do
+            Domain.cpu_relax ()
+          done;
+          rounds (r + 1)
+        end
+  in
+  let r = rounds 0 in
+  Atomic.decr t.n_searching;
+  r
+
+let rec worker_loop t id rand =
+  match search t ~self:(Some id) rand with
+  | Some task ->
+      (* Propagate the wake-up chain while work remains visible; cheap
+         guards first so the common no-op costs three atomic loads. *)
+      if
+        Atomic.get t.n_searching = 0
+        && Atomic.get t.n_parked > 0
+        && Atomic.get t.n_active < t.active_cap
+        && work_visible t
+      then wake_one t;
+      run_task task;
+      worker_loop t id rand
+  | None ->
+      if Atomic.get t.closing then
+        if work_visible t then worker_loop t id rand else Atomic.decr t.n_active
+      else begin
+        Dmutex.lock t.park_mutex;
+        Atomic.incr t.n_parked;
+        (* Re-check under the park mutex: a submitter that published work
+           after our empty sweep is ordered to see [n_parked > 0] and will
+           signal once it acquires this mutex. *)
+        if work_visible t || Atomic.get t.closing then begin
+          Atomic.decr t.n_parked;
+          Dmutex.unlock t.park_mutex
+        end
+        else begin
+          Atomic.decr t.n_active;
+          Metrics.incr m_steal_parks;
+          Dmutex.wait t.park_cond t.park_mutex;
+          Atomic.decr t.n_parked;
+          Atomic.incr t.n_active;
+          Dmutex.unlock t.park_mutex
+        end;
+        worker_loop t id rand
+      end
+
+let auto_jobs () = Stdlib.max 1 (Stdlib.min 64 (Domain.recommended_domain_count ()))
 
 let default_jobs () =
   match Sys.getenv_opt "OPPROX_JOBS" with
-  | Some s when (match int_of_string_opt (String.trim s) with Some n -> n >= 1 | None -> false)
-    ->
-      int_of_string (String.trim s)
-  | _ -> Stdlib.max 1 (Stdlib.min 64 (Domain.recommended_domain_count ()))
+  | None -> auto_jobs ()
+  | Some s -> (
+      let s = String.trim s in
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> n
+      | _ ->
+          if s <> "" then begin
+            (* Malformed values used to fall back silently; make the
+               misconfiguration observable. *)
+            Metrics.incr m_bad_jobs;
+            Printf.eprintf "opprox: ignoring malformed OPPROX_JOBS=%S (want a positive integer)\n%!"
+              s
+          end;
+          auto_jobs ())
 
-let create ?jobs () =
+let create ?jobs ?active () =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let active_cap =
+    match active with
+    | Some a ->
+        if a < 1 then invalid_arg "Pool.create: active must be >= 1";
+        Stdlib.min a jobs
+    | None -> Stdlib.max 1 (Stdlib.min jobs (Domain.recommended_domain_count ()))
+  in
   let t =
     {
       jobs;
-      mutex = Dmutex.create ();
-      pending = Queue.create ();
-      wake = Condition.create ();
-      closing = false;
+      active_cap;
+      deques = Array.init (jobs - 1) (fun _ -> Deque.create ());
+      inject = Queue.create ();
+      inject_n = Atomic.make 0;
+      inject_mutex = Dmutex.create ();
+      park_mutex = Dmutex.create ();
+      park_cond = Condition.create ();
+      n_parked = Atomic.make 0;
+      n_searching = Atomic.make 0;
+      n_active = Atomic.make 0;
+      closing = Atomic.make false;
       workers = [];
     }
   in
-  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.workers <-
+    List.init (jobs - 1) (fun id ->
+        Domain.spawn (fun () ->
+            Domain.DLS.get dls_key := Some (t, id);
+            Atomic.incr t.n_active;
+            worker_loop t id (ref ((id * 0x9E3779B9) lor 1))));
   t
 
 let jobs t = t.jobs
+let active_cap t = t.active_cap
 
 let shutdown t =
-  Dmutex.lock t.mutex;
-  t.closing <- true;
-  Condition.broadcast t.wake;
-  Dmutex.unlock t.mutex;
+  Atomic.set t.closing true;
+  Dmutex.lock t.park_mutex;
+  Condition.broadcast t.park_cond;
+  Dmutex.unlock t.park_mutex;
   List.iter Domain.join t.workers;
   t.workers <- []
+
+(* --------------------------------------------------------------- batches *)
+
+(* One [run_tasks] (or adaptive map) submission.  [remaining] counts
+   unfinished tasks and may grow while the batch runs (adaptive splits);
+   the error slot is settled with a compare-and-set *before* the final
+   decrement, so the waiter that observes [remaining = 0] cannot read a
+   torn or missing exception. *)
+type batch = {
+  remaining : int Atomic.t;
+  first_error : exn option Atomic.t;
+  bmutex : Dmutex.t;
+  bcond : Condition.t;
+}
+
+let make_batch n =
+  {
+    remaining = Atomic.make n;
+    first_error = Atomic.make None;
+    bmutex = Dmutex.create ();
+    bcond = Condition.create ();
+  }
+
+let record_error b e =
+  if Atomic.get b.first_error = None then
+    ignore (Atomic.compare_and_set b.first_error None (Some e))
+
+let batch_task_done b =
+  if Atomic.fetch_and_add b.remaining (-1) = 1 then begin
+    Dmutex.lock b.bmutex;
+    Condition.broadcast b.bcond;
+    Dmutex.unlock b.bmutex
+  end
+
+let wrap b task () =
+  (try task () with e -> record_error b e);
+  batch_task_done b
+
+(* Put one ready-to-run closure where the current domain is allowed to
+   publish it: its own deque when it is a worker of [t], the inject queue
+   otherwise. *)
+let publish t task =
+  (match worker_slot t with
+  | Some id ->
+      Deque.push t.deques.(id) task;
+      Metrics.incr m_deque_pushes
+  | None -> inject_task t task);
+  recruit t
+
+(* Execute pool work until [b.remaining] hits zero, helping with whatever
+   is runnable in the meantime (which keeps nested submissions live), and
+   parking on the batch condition only when nothing is runnable anywhere —
+   at that point every unfinished task of [b] is executing in some other
+   domain, and the final [batch_task_done] will signal.  [~counted]
+   marks a submitter that is not a pool worker: it is already counted in
+   [n_active] (see [with_submitter_active]) and steps out of the count
+   while blocked on the batch condition. *)
+let help_until_done t b ~counted =
+  let self = worker_slot t in
+  let rand = ref ((Domain.self () :> int) lxor 0x5DEECE6 lor 1) in
+  while Atomic.get b.remaining > 0 do
+    match sweep t ~self rand with
+    | Some task -> run_task task
+    | None ->
+        Dmutex.lock b.bmutex;
+        if Atomic.get b.remaining > 0 && not (work_visible t) then begin
+          if counted then Atomic.decr t.n_active;
+          Dmutex.wait b.bcond b.bmutex;
+          if counted then Atomic.incr t.n_active
+        end;
+        Dmutex.unlock b.bmutex
+  done
+
+(* A batch submitter is a running domain: counting it against the active
+   cap *before* it publishes means [recruit] never wakes a worker the
+   host has no core for.  On a single-core box a batch therefore runs
+   entirely in the submitter (workers stay parked) — full fan-out on
+   multicore is unchanged, the submitter merely occupies one slot. *)
+let with_submitter_active t f =
+  let counted = worker_slot t = None in
+  if counted then Atomic.incr t.n_active;
+  Fun.protect ~finally:(fun () -> if counted then Atomic.decr t.n_active) (fun () -> f ~counted)
+
+let finish_batch b =
+  match Atomic.get b.first_error with Some e -> raise e | None -> ()
 
 (* Run every task and block until all have settled; re-raise the first
    exception observed.  Callable from any domain, including a pool worker. *)
@@ -96,45 +470,29 @@ let run_tasks t tasks =
   if n = 0 then ()
   else if t.jobs <= 1 || t.workers = [] || n = 1 then Array.iter (fun task -> task ()) tasks
   else begin
-    let remaining = ref n in
-    let finished = Condition.create () in
-    let error = ref None in
-    let wrap task () =
-      (try task ()
-       with e ->
-         Dmutex.lock t.mutex;
-         if !error = None then error := Some e;
-         Dmutex.unlock t.mutex);
-      Dmutex.lock t.mutex;
-      decr remaining;
-      if !remaining = 0 then Condition.broadcast finished;
-      Dmutex.unlock t.mutex
-    in
-    Dmutex.lock t.mutex;
-    Array.iter (fun task -> Queue.push (wrap task) t.pending) tasks;
-    sample_depth_locked t;
-    Condition.broadcast t.wake;
-    (* Help execute until every task of this submission has completed.
-       Helping may also pick up tasks from concurrent submissions; that
-       is harmless and keeps nested submissions live. *)
-    let rec help () =
-      if !remaining > 0 then
-        if not (Queue.is_empty t.pending) then begin
-          let task = Queue.pop t.pending in
-          sample_depth_locked t;
-          Dmutex.unlock t.mutex;
-          run_task task;
-          Dmutex.lock t.mutex;
-          help ()
-        end
-        else begin
-          Dmutex.wait finished t.mutex;
-          help ()
-        end
-    in
-    help ();
-    Dmutex.unlock t.mutex;
-    match !error with Some e -> raise e | None -> ()
+    let b = make_batch n in
+    with_submitter_active t (fun ~counted ->
+        (match worker_slot t with
+        | Some id ->
+            let d = t.deques.(id) in
+            Array.iter
+              (fun task ->
+                Deque.push d (wrap b task);
+                Metrics.incr m_deque_pushes)
+              tasks;
+            recruit t
+        | None ->
+            Dmutex.lock t.inject_mutex;
+            Array.iter
+              (fun task ->
+                Queue.push (wrap b task) t.inject;
+                Atomic.incr t.inject_n)
+              tasks;
+            sample_inject_depth t;
+            Dmutex.unlock t.inject_mutex;
+            recruit t);
+        help_until_done t b ~counted);
+    finish_batch b
   end
 
 (* ---------------------------------------------------------- default pool *)
@@ -144,9 +502,7 @@ let default_lock = Dmutex.create ()
 
 (* One at_exit hook for the lifetime of the process, registered the
    first time a default pool exists; it shuts down whatever the default
-   is at exit.  Earlier revisions registered a fresh closure per
-   [set_default_jobs] call, accumulating hooks that re-joined every pool
-   ever installed. *)
+   is at exit. *)
 let at_exit_registered = ref false
 
 let register_default_at_exit_locked () =
@@ -187,11 +543,11 @@ let set_default_jobs n =
 
 (* ------------------------------------------------------ async submission *)
 
-(* Fire-and-forget: enqueue one task for whichever worker wakes first and
-   return immediately.  The serving layer's accept loop hands connections
-   off through this.  Exceptions escaping the task are contained (a raise
-   must not kill a worker domain): they are counted and reported on
-   stderr, never re-raised anywhere. *)
+(* Fire-and-forget: publish one task and return immediately.  The serving
+   layer's accept loop hands connections off through this, so the wake-up
+   is not throttled by [active_cap] — a parked worker is always preferable
+   to a request waiting behind a busy one.  Exceptions escaping the task
+   are contained: counted, reported on stderr, never re-raised. *)
 let async ?pool task =
   let t = match pool with Some p -> p | None -> default () in
   let task () =
@@ -200,29 +556,21 @@ let async ?pool task =
       Metrics.incr m_async_exn;
       Printf.eprintf "Pool.async: task raised %s\n%!" (Printexc.to_string e)
   in
-  if t.jobs <= 1 || t.workers = [] then task ()
+  if t.jobs <= 1 || t.workers = [] || Atomic.get t.closing then task ()
   else begin
-    Dmutex.lock t.mutex;
-    if t.closing then begin
-      (* The pool is draining; run in the caller rather than drop work. *)
-      Dmutex.unlock t.mutex;
-      task ()
-    end
-    else begin
-      Queue.push task t.pending;
-      sample_depth_locked t;
-      Condition.signal t.wake;
-      Dmutex.unlock t.mutex
-    end
+    (match worker_slot t with
+    | Some id ->
+        Deque.push t.deques.(id) task;
+        Metrics.incr m_deque_pushes
+    | None -> inject_task t task);
+    if Atomic.get t.n_searching = 0 then wake_one t
   end
 
 (* ----------------------------------------------------------- combinators *)
 
-let chunk_size ?chunk t n =
-  match chunk with
-  | Some c -> if c < 1 then invalid_arg "Pool.parallel_map: chunk must be >= 1" else c
-  | None -> Stdlib.max 1 (n / (t.jobs * 4))
-
+(* Legacy fixed-size chunking, kept for callers that need an exact task
+   shape (tests pin chunk boundaries).  [?grain] is the adaptive engine's
+   knob and the default. *)
 let chunk_tasks ~chunk n body =
   let n_chunks = (n + chunk - 1) / chunk in
   Array.init n_chunks (fun ci () ->
@@ -232,34 +580,89 @@ let chunk_tasks ~chunk n body =
         body i
       done)
 
-let parallel_mapi ?pool ?chunk f arr =
+(* Adaptive execution of [body 0 .. body (n-1)]: the running task splits
+   off the upper half of its range — publishing it for thieves — only
+   while idle capacity exists (a worker is searching, or one is parked
+   and the active count is under the cap), and otherwise chews through
+   one [grain]-sized block before re-checking.  With no idle capacity
+   (e.g. a single-core host) this degrades to a sequential loop whose
+   only overhead is a few atomic loads per block. *)
+let idle_capacity t =
+  Atomic.get t.n_searching > 0
+  || (Atomic.get t.n_parked > 0 && Atomic.get t.n_active < t.active_cap)
+
+let adaptive_run t ~grain ~n body =
+  if n > 0 then begin
+    let b = make_batch 1 in
+    let rec range lo hi () =
+      (try chew lo hi with e -> record_error b e);
+      batch_task_done b
+    and chew lo hi =
+      if hi - lo <= grain then
+        for i = lo to hi - 1 do
+          body i
+        done
+      else if idle_capacity t then begin
+        let mid = (lo + hi) lsr 1 in
+        ignore (Atomic.fetch_and_add b.remaining 1);
+        Metrics.incr m_deque_splits;
+        publish t (range mid hi);
+        chew lo mid
+      end
+      else begin
+        let block = Stdlib.min (lo + grain) hi in
+        for i = lo to block - 1 do
+          body i
+        done;
+        chew block hi
+      end
+    in
+    (* The root range is published and immediately picked back up by the
+       submitter's own help loop; thieves peel ranges off as splits
+       publish them. *)
+    with_submitter_active t (fun ~counted ->
+        publish t (range 0 n);
+        help_until_done t b ~counted);
+    finish_batch b
+  end
+
+let validate_grain = function
+  | Some g when g < 1 -> invalid_arg "Pool.parallel_map: grain must be >= 1"
+  | Some g -> g
+  | None -> 1
+
+let parallel_body ?pool ?chunk ?grain n body =
+  if n > 0 then begin
+    let t = match pool with Some p -> p | None -> default () in
+    if t.jobs <= 1 || t.workers = [] || n = 1 then
+      for i = 0 to n - 1 do
+        body i
+      done
+    else
+      match chunk with
+      | Some c ->
+          if c < 1 then invalid_arg "Pool.parallel_map: chunk must be >= 1";
+          run_tasks t (chunk_tasks ~chunk:c n body)
+      | None -> adaptive_run t ~grain:(validate_grain grain) ~n body
+  end
+
+let parallel_mapi ?pool ?chunk ?grain f arr =
   let n = Array.length arr in
   if n = 0 then [||]
-  else
-    let t = match pool with Some p -> p | None -> default () in
-    if t.jobs <= 1 || t.workers = [] then Array.mapi f arr
-    else begin
-      let chunk = chunk_size ?chunk t n in
-      let out = Array.make n None in
-      run_tasks t (chunk_tasks ~chunk n (fun i -> out.(i) <- Some (f i arr.(i))));
-      Array.map (function Some v -> v | None -> assert false) out
-    end
+  else begin
+    let out = Array.make n None in
+    parallel_body ?pool ?chunk ?grain n (fun i -> out.(i) <- Some (f i arr.(i)));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
 
-let parallel_map ?pool ?chunk f arr = parallel_mapi ?pool ?chunk (fun _ x -> f x) arr
+let parallel_map ?pool ?chunk ?grain f arr = parallel_mapi ?pool ?chunk ?grain (fun _ x -> f x) arr
 
-let parallel_iter ?pool ?chunk f arr =
-  let n = Array.length arr in
-  if n = 0 then ()
-  else
-    let t = match pool with Some p -> p | None -> default () in
-    if t.jobs <= 1 || t.workers = [] then Array.iter f arr
-    else
-      let chunk = chunk_size ?chunk t n in
-      run_tasks t (chunk_tasks ~chunk n (fun i -> f arr.(i)))
+let parallel_iter ?pool ?chunk ?grain f arr =
+  parallel_body ?pool ?chunk ?grain (Array.length arr) (fun i -> f arr.(i))
 
-let parallel_map_seeded ?pool ?chunk ~seed f arr =
+let parallel_map_seeded ?pool ?chunk ?grain ~seed f arr =
   (* Seed splitting happens sequentially, before any parallelism: each
      task's generator depends only on (seed, index). *)
   let master = Rng.create seed in
   let rngs = Array.map (fun _ -> Rng.split master) arr in
-  parallel_mapi ?pool ?chunk (fun i x -> f ~rng:rngs.(i) x) arr
+  parallel_mapi ?pool ?chunk ?grain (fun i x -> f ~rng:rngs.(i) x) arr

@@ -1,60 +1,85 @@
-(** Domain-parallel execution engine.
+(** Work-stealing domain-parallel execution engine.
 
     A reusable pool of worker domains (OCaml 5 shared-memory parallelism)
-    behind deterministic, chunked [parallel_map] / [parallel_iter]
-    combinators.  The pool exists so that the embarrassingly parallel hot
-    paths — training-data collection, the phase-agnostic oracle's
-    exhaustive sweep, and the experiment matrix — fan out across cores
-    without changing their observable output.
+    behind deterministic [parallel_map] / [parallel_iter] combinators.
+    Each worker owns a Chase–Lev deque: the owner pushes and pops work at
+    one end, idle workers steal from the other with a single
+    compare-and-set, so in steady state a running task takes no lock at
+    all.  External domains submit through a small inject queue.  Workers
+    that find nothing to steal back off exponentially and park on a
+    condition variable; the number of simultaneously {e awake} domains is
+    bounded by the pool's {e active cap} (the host's recommended domain
+    count by default), so requesting more jobs than the machine has cores
+    costs parked domains rather than GC-synchronisation storms.  A batch
+    submitter counts against the cap while it helps: on a single-core
+    host a batch runs entirely in the submitting domain and the workers
+    never wake.
 
     {2 Determinism contract}
 
     [parallel_map f arr] writes [f arr.(i)] into slot [i] of the result:
     the output is {e index-preserving} and therefore identical to
-    [Array.map f arr] regardless of the number of domains, the chunk
-    size, or scheduling order — provided [f] itself is pure (or keyed on
-    its argument alone, like the driver's memoized exact runs).  Tasks
-    that need randomness use {!parallel_map_seeded}, which splits one
-    master seed into an independent {!Rng.t} per index {e sequentially}
-    before any parallel execution starts, so the stream each task sees is
-    a function of its index and the master seed only.
+    [Array.map f arr] regardless of the number of domains, the grain or
+    chunk size, or which domain stole which range — provided [f] itself
+    is pure (or keyed on its argument alone, like the driver's memoized
+    exact runs).  Victim selection is randomized, but scheduling
+    randomness can never reach the output.  Tasks that need randomness
+    use {!parallel_map_seeded}, which splits one master seed into an
+    independent {!Rng.t} per index {e sequentially} before any parallel
+    execution starts.
 
-    {2 Sizing}
+    {2 Chunking}
 
-    The default worker count is the [OPPROX_JOBS] environment variable
-    when set to a positive integer, otherwise
-    [Domain.recommended_domain_count ()].  With one job every combinator
-    degrades to the plain sequential implementation — no domains are
-    spawned, no locks are taken.
+    By default work is split {e adaptively}: the task executing a range
+    halves it — publishing the upper half for thieves — only while idle
+    capacity exists, and otherwise advances one [grain]-sized block
+    (default 1) before re-checking.  On a saturated or single-core pool
+    this degrades to a sequential loop with a few atomic loads of
+    overhead per block.  Pass [~grain] to set the smallest range worth
+    stealing when per-element cost is tiny (memo-hit sweeps want tens of
+    elements per block); pass [~chunk] to force the legacy fixed
+    contiguous chunking with an exact task shape.
 
     {2 Observability}
 
-    The parallel path feeds the {!Opprox_obs.Metrics} registry: the
-    [pool.queue.depth] gauge samples the pending-queue length at every
-    push/pop, [pool.tasks] counts tasks executed through the queue, and
-    [pool.busy_us] / [pool.task_us] accumulate per-task busy time
-    (clocked only while metrics collection is enabled).  The sequential
-    fast path stays uninstrumented. *)
+    The engine feeds the {!Opprox_obs.Metrics} registry: [pool.tasks],
+    [pool.busy_us] and [pool.task_us] account executed tasks;
+    [pool.steal.attempts] / [pool.steal.success] / [pool.steal.parks]
+    describe the stealing traffic; [pool.deque.pushes] /
+    [pool.deque.pops] / [pool.deque.splits] the deque traffic;
+    [pool.queue.depth] samples the inject queue; [pool.env.bad_jobs]
+    counts malformed [OPPROX_JOBS] values (also reported on stderr).
+    The sequential fast path stays uninstrumented. *)
 
 type t
-(** A pool of worker domains.  The pool owning [jobs t = n] runs tasks on
-    [n] domains in total: [n - 1] spawned workers plus the submitting
+(** A pool of worker domains.  The pool owning [jobs t = n] can run tasks
+    on [n] domains in total: [n - 1] spawned workers plus the submitting
     domain, which participates while it waits. *)
 
-val create : ?jobs:int -> unit -> t
+val create : ?jobs:int -> ?active:int -> unit -> t
 (** [create ~jobs ()] spawns [jobs - 1] worker domains ([jobs] defaults
-    to {!default_jobs}).  Requires [jobs >= 1]. *)
+    to {!default_jobs}).  Requires [jobs >= 1].  [active] caps how many
+    domains are woken to run concurrently (clamped to [jobs]; defaults to
+    the host's recommended domain count): spare workers stay parked until
+    capacity frees up.  Tests force [~active:jobs] to exercise real
+    stealing on small hosts. *)
 
 val jobs : t -> int
 (** Total parallelism of the pool (workers + submitter). *)
 
+val active_cap : t -> int
+(** Maximum number of domains the pool wakes to run at once. *)
+
 val shutdown : t -> unit
-(** Join the pool's worker domains.  Idempotent.  Submitting work to a
-    pool after [shutdown] falls back to sequential execution. *)
+(** Join the pool's worker domains (draining any published work first).
+    Idempotent.  Submitting work to a pool after [shutdown] falls back to
+    sequential execution. *)
 
 val default_jobs : unit -> int
 (** [OPPROX_JOBS] if set to a positive integer, otherwise
-    [Domain.recommended_domain_count ()] (capped at 64). *)
+    [Domain.recommended_domain_count ()] (capped at 64).  A malformed
+    non-empty value warns on stderr and bumps [pool.env.bad_jobs] instead
+    of silently falling back. *)
 
 val default : unit -> t
 (** The process-wide shared pool, created on first use with
@@ -67,31 +92,38 @@ val set_default_jobs : int -> unit
     replacements) joins whichever pool is the default at exit. *)
 
 val async : ?pool:t -> (unit -> unit) -> unit
-(** [async task] enqueues one fire-and-forget task on the pool ([?pool]
+(** [async task] publishes one fire-and-forget task on the pool ([?pool]
     defaults to {!default}) and returns immediately; some worker domain
     runs it as soon as one is free.  This is the serving layer's
     hand-off: an accept loop stays responsive while request handlers run
-    on the workers.  With one job (or after {!shutdown}) the task runs
-    synchronously in the caller.  An exception escaping the task never
-    kills a worker: it is counted ([pool.async.exceptions]) and reported
-    on stderr. *)
+    on the workers.  The wake-up is not throttled by the active cap — a
+    parked worker beats a queued request.  With one job (or after
+    {!shutdown}) the task runs synchronously in the caller.  An exception
+    escaping the task never kills a worker: it is counted
+    ([pool.async.exceptions]) and reported on stderr. *)
 
-val parallel_map : ?pool:t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+val parallel_map : ?pool:t -> ?chunk:int -> ?grain:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [parallel_map f arr] is [Array.map f arr] evaluated on the pool
-    ([?pool] defaults to {!default}).  Work is handed out in contiguous
-    chunks of [?chunk] elements (default: enough for ~4 chunks per
-    domain).  If any [f] raises, the first exception observed is
+    ([?pool] defaults to {!default}) with adaptive splitting down to
+    [?grain] elements (default 1); [?chunk] forces fixed contiguous
+    chunks instead.  If any [f] raises, the first exception observed is
     re-raised in the caller after all tasks settle. *)
 
-val parallel_iter : ?pool:t -> ?chunk:int -> ('a -> unit) -> 'a array -> unit
+val parallel_iter : ?pool:t -> ?chunk:int -> ?grain:int -> ('a -> unit) -> 'a array -> unit
 (** [parallel_iter f arr] applies [f] to every element on the pool; same
-    chunking and exception behaviour as {!parallel_map}. *)
+    splitting and exception behaviour as {!parallel_map}. *)
 
-val parallel_mapi : ?pool:t -> ?chunk:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+val parallel_mapi : ?pool:t -> ?chunk:int -> ?grain:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
 (** Index-aware variant of {!parallel_map}. *)
 
 val parallel_map_seeded :
-  ?pool:t -> ?chunk:int -> seed:int -> (rng:Rng.t -> 'a -> 'b) -> 'a array -> 'b array
+  ?pool:t ->
+  ?chunk:int ->
+  ?grain:int ->
+  seed:int ->
+  (rng:Rng.t -> 'a -> 'b) ->
+  'a array ->
+  'b array
 (** [parallel_map_seeded ~seed f arr] derives one independent generator
     per element by splitting [Rng.create seed] sequentially (SplitMix64
     splitting), then maps in parallel.  Output is bit-identical for a

@@ -1,0 +1,118 @@
+(* N-way hashed, mutex-per-shard bounded memo table.
+
+   The driver's and oracle's memo tables used to be one Hashtbl behind
+   one mutex; in the post-memo regime a hot hit is a few hundred
+   nanoseconds of hashing, so a single lock serializes every domain of
+   the pool behind it.  Hashing the key across independent shards (each
+   its own Dmutex + Hashtbl) makes concurrent hits on distinct keys
+   contention-free with probability (shards-1)/shards.
+
+   Only lookups need to scale: an insert corresponds to a memo miss,
+   i.e. a real simulation run that costs microseconds to milliseconds.
+   So the FIFO eviction order lives in one global queue behind its own
+   mutex, touched only by [add] / [set_capacity] — capacity is a bound
+   on the whole table and eviction order is the global insertion order,
+   exactly as in the single-table memo it replaces.  A key always lands
+   in the same shard, so first-writer-wins, hit/miss accounting, and
+   determinism are unchanged (tested against a 1-shard instance). *)
+
+type 'a shard = {
+  table : (string, 'a) Hashtbl.t;
+  mutex : Dmutex.t;
+}
+
+type 'a t = {
+  shards : 'a shard array;
+  order : string Queue.t; (* global insertion order; keys unique *)
+  mutable capacity : int;
+  order_mutex : Dmutex.t;
+}
+
+let create ?(shards = 16) ~capacity () =
+  if shards < 1 then invalid_arg "Shardmap.create: shards must be >= 1";
+  if capacity < 0 then invalid_arg "Shardmap.create: capacity must be >= 0";
+  {
+    shards =
+      Array.init shards (fun _ -> { table = Hashtbl.create 64; mutex = Dmutex.create () });
+    order = Queue.create ();
+    capacity;
+    order_mutex = Dmutex.create ();
+  }
+
+let shard_count t = Array.length t.shards
+
+(* [Hashtbl.hash] is deterministic for strings across processes and OCaml
+   versions in the unseeded form used here. *)
+let shard_of t key = t.shards.(Hashtbl.hash key mod Array.length t.shards)
+
+let find t key =
+  let s = shard_of t key in
+  Dmutex.lock s.mutex;
+  let r = Hashtbl.find_opt s.table key in
+  Dmutex.unlock s.mutex;
+  r
+
+let remove_key t key =
+  let s = shard_of t key in
+  Dmutex.lock s.mutex;
+  Hashtbl.remove s.table key;
+  Dmutex.unlock s.mutex
+
+(* Pop over-capacity victims under the order lock, remove them from
+   their shards after releasing it (shard locks are never taken while
+   holding the order lock, so the two lock classes cannot deadlock). *)
+let trim_over_capacity t =
+  Dmutex.lock t.order_mutex;
+  let victims = ref [] in
+  while Queue.length t.order > t.capacity do
+    victims := Queue.pop t.order :: !victims
+  done;
+  Dmutex.unlock t.order_mutex;
+  List.iter (remove_key t) !victims
+
+(* Returns [true] iff the binding was inserted (first writer wins) and
+   survived eviction. *)
+let add t key v =
+  let s = shard_of t key in
+  Dmutex.lock s.mutex;
+  let fresh = not (Hashtbl.mem s.table key) in
+  if fresh then Hashtbl.replace s.table key v;
+  Dmutex.unlock s.mutex;
+  if not fresh then false
+  else begin
+    Dmutex.lock t.order_mutex;
+    Queue.push key t.order;
+    Dmutex.unlock t.order_mutex;
+    trim_over_capacity t;
+    Dmutex.lock s.mutex;
+    let survived = Hashtbl.mem s.table key in
+    Dmutex.unlock s.mutex;
+    survived
+  end
+
+let clear t =
+  Dmutex.lock t.order_mutex;
+  Queue.clear t.order;
+  Dmutex.unlock t.order_mutex;
+  Array.iter
+    (fun s ->
+      Dmutex.lock s.mutex;
+      Hashtbl.reset s.table;
+      Dmutex.unlock s.mutex)
+    t.shards
+
+let size t =
+  Array.fold_left
+    (fun acc s ->
+      Dmutex.lock s.mutex;
+      let n = Hashtbl.length s.table in
+      Dmutex.unlock s.mutex;
+      acc + n)
+    0 t.shards
+
+let set_capacity t capacity =
+  if capacity < 0 then invalid_arg "Shardmap.set_capacity: capacity must be >= 0";
+  Dmutex.lock t.order_mutex;
+  t.capacity <- capacity;
+  Dmutex.unlock t.order_mutex;
+  trim_over_capacity t

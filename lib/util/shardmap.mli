@@ -1,0 +1,40 @@
+(** N-way hashed, mutex-per-shard bounded memo table.
+
+    A drop-in replacement for the "one [Hashtbl] behind one mutex" memo
+    discipline used by the simulation driver and the oracle: keys are
+    hashed across [shards] independent shards, each guarded by its own
+    {!Dmutex.t}, so concurrent hot hits on distinct keys take
+    uncontended locks.  Only lookups need to scale — an insert is a memo
+    miss, i.e. real work — so the FIFO eviction order is a single global
+    queue touched only on insertion: [capacity] bounds the {e whole}
+    table and eviction order equals global insertion order, exactly as
+    in a single-table memo.  A key always lands in the same shard, so
+    semantics (first-writer-wins insertion, hit/miss behaviour,
+    determinism) are identical to a single-shard table — only contention
+    changes.  Values should be deterministic functions of their key: two
+    domains racing on one key duplicate a computation instead of
+    corrupting anything. *)
+
+type 'a t
+
+val create : ?shards:int -> capacity:int -> unit -> 'a t
+(** [create ~shards ~capacity ()] builds a table of [shards] independent
+    shards (default 16) bounded to ~[capacity] entries in total
+    ([max_int] = unbounded).  Requires [shards >= 1], [capacity >= 0]. *)
+
+val shard_count : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+
+val add : 'a t -> string -> 'a -> bool
+(** [add t key v] inserts [key -> v] unless the key is already bound
+    (first writer wins); returns [true] iff the binding was inserted and
+    survived eviction. *)
+
+val clear : 'a t -> unit
+
+val size : 'a t -> int
+(** Total entries across shards (takes every shard lock in turn). *)
+
+val set_capacity : 'a t -> int -> unit
+(** Change the total capacity, evicting FIFO-oldest entries as needed. *)
