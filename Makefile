@@ -1,6 +1,6 @@
 # Convenience aliases; dune is the build system.
 
-.PHONY: all check test lint stats serve-smoke pool-smoke fixtures bench bench-snapshot fmt clean
+.PHONY: all check test lint stats serve-smoke corpus-smoke pool-smoke fixtures bench bench-snapshot fmt clean
 
 all:
 	dune build @all
@@ -65,9 +65,9 @@ serve-smoke:
 	trap 'kill $$SRV 2>/dev/null || true; rm -f $$SOCK /tmp/opprox_serve_smoke.log' EXIT; \
 	for i in $$(seq 1 100); do [ -S $$SOCK ] && break; sleep 0.1; done; \
 	[ -S $$SOCK ] || { echo "serve-smoke: daemon never bound $$SOCK"; exit 1; }; \
-	$$OPX request kmeans --socket $$SOCK --budget 12 | grep -q "cache: miss" \
+	$$OPX request kmeans --socket $$SOCK --budget 12 | grep -q "source: solved" \
 	  && echo "serve-smoke: cold request planned (ok)"; \
-	$$OPX request kmeans --socket $$SOCK --budget 12 | grep -q "cache: hit" \
+	$$OPX request kmeans --socket $$SOCK --budget 12 | grep -q "source: cache" \
 	  && echo "serve-smoke: repeat served from cache (ok)"; \
 	if $$OPX request kmeans --socket $$SOCK --budget 150 >/dev/null 2>&1; then \
 	  echo "serve-smoke: bad budget was NOT rejected"; exit 1; \
@@ -81,6 +81,52 @@ serve-smoke:
 	  cat /tmp/opprox_serve_smoke.log; exit 1; fi; \
 	if [ -S $$SOCK ]; then echo "serve-smoke: socket file not removed"; exit 1; fi; \
 	echo "serve-smoke: ok"
+
+# Corpus smoke test: precompute a tiny plan corpus for the committed
+# kmeans fixture, serve it, and walk the whole lookup ladder over the
+# wire: an on-grid request answers from the corpus, an off-grid one from
+# the nearest-neighbour fallback, a below-grid one pays one solve and
+# then hits the LRU, and after a SIGTERM drain a restarted daemon with
+# --cache-restore answers the below-grid key from the restored cache.
+corpus-smoke:
+	dune build bin/opprox_cli.exe
+	@set -e; \
+	DIR=$$(mktemp -d /tmp/opprox-corpus-XXXXXX); \
+	SOCK=$$DIR/serve.sock; \
+	OPX="dune exec --no-build bin/opprox_cli.exe --"; \
+	trap 'kill $$SRV 2>/dev/null || true; rm -rf $$DIR' EXIT; \
+	$$OPX precompute --models test/fixtures/trained_kmeans.sexp \
+	  --budgets 5,10,20 -o $$DIR/plans.opx; \
+	$$OPX check --corpus $$DIR/plans.opx --models test/fixtures/trained_kmeans.sexp \
+	  && echo "corpus-smoke: corpus lints clean (ok)"; \
+	$$OPX serve --socket $$SOCK --models test/fixtures/trained_kmeans.sexp \
+	  --corpus $$DIR/plans.opx --cache-restore $$DIR/cache.sexp \
+	  > $$DIR/serve.log 2>&1 & \
+	SRV=$$!; \
+	for i in $$(seq 1 100); do [ -S $$SOCK ] && break; sleep 0.1; done; \
+	[ -S $$SOCK ] || { echo "corpus-smoke: daemon never bound $$SOCK"; cat $$DIR/serve.log; exit 1; }; \
+	$$OPX request kmeans --socket $$SOCK --budget 10 | grep -q "source: corpus" \
+	  && echo "corpus-smoke: on-grid request served from corpus (ok)"; \
+	$$OPX request kmeans --socket $$SOCK --budget 12 | grep -q "source: nn" \
+	  && echo "corpus-smoke: off-grid request served from nearest neighbour (ok)"; \
+	$$OPX request kmeans --socket $$SOCK --budget 4.2 | grep -q "source: solved" \
+	  && echo "corpus-smoke: below-grid request solved cold (ok)"; \
+	$$OPX request kmeans --socket $$SOCK --budget 4.2 | grep -q "source: cache" \
+	  && echo "corpus-smoke: repeat served from LRU (ok)"; \
+	kill -TERM $$SRV; \
+	wait $$SRV || { echo "corpus-smoke: daemon exited non-zero on SIGTERM"; cat $$DIR/serve.log; exit 1; }; \
+	[ -s $$DIR/cache.sexp ] || { echo "corpus-smoke: no cache snapshot written"; exit 1; }; \
+	echo "corpus-smoke: cache snapshot written on drain (ok)"; \
+	$$OPX serve --socket $$SOCK --models test/fixtures/trained_kmeans.sexp \
+	  --corpus $$DIR/plans.opx --cache-restore $$DIR/cache.sexp \
+	  > $$DIR/serve2.log 2>&1 & \
+	SRV=$$!; \
+	for i in $$(seq 1 100); do [ -S $$SOCK ] && break; sleep 0.1; done; \
+	[ -S $$SOCK ] || { echo "corpus-smoke: restarted daemon never bound $$SOCK"; cat $$DIR/serve2.log; exit 1; }; \
+	$$OPX request kmeans --socket $$SOCK --budget 4.2 | grep -q "source: cache" \
+	  && echo "corpus-smoke: restart answers from restored cache (ok)"; \
+	kill -TERM $$SRV; wait $$SRV || true; \
+	echo "corpus-smoke: ok"
 
 # Pool scaling smoke test: a j2 pool must produce a bit-identical
 # training dataset no slower (within tolerance) than a j1 pool, even on
@@ -99,9 +145,12 @@ bench:
 	dune exec bench/main.exe -- --quick
 
 # Regenerate the committed benchmark snapshots (BENCH_pool.json,
-# BENCH_checkpoint.json, BENCH_obs.json, and BENCH_serve.json) from the
-# bechamel micro-suite.  Exits non-zero if the pool scaling gate fails
-# (inverted scaling, or under 1.5x at j4 on a >= 4-core host).
+# BENCH_checkpoint.json, BENCH_obs.json, BENCH_serve.json, and
+# BENCH_corpus.json) from the bechamel micro-suite.  Exits non-zero if
+# the pool scaling gate fails (inverted scaling, or under 1.5x at j4 on
+# a >= 4-core host) or the corpus gate fails (corpus hit not faster
+# than an LRU hit, corpus/nn lookups over 0.2 ms, or duplicate solves
+# not held to one per fingerprint under a hot-key loadgen storm).
 bench-snapshot:
 	dune exec bench/main.exe -- --bechamel
 

@@ -416,6 +416,185 @@ let write_serve_snapshot entries =
   Printf.fprintf oc "  \"cold_over_hit\": %s\n}\n" ratio;
   close_out oc
 
+(* --------------------------------------------------------- corpus group *)
+
+(* The lookup-first serving ladder, measured through [Server.handle]
+   directly (no wire codecs, whose encode/decode cost would swamp the
+   differences between lookup tiers): a precomputed-corpus exact hit off
+   the mmap, the nearest-neighbour fallback (including its per-request
+   plan audit), a sharded-LRU hit, and a cold solve.  The raw arms price
+   the corpus data structure alone (binary search + record decode).
+   BENCH_corpus.json commits the estimates plus an open-loop loadgen run
+   whose gate proves the singleflight holds duplicate solves to one per
+   fingerprint under hot-key skew. *)
+module Corpus = Opprox_corpus.Corpus
+module Corpus_key = Opprox_corpus.Key
+module Precompute = Opprox_corpus.Precompute
+module Loadgen = Opprox_serve.Loadgen
+
+let corpus_budgets = [| 5.0; 10.0; 20.0 |]
+
+let corpus_payload =
+  lazy
+    (let tr = Lazy.force optimizer_payload in
+     let path = Filename.temp_file "opprox_bench_corpus" ".opx" in
+     at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+     ignore (Precompute.run ~budgets:corpus_budgets ~out:path [ tr ]);
+     let corpus_server =
+       Serve_server.create
+         ~config:{ Serve_server.default_config with Serve_server.corpus_path = Some path }
+         [ tr ]
+     in
+     let lru_server = Serve_server.create [ tr ] in
+     (path, corpus_server, lru_server))
+
+let corpus_exact_req = lazy (Serve_protocol.request ~app:"comd" ~budget:10.0 ())
+let corpus_nn_req = lazy (Serve_protocol.request ~app:"comd" ~budget:12.5 ())
+
+let corpus_cold_req =
+  lazy (Serve_protocol.request ~no_cache:true ~app:"comd" ~budget:10.0 ())
+
+let corpus_exact_hit () =
+  let _, cs, _ = Lazy.force corpus_payload in
+  ignore (Serve_server.handle cs (Lazy.force corpus_exact_req))
+
+let corpus_nn_hit () =
+  let _, cs, _ = Lazy.force corpus_payload in
+  ignore (Serve_server.handle cs (Lazy.force corpus_nn_req))
+
+let corpus_lru_hit () =
+  let _, _, ls = Lazy.force corpus_payload in
+  ignore (Serve_server.handle ls (Lazy.force corpus_exact_req))
+
+let corpus_cold_solve () =
+  let _, _, ls = Lazy.force corpus_payload in
+  ignore (Serve_server.handle ls (Lazy.force corpus_cold_req))
+
+let corpus_raw =
+  lazy
+    (let path, _, _ = Lazy.force corpus_payload in
+     let tr = Lazy.force optimizer_payload in
+     let c = Corpus.load path in
+     let input = (app "comd").App.default_input in
+     let group =
+       Corpus_key.group ~app:"comd" ~input ~models_hash:(Precompute.models_hash tr)
+     in
+     (c, group, Corpus_key.of_group ~group ~budget:10.0))
+
+let corpus_raw_find () =
+  let c, _, fp = Lazy.force corpus_raw in
+  ignore (Corpus.find c fp)
+
+let corpus_raw_find_nn () =
+  let c, group, _ = Lazy.force corpus_raw in
+  ignore (Corpus.find_nn c ~group ~budget:12.5)
+
+let corpus_tests =
+  [
+    Test.make ~name:"corpus:exact-hit" (Staged.stage corpus_exact_hit);
+    Test.make ~name:"corpus:nn-hit" (Staged.stage corpus_nn_hit);
+    Test.make ~name:"corpus:lru-hit" (Staged.stage corpus_lru_hit);
+    Test.make ~name:"corpus:cold-solve" (Staged.stage corpus_cold_solve);
+    Test.make ~name:"corpus:raw-find" (Staged.stage corpus_raw_find);
+    Test.make ~name:"corpus:raw-find-nn" (Staged.stage corpus_raw_find_nn);
+  ]
+
+let bench_counter name =
+  match Metrics.find name with Some (Metrics.Counter n) -> n | _ -> 0
+
+(* Hot-key storm against a cold LRU server: 300 Zipf-skewed requests over
+   three fingerprints at a rate far above the cold-solve latency, so the
+   burst piles identical requests onto an unsolved key.  The singleflight
+   must hold total optimizer solves to one per distinct fingerprint. *)
+let corpus_loadgen_dedup () =
+  let tr = Lazy.force optimizer_payload in
+  let server = Serve_server.create [ tr ] in
+  let keys =
+    Array.of_list
+      (List.map
+         (fun budget -> { Loadgen.app = "comd"; input = None; budget })
+         [ 7.7; 13.3; 23.9 ])
+  in
+  let cfg =
+    {
+      Loadgen.default_config with
+      Loadgen.requests = 300;
+      rate = 2000.0;
+      conns = 2;
+      zipf = 1.2;
+      seed = 11;
+    }
+  in
+  let solves0 = bench_counter "optimizer.solves" in
+  let report =
+    Loadgen.run ~connect:(fun () -> Serve_client.loopback server) ~keys cfg
+  in
+  (report, bench_counter "optimizer.solves" - solves0, Array.length keys)
+
+let corpus_snapshot_file = "BENCH_corpus.json"
+let corpus_p50_budget_ms = 0.2
+
+let write_corpus_snapshot entries (report, solves, n_keys) =
+  let est name = Option.join (List.assoc_opt name entries) in
+  let ms = Option.map (fun ns -> ns /. 1e6) in
+  let exact_ms = ms (est "corpus:exact-hit") in
+  let nn_ms = ms (est "corpus:nn-hit") in
+  let lru_ms = ms (est "corpus:lru-hit") in
+  let lookup_faster =
+    match (exact_ms, lru_ms) with Some c, Some l -> c < l | _ -> false
+  in
+  let under_budget =
+    match (exact_ms, nn_ms) with
+    | Some c, Some n -> c <= corpus_p50_budget_ms && n <= corpus_p50_budget_ms
+    | _ -> false
+  in
+  let dedup_ok = report.Loadgen.answered = report.Loadgen.sent && solves <= n_keys in
+  let passed = lookup_faster && under_budget && dedup_ok in
+  let oc = open_out corpus_snapshot_file in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"transport\": \"Server.handle (request path, no codecs)\",\n";
+  Printf.fprintf oc "  \"host_recommended_domains\": %d,\n" (Domain.recommended_domain_count ());
+  Printf.fprintf oc "  \"benchmarks\": [\n";
+  let n = List.length entries in
+  List.iteri
+    (fun i (name, est) ->
+      let value = match est with Some ns -> Printf.sprintf "%.1f" ns | None -> "null" in
+      Printf.fprintf oc "    { \"name\": %S, \"ns_per_run\": %s }%s\n" name value
+        (if i = n - 1 then "" else ","))
+    entries;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"loadgen\": {\n";
+  Printf.fprintf oc "    \"requests\": %d,\n" report.Loadgen.sent;
+  Printf.fprintf oc "    \"answered\": %d,\n" report.Loadgen.answered;
+  Printf.fprintf oc "    \"shed\": %d,\n" report.Loadgen.shed;
+  Printf.fprintf oc "    \"errors\": %d,\n" report.Loadgen.errors;
+  Printf.fprintf oc "    \"p50_ms\": %.3f,\n" report.Loadgen.p50_ms;
+  Printf.fprintf oc "    \"p99_ms\": %.3f,\n" report.Loadgen.p99_ms;
+  Printf.fprintf oc "    \"p999_ms\": %.3f,\n" report.Loadgen.p999_ms;
+  Printf.fprintf oc "    \"sources\": { \"corpus\": %d, \"nn\": %d, \"cache\": %d, \"solved\": %d },\n"
+    report.Loadgen.sources.Loadgen.corpus report.Loadgen.sources.Loadgen.nn
+    report.Loadgen.sources.Loadgen.cache report.Loadgen.sources.Loadgen.solved;
+  Printf.fprintf oc "    \"distinct_fingerprints\": %d,\n" n_keys;
+  Printf.fprintf oc "    \"optimizer_solves\": %d\n" solves;
+  Printf.fprintf oc "  },\n";
+  Printf.fprintf oc "  \"gate\": {\n";
+  Printf.fprintf oc "    \"corpus_hit_faster_than_lru_hit\": %b,\n" lookup_faster;
+  Printf.fprintf oc "    \"corpus_and_nn_under_ms\": %.1f,\n" corpus_p50_budget_ms;
+  Printf.fprintf oc "    \"corpus_and_nn_under_budget\": %b,\n" under_budget;
+  Printf.fprintf oc "    \"duplicate_solves_held_to_one_per_fingerprint\": %b,\n" dedup_ok;
+  Printf.fprintf oc "    \"passed\": %b\n" passed;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc;
+  (match (exact_ms, nn_ms, lru_ms) with
+  | Some c, Some nn, Some l ->
+      Printf.printf
+        "  corpus gate: exact %.4f ms, nn %.4f ms, lru %.4f ms (budget %.1f ms); solves \
+         %d over %d fingerprints\n%!"
+        c nn l corpus_p50_budget_ms solves n_keys
+  | _ -> Printf.printf "  corpus gate: missing estimates\n%!");
+  if not passed then Printf.printf "  CORPUS GATE FAILED (see %s)\n%!" corpus_snapshot_file;
+  passed
+
 let pool_snapshot_file = "BENCH_pool.json"
 
 (* Scaling gate.  On a host with real cores (>= 4 recommended domains)
@@ -574,6 +753,16 @@ let run () =
   List.iter print_entry serve_entries;
   write_serve_snapshot serve_entries;
   Printf.printf "  serve group snapshot -> %s\n%!" serve_snapshot_file;
+  (* Warm the corpus payload (precompute sweep) and the LRU arm's cache
+     entry, so every arm measures its steady state. *)
+  ignore (Lazy.force corpus_payload);
+  ignore (Lazy.force corpus_raw);
+  corpus_lru_hit ();
+  let corpus_entries = List.concat_map (measure cfg instances) corpus_tests in
+  let corpus_entries = List.sort (fun (a, _) (b, _) -> compare a b) corpus_entries in
+  List.iter print_entry corpus_entries;
+  let corpus_gate_ok = write_corpus_snapshot corpus_entries (corpus_loadgen_dedup ()) in
+  Printf.printf "  corpus group snapshot -> %s\n%!" corpus_snapshot_file;
   (* The scratch collect arm re-simulates everything and takes seconds per
      run; give the checkpoint group a larger quota so both arms get
      enough iterations for a stable estimate. *)
@@ -593,7 +782,7 @@ let run () =
   write_ckpt_snapshot ckpt_entries;
   Printf.printf "  checkpoint group snapshot -> %s\n%!" ckpt_snapshot_file;
   List.iter (fun (_, p) -> Pool.shutdown p) (Lazy.force pool_table);
-  pool_gate_ok
+  pool_gate_ok && corpus_gate_ok
 
 (* Fast wall-clock sanity check for CI (a full bechamel pass is minutes):
    collect the same training dataset on a 1-job and a 2-job pool, require

@@ -6,8 +6,13 @@
      train APP -o FILE           offline stage only; persist the models
      optimize APP -b BUDGET      emit + execute a plan (optionally --load)
      oracle APP -b BUDGET        the phase-agnostic exhaustive baseline
-     check [APP]                 static diagnostics over apps/models/schedules
+     check [APP]                 static diagnostics over apps/models/schedules/corpora
      stats [APP]                 exercise the pipeline, report the metrics registry
+     precompute --models FILE -o CORPUS
+                                 sweep input x budget grids into a plan corpus
+     serve --models FILE         plan-serving daemon (--corpus, --cache-restore)
+     request --app APP -b B      query a daemon (or in-process loopback)
+     loadgen                     open-loop load generator with latency percentiles
 
    Pipeline subcommands also take --trace FILE (Chrome trace-event
    timeline of the run) and --metrics-sexp (dump the registry at exit). *)
@@ -375,6 +380,16 @@ let check_cmd =
           ~doc:"Audit a serving request (budget range, known app, input arity — the \
                 $(b,SRV) rules the daemon applies at its boundary).")
   in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "corpus" ] ~docv:"FILE"
+          ~doc:"Audit a precomputed plan corpus: structure and index order ($(b,CORP002)), \
+                record decodability ($(b,CORP004)), stale models hashes against \
+                $(b,--models) ($(b,CORP001)), and — with $(b,--request) — grid coverage \
+                ($(b,CORP003)).")
+  in
   let strict_arg =
     Arg.(
       value & flag
@@ -394,7 +409,8 @@ let check_cmd =
       value & flag
       & info [ "sexp" ] ~doc:"Also print each finding as an s-expression on stdout.")
   in
-  let run app models_file schedule_file request_file strict_flag disabled sexp_out verbose =
+  let run app models_file schedule_file request_file corpus_file strict_flag disabled sexp_out
+      verbose =
     setup_logs verbose;
     let strict = strict_flag || Diagnostic.strict_env () in
     let checker =
@@ -494,6 +510,38 @@ let check_cmd =
                         }))
         in
         Checker.add checker findings);
+    (match corpus_file with
+    | None -> ()
+    | Some path ->
+        let module Corpus = Opprox_corpus.Corpus in
+        let expected_hashes =
+          (* With --models alongside, the corpus stamps are checked
+             against the pipeline the server would actually load. *)
+          match models_file with
+          | None -> []
+          | Some mpath -> (
+              match Opprox.load ~strict:false ~resolve:Opprox_apps.Registry.find mpath with
+              | trained ->
+                  [
+                    ( trained.Opprox.app.App.name,
+                      Opprox_corpus.Precompute.models_hash trained );
+                  ]
+              | exception _ -> [])
+        in
+        Checker.add checker (Corpus.lint_file ~expected_hashes path);
+        (* With --request alongside: would this corpus answer it, exactly
+           or through the nearest-neighbour fallback? *)
+        (match (request_file, Corpus.load path) with
+        | Some rpath, corpus -> (
+            let module Protocol = Opprox_serve.Protocol in
+            match Protocol.request_of_sexp (Opprox_util.Sexp.load rpath) with
+            | req ->
+                Checker.add checker
+                  (Corpus.lint_coverage corpus ~app:req.Protocol.app
+                     ~budget:req.Protocol.budget)
+            | exception Failure _ -> ())
+        | None, _ -> ()
+        | exception Failure _ -> () (* already reported by lint_file *)));
     if sexp_out then
       List.iter
         (fun d -> print_endline (Opprox_util.Sexp.to_string (Diagnostic.to_sexp d)))
@@ -508,8 +556,8 @@ let check_cmd =
           Exit status 0 when clean (or only notes/warnings), 1 when any error — or any \
           warning under $(b,--strict) — fired, 2 on usage problems.")
     Term.(
-      const run $ app_opt_arg $ models_arg $ schedule_arg $ request_arg $ strict_arg
-      $ disable_arg $ sexp_arg $ verbose_arg)
+      const run $ app_opt_arg $ models_arg $ schedule_arg $ request_arg $ corpus_arg
+      $ strict_arg $ disable_arg $ sexp_arg $ verbose_arg)
 
 (* ---------------------------------------------------------------- oracle *)
 
@@ -616,7 +664,26 @@ let serve_cmd =
       & info [ "deadline-ms" ] ~docv:"MS"
           ~doc:"Default per-request deadline applied when a request carries none.")
   in
-  let run () () socket models max_inflight cache_cap deadline_ms verbose =
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "corpus" ] ~docv:"FILE"
+          ~doc:"Precomputed plan corpus (from $(b,opprox precompute)) consulted before the \
+                cache and the solver: exact fingerprint hits and nearest-neighbour \
+                budget-grid hits are served without solving.")
+  in
+  let restore_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-restore" ] ~docv:"PATH"
+          ~doc:"Persist the plan cache here on shutdown drain and restore it from here at \
+                startup (ignored when absent; rejected with a warning when its models \
+                hashes mismatch the loaded pipelines).")
+  in
+  let run () () socket models max_inflight cache_cap deadline_ms corpus_path cache_snapshot
+      verbose =
     setup_logs verbose;
     let socket =
       match socket with
@@ -645,6 +712,8 @@ let serve_cmd =
         Server.max_inflight;
         cache_capacity = cache_cap;
         default_deadline_ms = deadline_ms;
+        corpus_path;
+        cache_snapshot;
       }
     in
     let server =
@@ -652,6 +721,10 @@ let serve_cmd =
       | Invalid_argument msg ->
           Printf.eprintf "opprox serve: %s\n" msg;
           exit 2
+      | Failure msg ->
+          (* A structurally invalid corpus must fail at startup. *)
+          Printf.eprintf "opprox serve: %s\n" msg;
+          exit 1
       | Opprox_analysis.Diagnostic.Lint_error diags ->
           Format.eprintf "opprox serve: model audit failed:@.%a@."
             Opprox_analysis.Diagnostic.pp_list diags;
@@ -682,7 +755,225 @@ let serve_cmd =
           before exit.")
     Term.(
       const run $ jobs_arg $ obs_arg $ socket_arg $ models_arg $ max_inflight_arg
-      $ cache_cap_arg $ deadline_arg $ verbose_arg)
+      $ cache_cap_arg $ deadline_arg $ corpus_arg $ restore_arg $ verbose_arg)
+
+(* ------------------------------------------------------------ precompute *)
+
+(* Load trained pipelines for the corpus tools, with serve's error style. *)
+let load_pipelines ~cmd paths =
+  List.map
+    (fun path ->
+      match Opprox.load ~resolve:Opprox_apps.Registry.find path with
+      | trained -> trained
+      | exception Failure msg ->
+          Printf.eprintf "opprox %s: cannot load %s: %s\n" cmd path msg;
+          exit 2
+      | exception Not_found ->
+          Printf.eprintf "opprox %s: %s names an unregistered application\n" cmd path;
+          exit 2)
+    paths
+
+let budgets_arg =
+  Arg.(
+    value
+    & opt (list float) [ 5.0; 10.0; 20.0 ]
+    & info [ "budgets" ] ~docv:"CSV"
+        ~doc:"Budget grid in percent, comma-separated.")
+
+let precompute_cmd =
+  let models_arg =
+    Arg.(
+      non_empty
+      & opt_all file []
+      & info [ "models" ] ~docv:"FILE"
+          ~doc:"Trained pipeline saved by $(b,train); repeat to sweep several applications.")
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Where to write the corpus.")
+  in
+  let run () () models budgets out verbose =
+    setup_logs verbose;
+    let pipelines = load_pipelines ~cmd:"precompute" models in
+    match
+      Opprox_corpus.Precompute.run ~budgets:(Array.of_list budgets) ~out pipelines
+    with
+    | progress ->
+        Printf.printf "wrote %s: %d plan(s) from %d app(s) x %d (app,input) task(s) x %d \
+                       budget(s)%s\n"
+          out progress.Opprox_corpus.Precompute.cells progress.Opprox_corpus.Precompute.apps
+          progress.Opprox_corpus.Precompute.tasks (List.length budgets)
+          (if progress.Opprox_corpus.Precompute.failed > 0 then
+             Printf.sprintf "  (%d infeasible cell(s) skipped)"
+               progress.Opprox_corpus.Precompute.failed
+           else "")
+    | exception (Invalid_argument msg | Failure msg) ->
+        Printf.eprintf "opprox precompute: %s\n" msg;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "precompute"
+       ~doc:
+         "Sweep (application x input grid x budget grid) across the domain pool and write \
+          the plans as a binary, mmap-friendly corpus that $(b,opprox serve --corpus) \
+          answers from without solving.")
+    Term.(const run $ jobs_arg $ obs_arg $ models_arg $ budgets_arg $ out_arg $ verbose_arg)
+
+(* --------------------------------------------------------------- loadgen *)
+
+module Loadgen = Opprox_serve.Loadgen
+
+let loadgen_cmd =
+  let loopback_models_arg =
+    Arg.(
+      value
+      & opt_all file []
+      & info [ "models" ] ~docv:"FILE"
+          ~doc:"Without $(b,--socket): drive an in-process loopback server built from these \
+                trained pipelines.")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "corpus" ] ~docv:"FILE"
+          ~doc:"With $(b,--models): plan corpus for the loopback server (a socket daemon \
+                loads its own via $(b,opprox serve --corpus)).")
+  in
+  let apps_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "app" ] ~docv:"NAME"
+          ~doc:"Application(s) to request plans for.  Default: every app the loopback \
+                server holds (required with $(b,--socket)).")
+  in
+  let requests_arg =
+    Arg.(
+      value
+      & opt int Loadgen.default_config.Loadgen.requests
+      & info [ "n"; "requests" ] ~docv:"N" ~doc:"Number of requests in the schedule.")
+  in
+  let rate_arg =
+    Arg.(
+      value
+      & opt float Loadgen.default_config.Loadgen.rate
+      & info [ "rate" ] ~docv:"RPS" ~doc:"Mean arrival rate, requests per second.")
+  in
+  let conns_arg =
+    Arg.(
+      value
+      & opt int Loadgen.default_config.Loadgen.conns
+      & info [ "conns" ] ~docv:"K" ~doc:"Concurrent connections (one domain each).")
+  in
+  let tail_arg =
+    Arg.(
+      value
+      & opt (enum [ ("pareto", `Pareto); ("exp", `Exp) ]) `Pareto
+      & info [ "tail" ] ~docv:"DIST"
+          ~doc:"Interarrival distribution: $(b,pareto) (heavy-tailed bursts) or $(b,exp) \
+                (Poisson).")
+  in
+  let alpha_arg =
+    Arg.(
+      value
+      & opt float 1.5
+      & info [ "alpha" ] ~docv:"A"
+          ~doc:"Pareto shape (must exceed 1; smaller is burstier).  Ignored under \
+                $(b,--tail exp).")
+  in
+  let zipf_arg =
+    Arg.(
+      value
+      & opt float Loadgen.default_config.Loadgen.zipf
+      & info [ "zipf" ] ~docv:"S"
+          ~doc:"Hot-key skew exponent over the (app x budget) key set; 0 is uniform.")
+  in
+  let offgrid_arg =
+    Arg.(
+      value
+      & opt float Loadgen.default_config.Loadgen.offgrid
+      & info [ "offgrid" ] ~docv:"F"
+          ~doc:"Fraction of requests whose budget is nudged off the grid — exercises the \
+                corpus nearest-neighbour fallback.")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt int Loadgen.default_config.Loadgen.seed
+      & info [ "seed" ] ~docv:"N" ~doc:"Schedule seed (the whole arrival/key schedule is \
+                                        deterministic given the seed).")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Per-request deadline.")
+  in
+  let run () () socket loopback_models corpus_path apps budgets requests rate conns tail alpha
+      zipf offgrid seed deadline_ms verbose =
+    setup_logs verbose;
+    let connect, default_apps =
+      match (socket, loopback_models) with
+      | Some path, _ ->
+          ((fun () -> Client.connect ~socket:path), [])
+      | None, [] ->
+          Printf.eprintf "opprox loadgen: need --socket PATH or --models FILE\n";
+          exit 2
+      | None, models ->
+          let pipelines = load_pipelines ~cmd:"loadgen" models in
+          let config = { Server.default_config with Server.corpus_path } in
+          let server =
+            try Server.create ~config pipelines
+            with Failure msg | Invalid_argument msg ->
+              Printf.eprintf "opprox loadgen: %s\n" msg;
+              exit 2
+          in
+          ((fun () -> Client.loopback server), Server.apps server)
+    in
+    let apps = if apps <> [] then apps else default_apps in
+    if apps = [] then begin
+      Printf.eprintf "opprox loadgen: --socket needs at least one --app NAME\n";
+      exit 2
+    end;
+    let keys =
+      Array.of_list
+        (List.concat_map
+           (fun app ->
+             List.map (fun budget -> { Loadgen.app; input = None; budget }) budgets)
+           apps)
+    in
+    let cfg =
+      {
+        Loadgen.requests;
+        rate;
+        conns;
+        tail = (match tail with `Exp -> Loadgen.Exponential | `Pareto -> Loadgen.Pareto alpha);
+        zipf;
+        offgrid;
+        seed;
+        deadline_ms;
+      }
+    in
+    match Loadgen.run ~connect ~keys cfg with
+    | report -> Format.printf "%a@." Loadgen.pp report
+    | exception Invalid_argument msg ->
+        Printf.eprintf "opprox loadgen: %s\n" msg;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Open-loop load generator: a seeded schedule of heavy-tailed, Zipf-skewed plan \
+          requests fired at a daemon (or an in-process loopback server), reporting \
+          p50/p99/p999 latency from intended arrival, shed rate, and the \
+          corpus/nn/cache/solved breakdown.")
+    Term.(
+      const run $ jobs_arg $ obs_arg $ socket_arg $ loopback_models_arg $ corpus_arg
+      $ apps_arg $ budgets_arg $ requests_arg $ rate_arg $ conns_arg $ tail_arg $ alpha_arg
+      $ zipf_arg $ offgrid_arg $ seed_arg $ deadline_arg $ verbose_arg)
 
 (* --------------------------------------------------------------- request *)
 
@@ -751,8 +1042,8 @@ let request_cmd =
     if sexp_out then print_endline (Opprox_util.Sexp.to_string (Protocol.response_to_sexp resp));
     match resp with
     | Protocol.Plan { plan; cache; models_hash; elapsed_ms } ->
-        Printf.printf "cache: %s  (%.2f ms, models %s)\n"
-          (match cache with Protocol.Hit -> "hit" | Protocol.Miss -> "miss")
+        Printf.printf "source: %s  (%.2f ms, models %s)\n"
+          (Protocol.cache_source_string cache)
           elapsed_ms models_hash;
         if not sexp_out then print_plan_table ~budget:plan.Opprox.Optimizer.budget plan;
         true
@@ -822,14 +1113,14 @@ let request_cmd =
                 Printf.eprintf "opprox request: %s\n" msg;
                 false)
           else
-            List.fold_left
-              (fun acc req ->
-                match Client.request client req with
-                | resp -> print_response ~sexp_out resp && acc
-                | exception Failure msg ->
-                    Printf.eprintf "opprox request: %s\n" msg;
-                    false)
-              true requests
+            (* One pipelined batch over the one connection: every frame is
+               written, then every reply read, so a batch costs one
+               round-trip — and each reply reports its own cache source. *)
+            match Client.batch client requests with
+            | resps -> List.fold_left (fun acc r -> print_response ~sexp_out r && acc) true resps
+            | exception Failure msg ->
+                Printf.eprintf "opprox request: %s\n" msg;
+                false
         in
         if not ok then exit 1)
   in
@@ -857,6 +1148,8 @@ let () =
             oracle_cmd;
             check_cmd;
             stats_cmd;
+            precompute_cmd;
             serve_cmd;
             request_cmd;
+            loadgen_cmd;
           ]))

@@ -60,6 +60,10 @@ let codes =
     ("SRV006", "request input vector invalid (arity or non-finite values)");
     ("SRV007", "request deadline is not positive");
     ("SRV008", "internal server error while solving a plan");
+    ("CORP001", "corpus was built against a stale models hash");
+    ("CORP002", "corpus file truncated, malformed, or index out of order");
+    ("CORP003", "request falls outside the corpus app/budget grid");
+    ("CORP004", "corpus plan record fails to decode or disagrees with its fingerprint");
   ]
 
 let is_failure ~strict d =

@@ -125,29 +125,17 @@ let log_diags diags =
       Log.msg level (fun m -> m "%a" Diagnostic.pp d))
     diags
 
-let optimize ?search ?(enumeration_limit = 20000) ~models ~roi ~input ~budget () =
-  Trace.with_span ~cat:"optimizer" "optimizer.solve" @@ fun () ->
-  Metrics.incr m_solves;
+let solver ?search ?(enumeration_limit = 20000) ~models ~roi ~input () =
   let app = Models.app models in
   let n_phases = Models.n_phases models in
-  (* Pre-flight: budget / ROI / input defects become structured
-     diagnostics (raised as Lint_error) instead of ad-hoc invalid_arg. *)
-  Diagnostic.raise_errors ~strict:false
-    (Lint_plan.check_inputs
-       {
-         Lint_plan.app_name = app.App.name;
-         abs = app.App.abs;
-         n_phases;
-         param_arity = Array.length app.App.param_names;
-         roi;
-         budget;
-         input;
-       });
-  let abs = (Models.app models).App.abs in
-  (* Compile the prediction pipeline once per solve: classification,
+  let abs = app.App.abs in
+  (* Compile the prediction pipeline once per {e solver}: classification,
      model selection, and all regression scratch buffers are hoisted out
      of the sweep loops (Models.predictor), and a memo on top absorbs the
-     many re-visits of the same (phase, levels) point across sweeps. *)
+     many re-visits of the same (phase, levels) point across sweeps — and,
+     when the solver is reused over a budget grid (the precompute sweep),
+     across budgets: the prediction at a point does not depend on the
+     budget, only admissibility does. *)
   let predict_compiled = Models.predictor models ~input in
   let cache = Hashtbl.create 4096 in
   let predict_cached ~input:_ ~phase ~levels =
@@ -169,6 +157,22 @@ let optimize ?search ?(enumeration_limit = 20000) ~models ~roi ~input ~budget ()
   in
   let order = Roi.descending_order roi in
   let n_abs = Array.length abs in
+  fun ~budget ->
+  Trace.with_span ~cat:"optimizer" "optimizer.solve" @@ fun () ->
+  Metrics.incr m_solves;
+  (* Pre-flight: budget / ROI / input defects become structured
+     diagnostics (raised as Lint_error) instead of ad-hoc invalid_arg. *)
+  Diagnostic.raise_errors ~strict:false
+    (Lint_plan.check_inputs
+       {
+         Lint_plan.app_name = app.App.name;
+         abs = app.App.abs;
+         n_phases;
+         param_arity = Array.length app.App.param_names;
+         roi;
+         budget;
+         input;
+       });
   let schedule_levels = Array.init n_phases (fun _ -> Array.make n_abs 0) in
   (* Per-phase budgets and what each phase's current choice consumes. *)
   let allocated = Array.make n_phases 0.0 in
@@ -266,6 +270,9 @@ let optimize ?search ?(enumeration_limit = 20000) ~models ~roi ~input ~budget ()
   log_diags diags;
   Diagnostic.raise_errors ~strict:false diags;
   plan
+
+let optimize ?search ?enumeration_limit ~models ~roi ~input ~budget () =
+  solver ?search ?enumeration_limit ~models ~roi ~input () ~budget
 
 (* ---------------------------------------------------------- serialization *)
 

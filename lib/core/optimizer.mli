@@ -66,6 +66,23 @@ val optimize :
     later sweep) — and emits one {!Opprox_obs.Trace} span per solve and
     per sweep. *)
 
+val solver :
+  ?search:search ->
+  ?enumeration_limit:int ->
+  models:Models.t ->
+  roi:float array ->
+  input:float array ->
+  unit ->
+  budget:float ->
+  plan
+(** Partially-applied {!optimize}: compile the prediction pipeline (input
+    classification, model selection, regression scratch) and the
+    (phase, levels) prediction memo {e once}, then solve any number of
+    budgets against them.  Predictions do not depend on the budget — only
+    admissibility does — so a budget-grid sweep (the corpus precompute)
+    pays the model-compilation cost once per (app, input) instead of once
+    per cell.  [optimize ~budget] is [solver () ~budget]. *)
+
 val lint : models:Models.t -> plan -> Opprox_analysis.Diagnostic.t list
 (** Audit any plan — including one doctored or deserialized outside the
     optimizer — against the models it is meant to run under: budget

@@ -1,0 +1,496 @@
+module Sexp = Opprox_util.Sexp
+module Schedule = Opprox_sim.Schedule
+module Optimizer = Opprox.Optimizer
+module Diagnostic = Opprox_analysis.Diagnostic
+
+let magic = "OPXCORP1"
+let version = 1
+let header_bytes = 64
+let exact_entry_bytes = 24
+let nn_entry_bytes = 32
+
+type entry = {
+  app : string;
+  input : float array;
+  budget : float;
+  models_hash : string;
+  plan : Optimizer.plan;
+}
+
+type map = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* Decode-once memo, one slot per index entry.  A slot always names the
+   same immutable record, so a benign last-writer-wins race is sound; a
+   repeat hit costs an atomic read instead of a plan decode. *)
+type cached = { cfp : string; cplan : Optimizer.plan }
+
+type t = {
+  map : map;
+  file : string;
+  n : int;
+  index_off : int;
+  nn_off : int;
+  records_off : int;
+  records_stop : int;
+  meta_apps : (string * string) list;  (* sorted by app *)
+  meta_budgets : float array;  (* ascending *)
+  exact_memo : cached option Atomic.t array;
+  nn_memo : cached option Atomic.t array;
+}
+
+let length t = t.n
+let path t = t.file
+let apps t = t.meta_apps
+let models_hash t app = List.assoc_opt app t.meta_apps
+let budgets t = t.meta_budgets
+
+(* ------------------------------------------------------------------ *)
+(* Little-endian primitives over the mapped file.                      *)
+
+let get_i64 (m : map) off =
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code m.{off + i}))
+  done;
+  !v
+
+let get_u32 (m : map) off =
+  Char.code m.{off}
+  lor (Char.code m.{off + 1} lsl 8)
+  lor (Char.code m.{off + 2} lsl 16)
+  lor (Char.code m.{off + 3} lsl 24)
+
+let get_f64 m off = Int64.float_of_bits (get_i64 m off)
+let get_string (m : map) off len = String.init len (fun i -> m.{off + i})
+
+let buf_u32 b v = Buffer.add_int32_le b (Int32.of_int v)
+let buf_i64 b v = Buffer.add_int64_le b v
+let buf_f64 b v = Buffer.add_int64_le b (Int64.bits_of_float v)
+
+(* ------------------------------------------------------------------ *)
+(* Plan codec: fixed binary layout, no parsing beyond bounds checks.   *)
+
+let encode_plan b (p : Optimizer.plan) =
+  buf_f64 b p.budget;
+  buf_f64 b p.predicted_speedup;
+  buf_f64 b p.predicted_qos;
+  let np = Schedule.n_phases p.schedule and na = Schedule.n_abs p.schedule in
+  buf_u32 b np;
+  buf_u32 b na;
+  for ph = 0 to np - 1 do
+    Array.iter (buf_u32 b) (Schedule.levels_of_phase p.schedule ph)
+  done;
+  buf_u32 b (List.length p.choices);
+  List.iter
+    (fun (c : Optimizer.phase_choice) ->
+      buf_u32 b c.phase;
+      buf_u32 b (Array.length c.levels);
+      Array.iter (buf_u32 b) c.levels;
+      buf_f64 b c.sub_budget;
+      buf_f64 b c.predicted.speedup;
+      buf_f64 b c.predicted.qos;
+      buf_f64 b c.predicted.speedup_lo;
+      buf_f64 b c.predicted.qos_hi;
+      buf_f64 b c.predicted.iters_ratio)
+    p.choices
+
+(* Generous sanity caps: a corrupt count must fail loudly, not allocate. *)
+let max_dim = 65536
+
+let decode_plan (m : map) ~pos ~stop : Optimizer.plan =
+  let p = ref pos in
+  let need n =
+    if !p + n > stop then failwith "truncated plan record"
+  in
+  let f64 () =
+    need 8;
+    let v = get_f64 m !p in
+    p := !p + 8;
+    v
+  in
+  let u32 () =
+    need 4;
+    let v = get_u32 m !p in
+    p := !p + 4;
+    v
+  in
+  let dim what v =
+    if v < 0 || v > max_dim then failwith (Printf.sprintf "implausible %s count %d" what v);
+    v
+  in
+  let budget = f64 () in
+  let predicted_speedup = f64 () in
+  let predicted_qos = f64 () in
+  let np = dim "phase" (u32 ()) in
+  let na = dim "ab" (u32 ()) in
+  let rows = Array.init np (fun _ -> Array.init na (fun _ -> u32 ())) in
+  let schedule = Schedule.make rows in
+  let n_choices = dim "choice" (u32 ()) in
+  let choices =
+    List.init n_choices (fun _ ->
+        let phase = u32 () in
+        let n_levels = dim "level" (u32 ()) in
+        let levels = Array.init n_levels (fun _ -> u32 ()) in
+        let sub_budget = f64 () in
+        let speedup = f64 () in
+        let qos = f64 () in
+        let speedup_lo = f64 () in
+        let qos_hi = f64 () in
+        let iters_ratio = f64 () in
+        {
+          Optimizer.phase;
+          levels;
+          sub_budget;
+          predicted = { Opprox.Models.speedup; qos; speedup_lo; qos_hi; iters_ratio };
+        })
+  in
+  if !p <> stop then failwith "trailing bytes in plan record";
+  { Optimizer.schedule; choices; predicted_speedup; predicted_qos; budget }
+
+(* ------------------------------------------------------------------ *)
+(* Write                                                               *)
+
+let meta_sexp ~apps ~budgets ~n =
+  Sexp.record
+    [
+      ("version", Sexp.int version);
+      ("entries", Sexp.int n);
+      ( "apps",
+        Sexp.list
+          (List.map (fun (a, h) -> Sexp.list [ Sexp.string a; Sexp.string h ]) apps) );
+      ("budgets", Sexp.float_array budgets);
+    ]
+
+let meta_of_sexp sexp =
+  let apps =
+    List.map
+      (fun s ->
+        match Sexp.to_list s with
+        | [ a; h ] -> (Sexp.to_string_atom a, Sexp.to_string_atom h)
+        | _ -> failwith "corpus meta: malformed apps entry")
+      (Sexp.to_list (Sexp.field sexp "apps"))
+  in
+  let budgets = Sexp.to_float_array (Sexp.field sexp "budgets") in
+  (Sexp.to_int (Sexp.field sexp "version"), Sexp.to_int (Sexp.field sexp "entries"), apps, budgets)
+
+let write file entries =
+  if entries = [] then invalid_arg "Corpus.write: empty entry list";
+  (* One models hash per app, or the corpus is self-contradictory. *)
+  let app_hashes = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      match Hashtbl.find_opt app_hashes e.app with
+      | None -> Hashtbl.add app_hashes e.app e.models_hash
+      | Some h when h = e.models_hash -> ()
+      | Some _ ->
+          invalid_arg
+            (Printf.sprintf "Corpus.write: app %s appears with two models hashes" e.app))
+    entries;
+  let seen = Hashtbl.create (List.length entries) in
+  let records = Buffer.create 4096 in
+  let packed =
+    List.map
+      (fun e ->
+        let group = Key.group ~app:e.app ~input:e.input ~models_hash:e.models_hash in
+        let fp = Key.of_group ~group ~budget:e.budget in
+        if Hashtbl.mem seen fp then
+          invalid_arg (Printf.sprintf "Corpus.write: duplicate fingerprint %s" fp);
+        Hashtbl.add seen fp ();
+        let off = Buffer.length records in
+        buf_u32 records (String.length fp);
+        Buffer.add_string records fp;
+        encode_plan records e.plan;
+        let len = Buffer.length records - off in
+        (Key.hash64 fp, Key.hash64 group, e.budget, off, len))
+      entries
+  in
+  let n = List.length packed in
+  let exact = Array.of_list (List.map (fun (h, _, _, off, len) -> (h, off, len)) packed) in
+  Array.sort
+    (fun (h1, o1, _) (h2, o2, _) ->
+      match Int64.unsigned_compare h1 h2 with 0 -> compare o1 o2 | c -> c)
+    exact;
+  let nn = Array.of_list (List.map (fun (_, g, b, off, len) -> (g, b, off, len)) packed) in
+  Array.sort
+    (fun (g1, b1, o1, _) (g2, b2, o2, _) ->
+      match Int64.unsigned_compare g1 g2 with
+      | 0 -> ( match compare b1 b2 with 0 -> compare o1 o2 | c -> c)
+      | c -> c)
+    nn;
+  let apps =
+    Hashtbl.fold (fun a h acc -> (a, h) :: acc) app_hashes []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let grid =
+    List.sort_uniq compare (List.map (fun e -> e.budget) entries) |> Array.of_list
+  in
+  let meta = Sexp.to_string (meta_sexp ~apps ~budgets:grid ~n) in
+  let meta_off = header_bytes in
+  let index_off = meta_off + String.length meta in
+  let nn_off = index_off + (n * exact_entry_bytes) in
+  let records_off = nn_off + (n * nn_entry_bytes) in
+  let records_len = Buffer.length records in
+  let header = Buffer.create header_bytes in
+  Buffer.add_string header magic;
+  buf_u32 header version;
+  buf_u32 header n;
+  buf_i64 header (Int64.of_int meta_off);
+  buf_i64 header (Int64.of_int (String.length meta));
+  buf_i64 header (Int64.of_int index_off);
+  buf_i64 header (Int64.of_int nn_off);
+  buf_i64 header (Int64.of_int records_off);
+  buf_i64 header (Int64.of_int records_len);
+  assert (Buffer.length header = header_bytes);
+  let body = Buffer.create (records_off + records_len) in
+  Buffer.add_buffer body header;
+  Buffer.add_string body meta;
+  Array.iter
+    (fun (h, off, len) ->
+      buf_i64 body h;
+      buf_i64 body (Int64.of_int (records_off + off));
+      buf_u32 body len;
+      buf_u32 body 0)
+    exact;
+  Array.iter
+    (fun (g, b, off, len) ->
+      buf_i64 body g;
+      buf_f64 body b;
+      buf_i64 body (Int64.of_int (records_off + off));
+      buf_u32 body len;
+      buf_u32 body 0)
+    nn;
+  Buffer.add_buffer body records;
+  let tmp = Printf.sprintf "%s.tmp.%d" file (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () -> Buffer.output_buffer oc body)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp file
+
+(* ------------------------------------------------------------------ *)
+(* Load                                                                *)
+
+let corrupt file fmt = Printf.ksprintf (fun s -> failwith (file ^ ": corpus: " ^ s)) fmt
+
+let load file =
+  let fd =
+    try Unix.openfile file [ Unix.O_RDONLY ] 0
+    with Unix.Unix_error (e, _, _) -> corrupt file "cannot open (%s)" (Unix.error_message e)
+  in
+  let map, size =
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let size = (Unix.fstat fd).Unix.st_size in
+        if size < header_bytes then corrupt file "truncated header (%d bytes)" size;
+        ( Bigarray.array1_of_genarray
+            (Unix.map_file fd Bigarray.char Bigarray.c_layout false [| size |]),
+          size ))
+  in
+  if get_string map 0 8 <> magic then corrupt file "bad magic";
+  let v = get_u32 map 8 in
+  if v <> version then corrupt file "unsupported corpus version %d" v;
+  let n = get_u32 map 12 in
+  let i64_field off =
+    let v = get_i64 map off in
+    if Int64.compare v 0L < 0 || Int64.compare v (Int64.of_int size) > 0 then
+      corrupt file "section offset out of bounds";
+    Int64.to_int v
+  in
+  let meta_off = i64_field 16 in
+  let meta_len = i64_field 24 in
+  let index_off = i64_field 32 in
+  let nn_off = i64_field 40 in
+  let records_off = i64_field 48 in
+  let records_len = i64_field 56 in
+  if
+    n < 0
+    || meta_off <> header_bytes
+    || index_off <> meta_off + meta_len
+    || nn_off <> index_off + (n * exact_entry_bytes)
+    || records_off <> nn_off + (n * nn_entry_bytes)
+    || records_off + records_len > size
+  then corrupt file "inconsistent section layout";
+  let meta_sexp =
+    try Sexp.of_string (get_string map meta_off meta_len)
+    with Failure m -> corrupt file "meta unreadable (%s)" m
+  in
+  let mv, mn, meta_apps, meta_budgets =
+    try meta_of_sexp meta_sexp with Failure m -> corrupt file "meta unreadable (%s)" m
+  in
+  if mv <> version || mn <> n then corrupt file "meta disagrees with header";
+  { map; file; n; index_off; nn_off; records_off; records_stop = records_off + records_len;
+    meta_apps; meta_budgets;
+    exact_memo = Array.init n (fun _ -> Atomic.make None);
+    nn_memo = Array.init n (fun _ -> Atomic.make None) }
+
+(* ------------------------------------------------------------------ *)
+(* Lookup                                                              *)
+
+let exact_hash t i = get_i64 t.map (t.index_off + (i * exact_entry_bytes))
+
+let exact_record t i =
+  let base = t.index_off + (i * exact_entry_bytes) in
+  (Int64.to_int (get_i64 t.map (base + 8)), get_u32 t.map (base + 16))
+
+let nn_hash t i = get_i64 t.map (t.nn_off + (i * nn_entry_bytes))
+let nn_budget t i = get_f64 t.map (t.nn_off + (i * nn_entry_bytes) + 8)
+
+let nn_record t i =
+  let base = t.nn_off + (i * nn_entry_bytes) in
+  (Int64.to_int (get_i64 t.map (base + 16)), get_u32 t.map (base + 24))
+
+(* First index in [0, n) whose hash (via [hash_at]) is >= [h], by
+   unsigned comparison; [n] when none is. *)
+let lower_bound t hash_at h =
+  let lo = ref 0 and hi = ref t.n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Int64.unsigned_compare (hash_at t mid) h < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Decode the record at (off, len), returning its fingerprint and plan.
+   Raises [Failure] on any structural problem. *)
+let read_record t (off, len) =
+  if off < t.records_off || off + len > t.records_stop || len < 4 then
+    failwith "record out of bounds";
+  let fp_len = get_u32 t.map off in
+  if fp_len < 0 || 4 + fp_len > len then failwith "record fingerprint out of bounds";
+  let fp = get_string t.map (off + 4) fp_len in
+  (fp, lazy (decode_plan t.map ~pos:(off + 4 + fp_len) ~stop:(off + len)))
+
+let find_opt t fp =
+  let h = Key.hash64 fp in
+  let rec scan i =
+    if i >= t.n || not (Int64.equal (exact_hash t i) h) then None
+    else
+      match Atomic.get t.exact_memo.(i) with
+      | Some c -> if String.equal c.cfp fp then Some c.cplan else scan (i + 1)
+      | None ->
+          let stored_fp, plan = read_record t (exact_record t i) in
+          if String.equal stored_fp fp then begin
+            let p = Lazy.force plan in
+            Atomic.set t.exact_memo.(i) (Some { cfp = stored_fp; cplan = p });
+            Some p
+          end
+          else scan (i + 1)
+  in
+  scan (lower_bound t exact_hash h)
+
+let find t fp = try find_opt t fp with Failure _ -> None
+let mem t fp = find t fp <> None
+
+let find_nn t ~group ~budget =
+  let gh = Key.hash64 group in
+  let prefix = group ^ "|" in
+  let plen = String.length prefix in
+  (* The equal-hash run is budget-ascending, so the last verified
+     candidate with b <= budget is the nearest one below — and once a
+     budget exceeds the request, every later entry in the run does too. *)
+  (* full-key check: rules out a group-hash collision *)
+  let in_group fp = String.starts_with ~prefix fp && not (String.contains_from fp plen '|') in
+  let rec scan i best =
+    if i >= t.n || not (Int64.equal (nn_hash t i) gh) then best
+    else
+      let b = nn_budget t i in
+      if b > budget then best
+      else
+        let best =
+          match Atomic.get t.nn_memo.(i) with
+          | Some c -> if in_group c.cfp then Some (b, `Cached c.cplan) else best
+          | None -> (
+              match read_record t (nn_record t i) with
+              | exception Failure _ -> best
+              | fp, plan when in_group fp -> Some (b, `Fresh (i, fp, plan))
+              | _ -> best)
+        in
+        scan (i + 1) best
+  in
+  match scan (lower_bound t nn_hash gh) None with
+  | None -> None
+  | Some (b, `Cached plan) -> Some (b, plan)
+  | Some (b, `Fresh (i, fp, plan)) -> (
+      try
+        let p = Lazy.force plan in
+        Atomic.set t.nn_memo.(i) (Some { cfp = fp; cplan = p });
+        Some (b, p)
+      with Failure _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostics                                                         *)
+
+let d = Diagnostic.v
+
+let lint_file ?(expected_hashes = []) file =
+  match load file with
+  | exception Failure msg -> [ d ~code:"CORP002" Diagnostic.Error "%s" msg ]
+  | t ->
+      let ds = ref [] in
+      let add x = ds := x :: !ds in
+      for i = 0 to t.n - 2 do
+        if Int64.unsigned_compare (exact_hash t i) (exact_hash t (i + 1)) > 0 then
+          add
+            (d ~code:"CORP002" ~detail:(Printf.sprintf "index entry %d" i) Diagnostic.Error
+               "exact index out of order")
+      done;
+      for i = 0 to t.n - 2 do
+        let c = Int64.unsigned_compare (nn_hash t i) (nn_hash t (i + 1)) in
+        if c > 0 || (c = 0 && nn_budget t i > nn_budget t (i + 1)) then
+          add
+            (d ~code:"CORP002" ~detail:(Printf.sprintf "nn entry %d" i) Diagnostic.Error
+               "nearest-neighbour index out of order")
+      done;
+      for i = 0 to t.n - 1 do
+        match read_record t (exact_record t i) with
+        | exception Failure msg ->
+            add
+              (d ~code:"CORP004" ~detail:(Printf.sprintf "record %d" i) Diagnostic.Error
+                 "undecodable record: %s" msg)
+        | fp, plan -> (
+            match Lazy.force plan with
+            | exception e ->
+                add
+                  (d ~code:"CORP004" ~detail:(Printf.sprintf "record %d" i) Diagnostic.Error
+                     "undecodable plan: %s" (Printexc.to_string e))
+            | plan ->
+                let suffix = Printf.sprintf "|%Lx" (Int64.bits_of_float plan.budget) in
+                if not (String.ends_with ~suffix fp) then
+                  add
+                    (d ~code:"CORP004" ~detail:(Printf.sprintf "record %d" i)
+                       Diagnostic.Error "packed budget disagrees with the fingerprint"))
+      done;
+      List.iter
+        (fun (app, hash) ->
+          match models_hash t app with
+          | None ->
+              add
+                (d ~code:"CORP003" ~app Diagnostic.Warning
+                   "corpus holds no plans for this application")
+          | Some h when h <> hash ->
+              add
+                (d ~code:"CORP001" ~app
+                   ~detail:(Printf.sprintf "corpus %s loaded %s" h hash)
+                   Diagnostic.Error "corpus models hash is stale")
+          | Some _ -> ())
+        expected_hashes;
+      List.rev !ds
+
+let lint_coverage t ~app ~budget =
+  match models_hash t app with
+  | None ->
+      [ d ~code:"CORP003" ~app Diagnostic.Warning "corpus holds no plans for this application" ]
+  | Some _ ->
+      if Array.length t.meta_budgets = 0 || budget < t.meta_budgets.(0) then
+        [
+          d ~code:"CORP003" ~app Diagnostic.Warning
+            "budget %g sits below the corpus grid (minimum %g): no exact or \
+             nearest-neighbour candidate"
+            budget
+            (if Array.length t.meta_budgets = 0 then nan else t.meta_budgets.(0));
+        ]
+      else []

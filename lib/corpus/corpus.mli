@@ -1,0 +1,96 @@
+(** Persistent precomputed plan corpus.
+
+    The paper's premise is that phase-aware plans can be computed ahead
+    of time and applied cheaply at run time.  This module is the "ahead
+    of time" artifact: a binary, mmap-friendly file holding every plan a
+    {!Precompute} sweep produced, addressable in O(log n) by the
+    canonical {!Key} fingerprint — so the serving daemon can answer a
+    known request without taking a lock, touching the LRU, or solving.
+
+    {2 File format}
+
+    All integers little-endian.  A fixed 64-byte header (magic
+    [OPXCORP1], version, entry count, section offsets) is followed by
+    four sections:
+
+    + {b meta} — an s-expression: the (app, models-hash) pairs the
+      corpus was built against, the budget grid, and the input count.
+      The models hash stamps the corpus for invalidation: plans for
+      models the server did not load can never match (the hash is part
+      of every fingerprint), and {!lint_file} reports the mismatch
+      explicitly (CORP001).
+    + {b exact index} — one 24-byte entry per plan, sorted by the
+      64-bit {!Key.hash64} of the fingerprint.  Lookup is a binary
+      search plus a full-key compare on the (nearly always singleton)
+      equal-hash run, so hash collisions cost a string compare, never a
+      wrong answer.
+    + {b nn index} — one 32-byte entry per plan, sorted by
+      (group hash, budget): the budget axis of one (app, input, models)
+      group laid out contiguously, which is what the nearest-neighbour
+      fallback walks.
+    + {b records} — the fingerprint and the plan, packed in a fixed
+      binary layout (no s-expression parsing on the lookup path).
+
+    {!load} maps the file ([Unix.map_file]) and validates the header
+    and section bounds in O(1); nothing is parsed until a lookup hits
+    it.  Files are written atomically (temp file + rename). *)
+
+type t
+
+type entry = {
+  app : string;
+  input : float array;
+  budget : float;
+  models_hash : string;
+  plan : Opprox.Optimizer.plan;
+}
+
+val write : string -> entry list -> unit
+(** Pack and atomically write a corpus.  Raises [Invalid_argument] on an
+    empty entry list, on duplicate fingerprints, or when one app appears
+    with two different models hashes; [Failure] on IO errors. *)
+
+val load : string -> t
+(** Map a corpus file and validate its header, section bounds, and
+    index ordering (O(1) + O(log n) spot checks; records are parsed
+    lazily per lookup).  Raises [Failure] with a [CORP]-flavoured
+    message on anything structurally wrong. *)
+
+val length : t -> int
+val path : t -> string
+
+val apps : t -> (string * string) list
+(** The (app, models hash) pairs the corpus covers, sorted by app. *)
+
+val models_hash : t -> string -> string option
+val budgets : t -> float array
+(** The budget grid the corpus was swept over, ascending. *)
+
+val find : t -> string -> Opprox.Optimizer.plan option
+(** Exact lookup by full fingerprint ({!Key.fingerprint}). *)
+
+val find_nn : t -> group:string -> budget:float -> (float * Opprox.Optimizer.plan) option
+(** Nearest-neighbour fallback within one {!Key.group}: the plan of the
+    {e largest} grid budget [b <= budget] — conservative tightening, so
+    the returned plan's predicted QoS fits the tighter budget [b] and a
+    fortiori the requested one.  [None] when the group is absent or the
+    whole grid sits above [budget]. *)
+
+val mem : t -> string -> bool
+
+(** {2 Diagnostics} *)
+
+val lint_file :
+  ?expected_hashes:(string * string) list -> string -> Opprox_analysis.Diagnostic.t list
+(** Audit a corpus file: CORP002 for a truncated, mis-ordered, or
+    structurally invalid file; CORP004 for records that fail to decode
+    or whose packed budget disagrees with their fingerprint; CORP001
+    when [expected_hashes] (app, hash) pairs disagree with the stamped
+    ones.  Unlike {!load} this gathers every finding instead of
+    stopping at the first, and it decodes every record. *)
+
+val lint_coverage :
+  t -> app:string -> budget:float -> Opprox_analysis.Diagnostic.t list
+(** CORP003 (warning) when the corpus cannot answer a request for
+    [app] at [budget] even through the nearest-neighbour fallback:
+    the app is absent, or the budget sits below the whole grid. *)

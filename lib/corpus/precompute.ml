@@ -1,0 +1,94 @@
+module Sexp = Opprox_util.Sexp
+module Pool = Opprox_util.Pool
+module App = Opprox_sim.App
+module Metrics = Opprox_obs.Metrics
+module Diagnostic = Opprox_analysis.Diagnostic
+
+let log_src = Logs.Src.create "opprox.corpus" ~doc:"OPPROX plan corpus"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let m_cells = Metrics.counter "corpus.precompute.cells"
+let m_failed = Metrics.counter "corpus.precompute.failed"
+
+type progress = { apps : int; tasks : int; cells : int; failed : int }
+
+let models_hash (tr : Opprox.trained) =
+  Digest.to_hex (Digest.string (Sexp.to_string (Opprox.Models.to_sexp tr.Opprox.models)))
+
+let inputs_of (tr : Opprox.trained) =
+  let key input =
+    Array.to_list (Array.map Int64.bits_of_float input)
+  in
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun input ->
+      let k = key input in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    (tr.Opprox.app.App.default_input :: Array.to_list tr.Opprox.app.App.training_inputs)
+
+let check_budgets budgets =
+  if Array.length budgets = 0 then invalid_arg "Precompute: empty budget grid";
+  Array.iter
+    (fun b ->
+      if not (Float.is_finite b) || b <= 0.0 then
+        invalid_arg (Printf.sprintf "Precompute: invalid grid budget %g" b))
+    budgets
+
+let sweep ?pool ?(inputs = inputs_of) ~budgets trained =
+  check_budgets budgets;
+  let budgets = Array.of_list (List.sort_uniq compare (Array.to_list budgets)) in
+  (* One task per (app, input): the task solves the whole budget axis so
+     the solver's prediction memo stays domain-local and shared. *)
+  let tasks =
+    Array.of_list
+      (List.concat_map
+         (fun tr ->
+           let hash = models_hash tr in
+           List.map (fun input -> (tr, hash, input)) (inputs tr))
+         trained)
+  in
+  let results =
+    Pool.parallel_map ?pool
+      (fun (tr, hash, input) ->
+        let solve =
+          Opprox.Optimizer.solver ~models:tr.Opprox.models ~roi:tr.Opprox.roi ~input ()
+        in
+        Array.to_list budgets
+        |> List.filter_map (fun budget ->
+               match solve ~budget with
+               | plan ->
+                   Metrics.incr m_cells;
+                   Some
+                     {
+                       Corpus.app = tr.Opprox.app.App.name;
+                       input;
+                       budget;
+                       models_hash = hash;
+                       plan;
+                     }
+               | exception Diagnostic.Lint_error ds ->
+                   Metrics.incr m_failed;
+                   Log.warn (fun m ->
+                       m "skipping %s budget %g: %a" tr.Opprox.app.App.name budget
+                         Diagnostic.pp_list ds);
+                   None))
+      tasks
+  in
+  let entries = List.concat (Array.to_list results) in
+  let cells = List.length entries in
+  let failed = (Array.length tasks * Array.length budgets) - cells in
+  (entries, { apps = List.length trained; tasks = Array.length tasks; cells; failed })
+
+let run ?pool ?inputs ~budgets ~out trained =
+  let entries, progress = sweep ?pool ?inputs ~budgets trained in
+  if entries = [] then failwith "Precompute.run: sweep produced no plans";
+  Corpus.write out entries;
+  Log.info (fun m ->
+      m "wrote %s: %d plans (%d apps, %d tasks, %d failed cells)" out progress.cells
+        progress.apps progress.tasks progress.failed);
+  progress

@@ -1,0 +1,43 @@
+(** Bulk plan precomputation: the sweep that fills a {!Corpus}.
+
+    The sweep enumerates (trained pipeline × input × budget-grid) cells
+    and solves each one with {!Opprox.Optimizer.solver}, so the model
+    compilation (input classification, regression scratch) and the
+    (phase, levels) prediction memo are paid once per (app, input) and
+    shared by every budget on the grid — the grid axis is nearly free
+    next to a cold [optimize] per cell.  (App, input) tasks fan out
+    across the work-stealing {!Opprox_util.Pool}; the budget axis runs
+    inside one task to keep the memo domain-local. *)
+
+type progress = { apps : int; tasks : int; cells : int; failed : int }
+
+val models_hash : Opprox.trained -> string
+(** Digest of the serialized models — the same stamp the serving daemon
+    advertises and every cache/corpus fingerprint embeds.  Centralised
+    here so the precompute sweep and the server can never drift. *)
+
+val inputs_of : Opprox.trained -> float array list
+(** The input grid for one pipeline: the app's default input followed by
+    its declared training inputs, deduplicated bitwise. *)
+
+val sweep :
+  ?pool:Opprox_util.Pool.t ->
+  ?inputs:(Opprox.trained -> float array list) ->
+  budgets:float array ->
+  Opprox.trained list ->
+  Corpus.entry list * progress
+(** Solve the whole grid and return the corpus entries (in deterministic
+    task order) plus a tally.  [inputs] defaults to {!inputs_of}.
+    Cells whose solve raises [Diagnostic.Lint_error] (e.g. a budget
+    infeasible for one app) are counted in [failed] and skipped rather
+    than aborting the sweep.  Raises [Invalid_argument] on an empty or
+    non-positive budget grid. *)
+
+val run :
+  ?pool:Opprox_util.Pool.t ->
+  ?inputs:(Opprox.trained -> float array list) ->
+  budgets:float array ->
+  out:string ->
+  Opprox.trained list ->
+  progress
+(** {!sweep} followed by {!Corpus.write} to [out]. *)

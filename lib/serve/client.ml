@@ -36,7 +36,18 @@ let request t req =
         (Opprox_util.Sexp.of_string
            (Opprox_util.Sexp.to_string (Protocol.response_to_sexp (Server.handle server req))))
 
-let batch t reqs = List.map (request t) reqs
+let batch t reqs =
+  match t.transport with
+  | Socket { fd; closed } ->
+      if closed then failwith "Client.batch: connection is closed";
+      (* Pipeline the whole batch on the one connection: write every
+         frame, then read every reply.  The server answers a connection's
+         frames strictly in order, so replies line up with requests; the
+         batch costs one round-trip of latency instead of one per
+         request. *)
+      List.iter (fun req -> Protocol.write_frame fd (Protocol.request_to_sexp req)) reqs;
+      List.map (fun _ -> read_response fd) reqs
+  | Loopback _ -> List.map (request t) reqs
 
 let send_raw t payload =
   match t.transport with

@@ -27,7 +27,13 @@ val request : t -> Protocol.request -> Protocol.response
     [Unix.Unix_error] on transport failure. *)
 
 val batch : t -> Protocol.request list -> Protocol.response list
-(** Sequential {!request}s over the one connection, replies in order. *)
+(** Pipelined over the one connection: every request frame is written,
+    then every reply read (the server answers a connection in order, so
+    replies align with requests by position).  One connection and one
+    round-trip of latency for the whole batch.  Batches large enough to
+    overflow both socket buffers (hundreds of requests) can deadlock a
+    non-draining server; split such batches.  Loopback clients degrade
+    to sequential {!request}s. *)
 
 val send_raw : t -> string -> Protocol.response
 (** Frame arbitrary bytes and send them — for probing the server's

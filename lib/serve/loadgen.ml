@@ -1,0 +1,204 @@
+module Rng = Opprox_util.Rng
+module Trace = Opprox_obs.Trace
+
+type tail = Exponential | Pareto of float
+
+type key = { app : string; input : float array option; budget : float }
+
+type config = {
+  requests : int;
+  rate : float;
+  conns : int;
+  tail : tail;
+  zipf : float;
+  offgrid : float;
+  seed : int;
+  deadline_ms : float option;
+}
+
+let default_config =
+  {
+    requests = 200;
+    rate = 200.0;
+    conns = 2;
+    tail = Pareto 1.5;
+    zipf = 1.1;
+    offgrid = 0.0;
+    seed = 42;
+    deadline_ms = None;
+  }
+
+type counts = { corpus : int; nn : int; cache : int; solved : int }
+
+type report = {
+  sent : int;
+  answered : int;
+  shed : int;
+  errors : int;
+  timeouts : int;
+  p50_ms : float;
+  p99_ms : float;
+  p999_ms : float;
+  max_ms : float;
+  wall_s : float;
+  achieved_rps : float;
+  sources : counts;
+}
+
+(* One scheduled arrival: when (seconds from epoch) and what to send. *)
+type shot = { at_s : float; req : Protocol.request }
+
+type outcome = Answered of float * Protocol.cache_status | Shed | Failed | TimedOut
+
+let validate cfg ~keys =
+  if Array.length keys = 0 then invalid_arg "Loadgen: no keys";
+  if cfg.requests < 1 then invalid_arg "Loadgen: requests must be >= 1";
+  if not (Float.is_finite cfg.rate) || cfg.rate <= 0.0 then
+    invalid_arg "Loadgen: rate must be positive";
+  if cfg.conns < 1 || cfg.conns > 64 then invalid_arg "Loadgen: conns must be in [1, 64]";
+  if cfg.zipf < 0.0 then invalid_arg "Loadgen: zipf must be >= 0";
+  if cfg.offgrid < 0.0 || cfg.offgrid > 1.0 then
+    invalid_arg "Loadgen: offgrid must be in [0, 1]";
+  match cfg.tail with
+  | Pareto alpha when alpha <= 1.0 ->
+      invalid_arg "Loadgen: Pareto shape must exceed 1 (finite mean)"
+  | _ -> ()
+
+(* Draw the whole schedule sequentially before anything runs: the
+   schedule is a pure function of the seed, whatever the transport does. *)
+let schedule cfg ~keys =
+  let rng = Rng.create cfg.seed in
+  let n_keys = Array.length keys in
+  (* Zipf over key rank: weight 1/(rank+1)^s, sampled by inverse CDF. *)
+  let cum = Array.make n_keys 0.0 in
+  let total = ref 0.0 in
+  for i = 0 to n_keys - 1 do
+    total := !total +. (1.0 /. Float.pow (float_of_int (i + 1)) cfg.zipf);
+    cum.(i) <- !total
+  done;
+  let pick_key () =
+    let u = Rng.float rng !total in
+    let lo = ref 0 and hi = ref (n_keys - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cum.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    keys.(!lo)
+  in
+  let interarrival () =
+    let u = Rng.uniform rng in
+    match cfg.tail with
+    | Exponential -> -.Float.log (1.0 -. u) /. cfg.rate
+    | Pareto alpha ->
+        (* scale chosen so the mean (alpha xm / (alpha-1)) is 1/rate *)
+        let xm = (alpha -. 1.0) /. (alpha *. cfg.rate) in
+        xm *. Float.pow (1.0 -. u) (-1.0 /. alpha)
+  in
+  let clock = ref 0.0 in
+  Array.init cfg.requests (fun _ ->
+      clock := !clock +. interarrival ();
+      let k = pick_key () in
+      let budget =
+        if cfg.offgrid > 0.0 && Rng.uniform rng < cfg.offgrid then
+          (* strictly above the grid cell, at most ~15% looser: exact
+             lookup misses, the cell below stays the nearest neighbour *)
+          k.budget *. (1.001 +. Rng.float rng 0.15)
+        else k.budget
+      in
+      {
+        at_s = !clock;
+        req =
+          Protocol.request ?input:k.input ?deadline_ms:cfg.deadline_ms ~app:k.app ~budget ();
+      })
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else sorted.(Stdlib.min (n - 1) (int_of_float (Float.ceil (q *. float_of_int n)) - 1))
+
+let run ~connect ~keys cfg =
+  validate cfg ~keys;
+  let shots = schedule cfg ~keys in
+  let n = Array.length shots in
+  let outcomes = Array.make n Failed in
+  let finished = Array.make n 0.0 in
+  (* Round-robin partition: connection [c] owns shots [c], [c+conns], …
+     in arrival order. *)
+  let worker t0_us c () =
+    let client = connect () in
+    Fun.protect
+      ~finally:(fun () -> Client.close client)
+      (fun () ->
+        let i = ref c in
+        while !i < n do
+          let shot = shots.(!i) in
+          let target_us = t0_us +. (shot.at_s *. 1e6) in
+          let now = Trace.now_us () in
+          if now < target_us then Unix.sleepf ((target_us -. now) /. 1e6);
+          let resp = try Some (Client.request client shot.req) with _ -> None in
+          let done_us = Trace.now_us () in
+          finished.(!i) <- done_us;
+          (* Latency from intended arrival: server-side queueing and our
+             own late send both count against the tail, as they should. *)
+          let lat_ms = (done_us -. target_us) /. 1000.0 in
+          outcomes.(!i) <-
+            (match resp with
+            | Some (Protocol.Plan { cache; _ }) -> Answered (lat_ms, cache)
+            | Some (Protocol.Overloaded _) -> Shed
+            | Some (Protocol.Timeout _) -> TimedOut
+            | Some (Protocol.Error _) | None -> Failed);
+          i := !i + cfg.conns
+        done)
+  in
+  let t0_us = Trace.now_us () in
+  let domains =
+    List.init (cfg.conns - 1) (fun j -> Domain.spawn (worker t0_us (j + 1)))
+  in
+  worker t0_us 0 ();
+  List.iter Domain.join domains;
+  let lat = ref [] in
+  let answered = ref 0 and shed = ref 0 and errors = ref 0 and timeouts = ref 0 in
+  let sources = ref { corpus = 0; nn = 0; cache = 0; solved = 0 } in
+  Array.iter
+    (function
+      | Answered (l, status) ->
+          incr answered;
+          lat := l :: !lat;
+          sources :=
+            (let s = !sources in
+             match status with
+             | Protocol.Corpus -> { s with corpus = s.corpus + 1 }
+             | Protocol.Nearest -> { s with nn = s.nn + 1 }
+             | Protocol.Hit -> { s with cache = s.cache + 1 }
+             | Protocol.Miss -> { s with solved = s.solved + 1 })
+      | Shed -> incr shed
+      | Failed -> incr errors
+      | TimedOut -> incr timeouts)
+    outcomes;
+  let sorted = Array.of_list !lat in
+  Array.sort compare sorted;
+  let last_finish = Array.fold_left Float.max t0_us finished in
+  let wall_s = Float.max 1e-9 ((last_finish -. t0_us) /. 1e6) in
+  {
+    sent = n;
+    answered = !answered;
+    shed = !shed;
+    errors = !errors;
+    timeouts = !timeouts;
+    p50_ms = percentile sorted 0.50;
+    p99_ms = percentile sorted 0.99;
+    p999_ms = percentile sorted 0.999;
+    max_ms = (if Array.length sorted = 0 then Float.nan else sorted.(Array.length sorted - 1));
+    wall_s;
+    achieved_rps = float_of_int n /. wall_s;
+    sources = !sources;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "@[<v>sent %d  answered %d  shed %d  errors %d  timeouts %d@,\
+     latency ms (from intended arrival): p50 %.3f  p99 %.3f  p999 %.3f  max %.3f@,\
+     sources: corpus %d  nn %d  cache %d  solved %d@,\
+     wall %.2fs  achieved %.0f rps@]"
+    r.sent r.answered r.shed r.errors r.timeouts r.p50_ms r.p99_ms r.p999_ms r.max_ms
+    r.sources.corpus r.sources.nn r.sources.cache r.sources.solved r.wall_s r.achieved_rps

@@ -1,0 +1,74 @@
+(** Open-loop load generator for the plan-serving daemon.
+
+    Serving latency claims die by coordinated omission: a closed-loop
+    client (send, wait, send) slows its own arrival rate exactly when
+    the server slows down, hiding the tail.  This generator is open-loop
+    in the honest sense: the full arrival schedule — heavy-tailed
+    interarrivals, Zipf-skewed key choice — is drawn {e up front} from a
+    seeded {!Opprox_util.Rng}, and each request's latency is measured
+    from its {e intended} arrival time, so a request that queued behind
+    a slow server is charged the queueing delay even though the socket
+    write happened late.  Arrivals are partitioned round-robin over
+    [conns] independent connections (one domain each); with a bounded
+    connection count the generator is open-loop per schedule and bounded
+    per channel, which still cannot hide server-side queueing from the
+    percentiles.
+
+    Knobs map to the serving layers under test: [zipf] concentrates
+    traffic on hot keys (what the singleflight and LRU absorb),
+    [offgrid] nudges budgets off the corpus grid (what the
+    nearest-neighbour fallback absorbs), [Pareto] interarrivals produce
+    the bursts that trip admission control. *)
+
+type tail =
+  | Exponential  (** Poisson arrivals *)
+  | Pareto of float
+      (** heavy-tailed interarrivals with the given shape [alpha > 1];
+          smaller alpha, burstier traffic *)
+
+type key = { app : string; input : float array option; budget : float }
+
+type config = {
+  requests : int;
+  rate : float;  (** mean arrivals per second *)
+  conns : int;  (** client connections, one domain each (at most 64) *)
+  tail : tail;
+  zipf : float;  (** key-skew exponent; 0 is uniform *)
+  offgrid : float;
+      (** fraction of requests whose budget is nudged up off the grid
+          cell, landing them in nearest-neighbour territory *)
+  seed : int;
+  deadline_ms : float option;
+}
+
+val default_config : config
+(** 200 requests, 200 rps, 2 connections, [Pareto 1.5], zipf 1.1,
+    offgrid 0, seed 42, no deadline. *)
+
+type counts = { corpus : int; nn : int; cache : int; solved : int }
+
+type report = {
+  sent : int;
+  answered : int;  (** plan replies *)
+  shed : int;  (** overload replies *)
+  errors : int;
+  timeouts : int;
+  p50_ms : float;
+  p99_ms : float;
+  p999_ms : float;
+  max_ms : float;
+      (** percentiles over answered replies, measured from intended
+          arrival (NaN when nothing was answered) *)
+  wall_s : float;
+  achieved_rps : float;
+  sources : counts;  (** where answered plans came from *)
+}
+
+val run : connect:(unit -> Client.t) -> keys:key array -> config -> report
+(** Fire the schedule at servers reached through [connect] (called once
+    per connection, from that connection's domain; use
+    {!Client.loopback} thunks for in-process runs).  Blocks until every
+    request has been answered or failed.  Raises [Invalid_argument] on
+    an empty key set or nonsensical config. *)
+
+val pp : Format.formatter -> report -> unit

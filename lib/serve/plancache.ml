@@ -137,19 +137,39 @@ let stats t =
     { hits = 0; misses = 0; evictions = 0; insertions = 0 }
     t.shard_table
 
+(* --------------------------------------------------------------- snapshot *)
+
+module Sexp = Opprox_util.Sexp
+
+let to_sexp conv t =
+  (* Per shard, entries emit least-recent first; {!restore} replays them
+     through {!add}, so within a shard the recency order — and therefore
+     the eviction order — survives the round-trip exactly.  Across shards
+     generations are independent clocks with no global order to keep. *)
+  let entries =
+    Array.to_list t.shard_table
+    |> List.concat_map (fun s ->
+           with_shard s (fun () ->
+               Hashtbl.fold (fun key e acc -> (e.gen, key, e.value) :: acc) s.table []
+               |> List.sort (fun (g1, _, _) (g2, _, _) -> compare g1 g2)))
+  in
+  Sexp.list (List.map (fun (_, key, v) -> Sexp.list [ Sexp.string key; conv v ]) entries)
+
+let restore of_value t sexp =
+  let n = ref 0 in
+  List.iter
+    (fun e ->
+      match Sexp.to_list e with
+      | [ key; v ] ->
+          add t (Sexp.to_string_atom key) (of_value v);
+          incr n
+      | _ -> failwith "Plancache.restore: malformed snapshot entry")
+    (Sexp.to_list sexp);
+  !n
+
 (* ------------------------------------------------------------ fingerprint *)
 
-let fingerprint ~app ~input ~budget ~models_hash =
-  let b = Buffer.create (String.length app + String.length models_hash + (17 * (Array.length input + 1)) + 4) in
-  Buffer.add_string b app;
-  Buffer.add_char b '|';
-  Array.iter
-    (fun x ->
-      Buffer.add_string b (Printf.sprintf "%Lx" (Int64.bits_of_float x));
-      Buffer.add_char b '.')
-    input;
-  Buffer.add_char b '|';
-  Buffer.add_string b (Printf.sprintf "%Lx" (Int64.bits_of_float budget));
-  Buffer.add_char b '|';
-  Buffer.add_string b models_hash;
-  Buffer.contents b
+(* The canonical key now lives in {!Opprox_corpus.Key} — the corpus, the
+   LRU, and the singleflight table must agree on it byte for byte.  Kept
+   here as an alias for the existing call sites. *)
+let fingerprint = Opprox_corpus.Key.fingerprint

@@ -53,8 +53,23 @@ type stats = { hits : int; misses : int; evictions : int; insertions : int }
 val stats : 'v t -> stats
 (** Exact per-instance counters, summed over shards. *)
 
+val to_sexp : ('v -> Opprox_util.Sexp.t) -> 'v t -> Opprox_util.Sexp.t
+(** Snapshot every entry, least-recent first within each shard, so that
+    {!restore} reproduces each shard's recency (and hence eviction)
+    order exactly.  Takes each shard's lock in turn; concurrent writers
+    see a consistent per-shard view. *)
+
+val restore : (Opprox_util.Sexp.t -> 'v) -> 'v t -> Opprox_util.Sexp.t -> int
+(** Replay a {!to_sexp} snapshot through {!add} (counting insertions and
+    evicting normally if the snapshot exceeds capacity) and return the
+    number of entries restored.  Raises [Failure] on a malformed
+    snapshot and whatever the value decoder raises on a malformed
+    value. *)
+
 val fingerprint : app:string -> input:float array -> budget:float -> models_hash:string -> string
-(** Canonical cache key: application name, the IEEE-754 bit pattern of
-    every input component and of the budget, and the models hash.  Equal
-    requests — also equal-but-reconstructed ones — map to equal keys;
-    any bit of difference changes the key. *)
+(** Canonical cache key — an alias of {!Opprox_corpus.Key.fingerprint},
+    shared with the plan corpus and the singleflight table: application
+    name, the IEEE-754 bit pattern of every input component and of the
+    budget, and the models hash.  Equal requests — also
+    equal-but-reconstructed ones — map to equal keys; any bit of
+    difference changes the key. *)

@@ -17,7 +17,10 @@ type request = {
 let request ?input ?deadline_ms ?models_hash ?(no_cache = false) ~app ~budget () =
   { app; input; budget; deadline_ms; models_hash; no_cache }
 
-type cache_status = Hit | Miss
+(* Where the plan came from, most- to least-precomputed: the persistent
+   corpus (exact fingerprint), a nearest-neighbour corpus cell (tightened
+   budget), the in-memory LRU, or a fresh solve. *)
+type cache_status = Corpus | Nearest | Hit | Miss
 
 type response =
   | Plan of {
@@ -59,7 +62,18 @@ let request_of_sexp sexp =
       | Some s -> failwith (Printf.sprintf "request: bad no_cache %s" (Sexp.to_string s)));
   }
 
-let cache_status_string = function Hit -> "hit" | Miss -> "miss"
+let cache_status_string = function
+  | Corpus -> "corpus"
+  | Nearest -> "nn"
+  | Hit -> "hit"
+  | Miss -> "miss"
+
+(* CLI-facing naming: what a user calls the place an answer came from. *)
+let cache_source_string = function
+  | Corpus -> "corpus"
+  | Nearest -> "nn"
+  | Hit -> "cache"
+  | Miss -> "solved"
 
 let response_to_sexp = function
   | Plan { plan; cache; models_hash; elapsed_ms } ->
@@ -104,6 +118,8 @@ let response_of_sexp sexp =
           plan = Optimizer.plan_of_sexp (Sexp.field sexp "plan");
           cache =
             (match Sexp.to_string_atom (Sexp.field sexp "cache") with
+            | "corpus" -> Corpus
+            | "nn" -> Nearest
             | "hit" -> Hit
             | "miss" -> Miss
             | s -> failwith (Printf.sprintf "response: bad cache status %S" s));

@@ -57,7 +57,19 @@ val request :
   unit ->
   request
 
-type cache_status = Hit | Miss
+type cache_status =
+  | Corpus  (** exact fingerprint hit in the precomputed plan corpus *)
+  | Nearest
+      (** nearest-neighbour corpus cell: the plan of the largest grid
+          budget at or below the requested one (never looser) *)
+  | Hit  (** in-memory sharded-LRU hit *)
+  | Miss  (** freshly solved (possibly coalesced onto another solve) *)
+
+val cache_status_string : cache_status -> string
+(** Wire naming: [corpus], [nn], [hit], [miss]. *)
+
+val cache_source_string : cache_status -> string
+(** User-facing naming: [corpus], [nn], [cache], [solved]. *)
 
 type response =
   | Plan of {

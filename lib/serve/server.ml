@@ -18,6 +18,15 @@ let m_errors = Metrics.counter "server.errors"
 let m_inflight = Metrics.gauge "server.inflight"
 let m_request_us = Metrics.histogram "server.request_us"
 let m_solve_us = Metrics.histogram "server.solve_us"
+let m_sf_leaders = Metrics.counter "server.singleflight.leaders"
+let m_sf_coalesced = Metrics.counter "server.singleflight.coalesced"
+let m_corpus_hits = Metrics.counter "corpus.hits"
+let m_corpus_misses = Metrics.counter "corpus.misses"
+let m_corpus_nn_hits = Metrics.counter "corpus.nn_hits"
+let m_restore_rejected = Metrics.counter "plancache.restore.rejected"
+
+module Corpus = Opprox_corpus.Corpus
+module Key = Opprox_corpus.Key
 
 type config = {
   jobs : int option;
@@ -27,6 +36,8 @@ type config = {
   default_deadline_ms : float option;
   idle_timeout_s : float;
   drain_timeout_s : float;
+  corpus_path : string option;
+  cache_snapshot : string option;
 }
 
 let default_config =
@@ -38,6 +49,8 @@ let default_config =
     default_deadline_ms = None;
     idle_timeout_s = 30.0;
     drain_timeout_s = 10.0;
+    corpus_path = None;
+    cache_snapshot = None;
   }
 
 type served = { trained : Opprox.trained; hash : string }
@@ -49,10 +62,76 @@ type t = {
   cache : Protocol.response Plancache.t;
       (* cached values are always [Plan {cache = Miss; ...}] templates;
          hits re-stamp the cache status and elapsed time *)
+  corpus : Corpus.t option;
+  flight : Protocol.response Singleflight.t;
   pool : Pool.t option;  (* [None]: the shared default pool *)
   inflight : int Atomic.t;
   stopping : bool Atomic.t;
 }
+
+(* --------------------------------------------------------- cache snapshots *)
+
+let sorted_served t =
+  Hashtbl.fold (fun app s acc -> (app, s.hash) :: acc) t.served []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* The snapshot records the models the LRU was warmed against; a restore
+   into a server holding different models is rejected wholesale (the
+   entries could never hit anyway — their fingerprints embed the hash —
+   so restoring them would only displace live capacity). *)
+let save_cache_snapshot t path =
+  Sexp.save path
+    (Sexp.record
+       [
+         ( "models",
+           Sexp.list
+             (List.map
+                (fun (app, h) -> Sexp.list [ Sexp.string app; Sexp.string h ])
+                (sorted_served t)) );
+         ("cache", Plancache.to_sexp Protocol.response_to_sexp t.cache);
+       ])
+
+let restore_cache_snapshot t path =
+  let reject fmt =
+    Printf.ksprintf
+      (fun why ->
+        Metrics.incr m_restore_rejected;
+        Log.warn (fun m -> m "cache snapshot %s rejected: %s" path why);
+        false)
+      fmt
+  in
+  match Opprox_util.Sexp.load path with
+  | exception Failure msg -> reject "%s" msg
+  | sexp -> (
+      match
+        List.map
+          (fun e ->
+            match Sexp.to_list e with
+            | [ app; h ] -> (Sexp.to_string_atom app, Sexp.to_string_atom h)
+            | _ -> failwith "malformed models entry")
+          (Sexp.to_list (Sexp.field sexp "models"))
+      with
+      | exception Failure msg -> reject "%s" msg
+      | recorded -> (
+          let stale =
+            List.filter
+              (fun (app, h) ->
+                match Hashtbl.find_opt t.served app with
+                | Some s -> s.hash <> h
+                | None -> true)
+              recorded
+          in
+          match stale with
+          | (app, _) :: _ ->
+              reject "models hash mismatch for %s (snapshot predates a retrain?)" app
+          | [] -> (
+              match
+                Plancache.restore Protocol.response_of_sexp t.cache (Sexp.field sexp "cache")
+              with
+              | exception Failure msg -> reject "%s" msg
+              | n ->
+                  Log.app (fun m -> m "restored %d cached plan(s) from %s" n path);
+                  true)))
 
 let create ?(config = default_config) pipelines =
   if pipelines = [] then invalid_arg "Server.create: no trained pipelines";
@@ -69,9 +148,9 @@ let create ?(config = default_config) pipelines =
       let diags = Opprox.Models.lint tr.Opprox.models in
       List.iter (fun d -> Log.info (fun m -> m "%s: %a" name Diagnostic.pp d)) diags;
       Diagnostic.raise_errors ~strict:false diags;
-      let hash =
-        Digest.to_hex (Digest.string (Sexp.to_string (Opprox.Models.to_sexp tr.Opprox.models)))
-      in
+      (* The corpus precompute stamps its entries with the same digest;
+         the two must never drift, so both call one helper. *)
+      let hash = Opprox_corpus.Precompute.models_hash tr in
       Hashtbl.add served name { trained = tr; hash })
     pipelines;
   let known_apps = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) served []) in
@@ -86,20 +165,51 @@ let create ?(config = default_config) pipelines =
       expected_hash = (fun app -> Option.map (fun s -> s.hash) (Hashtbl.find_opt served app));
     }
   in
-  {
-    config;
-    served;
-    target;
-    cache = Plancache.create ~shards:config.cache_shards ~capacity:config.cache_capacity ();
-    pool = Option.map (fun jobs -> Pool.create ~jobs ()) config.jobs;
-    inflight = Atomic.make 0;
-    stopping = Atomic.make false;
-  }
+  let corpus =
+    match config.corpus_path with
+    | None -> None
+    | Some path ->
+        let c = Corpus.load path in
+        (* A stale stamp can never produce a wrong answer — the hash is
+           part of every fingerprint, so lookups just miss — but it turns
+           the corpus into dead weight; say so at startup. *)
+        List.iter
+          (fun (app, h) ->
+            match Hashtbl.find_opt served app with
+            | Some s when s.hash <> h ->
+                Log.warn (fun m ->
+                    m "corpus %s: stale models hash for %s (CORP001); its plans cannot hit"
+                      path app)
+            | _ -> ())
+          (Corpus.apps c);
+        Log.app (fun m ->
+            m "corpus %s: %d precomputed plans over %d app(s)" path (Corpus.length c)
+              (List.length (Corpus.apps c)));
+        Some c
+  in
+  let t =
+    {
+      config;
+      served;
+      target;
+      cache = Plancache.create ~shards:config.cache_shards ~capacity:config.cache_capacity ();
+      corpus;
+      flight = Singleflight.create ();
+      pool = Option.map (fun jobs -> Pool.create ~jobs ()) config.jobs;
+      inflight = Atomic.make 0;
+      stopping = Atomic.make false;
+    }
+  in
+  (match config.cache_snapshot with
+  | Some path when Sys.file_exists path -> ignore (restore_cache_snapshot t path)
+  | _ -> ());
+  t
 
 let apps t = t.target.Lint_request.known_apps
 let models_hash t app = t.target.Lint_request.expected_hash app
 let cache_stats t = Plancache.stats t.cache
 let cache_clear t = Plancache.clear t.cache
+let corpus t = t.corpus
 let inflight t = Atomic.get t.inflight
 
 (* ------------------------------------------------------------ request path *)
@@ -146,50 +256,113 @@ let process t (req : Protocol.request) ~t0_us =
           Protocol.Timeout
             { elapsed_ms = elapsed_ms (); deadline_ms = Option.get deadline_ms }
         in
-        let key =
-          Plancache.fingerprint ~app:req.Protocol.app ~input ~budget:req.Protocol.budget
-            ~models_hash:served.hash
+        let group = Key.group ~app:req.Protocol.app ~input ~models_hash:served.hash in
+        let key = Key.of_group ~group ~budget:req.Protocol.budget in
+        (* Lookup-first, most- to least-precomputed: corpus exact hit,
+           then the adjacent budget-grid cell (conservative tightening,
+           re-audited before reply), then the LRU.  Only a miss through
+           all three pays a solve — and at most one request per
+           fingerprint pays it; the rest park on the singleflight. *)
+        let corpus_lookup () =
+          match t.corpus with
+          | None -> None
+          | Some c -> (
+              match Corpus.find c key with
+              | Some plan ->
+                  Metrics.incr m_corpus_hits;
+                  Some (plan, Protocol.Corpus)
+              | None -> (
+                  match Corpus.find_nn c ~group ~budget:req.Protocol.budget with
+                  | Some (nn_budget, plan) ->
+                      let diags =
+                        Opprox.Optimizer.lint ~models:served.trained.Opprox.models plan
+                      in
+                      if Diagnostic.errors diags = [] then begin
+                        Metrics.incr m_corpus_nn_hits;
+                        Some (plan, Protocol.Nearest)
+                      end
+                      else begin
+                        Log.warn (fun m ->
+                            m "corpus nn candidate (budget %g) failed the plan audit; solving"
+                              nn_budget);
+                        Metrics.incr m_corpus_misses;
+                        None
+                      end
+                  | None ->
+                      Metrics.incr m_corpus_misses;
+                      None))
         in
-        let cached = if req.Protocol.no_cache then None else Plancache.find t.cache key in
-        match cached with
-        | Some (Protocol.Plan p) ->
-            Protocol.Plan { p with cache = Protocol.Hit; elapsed_ms = elapsed_ms () }
-        | Some _ | None -> (
+        let lookup () =
+          if req.Protocol.no_cache then None
+          else
+            match corpus_lookup () with
+            | Some (plan, status) ->
+                Some
+                  (Protocol.Plan
+                     { plan; cache = status; models_hash = served.hash; elapsed_ms = 0.0 })
+            | None -> (
+                match Plancache.find t.cache key with
+                | Some (Protocol.Plan p) -> Some (Protocol.Plan { p with cache = Protocol.Hit })
+                | Some _ | None -> None)
+        in
+        match lookup () with
+        | Some (Protocol.Plan p) -> Protocol.Plan { p with elapsed_ms = elapsed_ms () }
+        | Some r -> r
+        | None -> (
             if timed_out () then timeout ()
             else
-              let solved =
-                try
-                  let t_solve = Trace.now_us () in
-                  let plan =
-                    Trace.with_span ~cat:"server" "server.solve" (fun () ->
-                        Opprox.optimize ~input served.trained ~budget:req.Protocol.budget)
-                  in
-                  Metrics.observe m_solve_us (Trace.now_us () -. t_solve);
-                  Ok plan
-                with
-                | Diagnostic.Lint_error ds -> Result.Error ds
-                | Stdlib.Exit | Stack_overflow | Out_of_memory | Assert_failure _ as e ->
-                    raise e
-                | e -> Result.Error [ Lint_request.internal (Printexc.to_string e) ]
+              let solve () =
+                let solved =
+                  try
+                    let t_solve = Trace.now_us () in
+                    let plan =
+                      Trace.with_span ~cat:"server" "server.solve" (fun () ->
+                          Opprox.optimize ~input served.trained ~budget:req.Protocol.budget)
+                    in
+                    Metrics.observe m_solve_us (Trace.now_us () -. t_solve);
+                    Ok plan
+                  with
+                  | Diagnostic.Lint_error ds -> Result.Error ds
+                  | Stdlib.Exit | Stack_overflow | Out_of_memory | Assert_failure _ as e ->
+                      raise e
+                  | e -> Result.Error [ Lint_request.internal (Printexc.to_string e) ]
+                in
+                match solved with
+                | Result.Error ds ->
+                    Metrics.incr m_errors;
+                    Protocol.Error ds
+                | Ok plan ->
+                    let reply =
+                      Protocol.Plan
+                        {
+                          plan;
+                          cache = Protocol.Miss;
+                          models_hash = served.hash;
+                          elapsed_ms = elapsed_ms ();
+                        }
+                    in
+                    Plancache.add t.cache key reply;
+                    reply
               in
-              match solved with
-              | Result.Error ds ->
-                  Metrics.incr m_errors;
-                  Protocol.Error ds
-              | Ok plan ->
-                  let reply =
-                    Protocol.Plan
-                      {
-                        plan;
-                        cache = Protocol.Miss;
-                        models_hash = served.hash;
-                        elapsed_ms = elapsed_ms ();
-                      }
-                  in
-                  Plancache.add t.cache key reply;
+              (* One in-flight solve per fingerprint: concurrent identical
+                 requests (no_cache ones included — solves are
+                 deterministic) park on the leader and share its reply. *)
+              let resp =
+                match Singleflight.run t.flight key solve with
+                | Singleflight.Led r ->
+                    Metrics.incr m_sf_leaders;
+                    r
+                | Singleflight.Joined r ->
+                    Metrics.incr m_sf_coalesced;
+                    r
+              in
+              match resp with
+              | Protocol.Plan p ->
                   (* The plan is kept (so the retry hits the cache), but a
                      missed deadline still gets an honest timeout reply. *)
-                  if timed_out () then timeout () else reply)
+                  if timed_out () then timeout ()
+                  else Protocol.Plan { p with elapsed_ms = elapsed_ms () }
+              | r -> r)
       end)
 
 (* Admission around one request: bump the in-flight counter, shed when
@@ -328,4 +501,14 @@ let serve t ~socket =
         Log.warn (fun m ->
             m "drain timed out with %d request(s) in flight" (Atomic.get t.inflight))
       else Log.app (fun m -> m "drained; shutting down");
+      (* Persist the warm LRU after the drain settles, so the snapshot
+         includes every request answered on this run. *)
+      (match t.config.cache_snapshot with
+      | None -> ()
+      | Some path -> (
+          try
+            save_cache_snapshot t path;
+            Log.app (fun m -> m "saved %d cached plan(s) to %s" (Plancache.size t.cache) path)
+          with Failure msg | Sys_error msg ->
+            Log.warn (fun m -> m "cache snapshot %s not saved: %s" path msg)));
       match t.pool with Some p -> Pool.shutdown p | None -> ())

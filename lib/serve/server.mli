@@ -16,14 +16,29 @@
     + {b Validation} — {!Opprox_analysis.Lint_request} at the boundary:
       bad budget, unknown app, stale models hash, malformed input each
       produce a structured [SRV***]-coded [Error] reply.
+    + {b Corpus} — with [corpus_path] set, the precomputed plan corpus
+      ({!Opprox_corpus.Corpus}) answers first: an exact fingerprint hit
+      is served straight off the mmap (no lock, no LRU churn,
+      [corpus.hits]); failing that, the nearest budget-grid cell {e at
+      or below} the requested budget is re-audited
+      ({!Opprox.Optimizer.lint}) and served ([corpus.nn_hits]) — the
+      tightened plan can only be more conservative than what a fresh
+      solve would return.
     + {b Cache} — {!Plancache} keyed by the canonical fingerprint of
-      (app, input bits, budget bits, models hash).
-    + {b Deadline} — cooperative: checked after the cache lookup misses
-      and again after the solve.  A missed deadline replies [Timeout]
-      (the solved plan still enters the cache, so the retry hits).
+      (app, input bits, models hash, budget bits).  With
+      [cache_snapshot] set, the LRU is restored from the snapshot at
+      startup (rejected wholesale on a models-hash mismatch:
+      [plancache.restore.rejected]) and saved after the shutdown drain.
+    + {b Deadline} — cooperative: checked after the lookups miss and
+      again after the solve.  A missed deadline replies [Timeout] (the
+      solved plan still enters the cache, so the retry hits).
     + {b Solve} — {!Opprox.optimize} on a {!Opprox_util.Pool} worker
-      domain; concurrent solves share nothing but the models (immutable
-      after load) and the mutex-guarded caches.
+      domain, coalesced per fingerprint through {!Singleflight}: under a
+      hot-key storm, one request leads the solve
+      ([server.singleflight.leaders]) and the duplicates park and share
+      its reply ([server.singleflight.coalesced]).  Concurrent solves
+      share nothing but the models (immutable after load) and the
+      mutex-guarded caches.
 
     The same path backs both transports: the Unix-domain-socket accept
     loop ({!serve}) and the in-process loopback ({!handle}) that tests
@@ -47,6 +62,13 @@ type config = {
           worker domain forever; default 30 s *)
   drain_timeout_s : float;
       (** bound on waiting for in-flight requests at shutdown; default 10 s *)
+  corpus_path : string option;
+      (** precomputed plan corpus to consult before cache and solve;
+          default [None].  {!create} raises [Failure] on a structurally
+          invalid file — a bad corpus must fail at startup. *)
+  cache_snapshot : string option;
+      (** path for LRU persistence: restored at startup when the file
+          exists, saved after the shutdown drain; default [None] *)
 }
 
 val default_config : config
@@ -93,6 +115,22 @@ val install_signal_handlers : t -> unit
 
 val cache_stats : t -> Plancache.stats
 val cache_clear : t -> unit
+
+val corpus : t -> Opprox_corpus.Corpus.t option
+(** The loaded plan corpus, when [corpus_path] was set. *)
+
+val save_cache_snapshot : t -> string -> unit
+(** Write the live LRU (values plus per-shard recency order) and the
+    served (app, models hash) pairs to a snapshot file, atomically.
+    Raises [Failure] on IO errors.  {!serve} calls this after the drain
+    when [cache_snapshot] is set. *)
+
+val restore_cache_snapshot : t -> string -> bool
+(** Replay a snapshot into the live LRU.  [false] — with a warning and a
+    [plancache.restore.rejected] bump — when the file is unreadable,
+    malformed, or stamped with models hashes that differ from the served
+    pipelines; never raises.  {!create} calls this at startup when
+    [cache_snapshot] names an existing file. *)
 
 val inflight : t -> int
 (** Requests currently admitted (socket connections being served plus

@@ -1,0 +1,48 @@
+type 'a state = Pending | Done of ('a, exn) result
+
+type 'a entry = { m : Mutex.t; cv : Condition.t; mutable state : 'a state }
+
+type 'a t = { m : Mutex.t; table : (string, 'a entry) Hashtbl.t }
+
+let create () = { m = Mutex.create (); table = Hashtbl.create 64 }
+
+type 'a outcome = Led of 'a | Joined of 'a
+
+let inflight t =
+  Mutex.lock t.m;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.m;
+  n
+
+let run t key f =
+  Mutex.lock t.m;
+  match Hashtbl.find_opt t.table key with
+  | Some e -> (
+      (* Follower: park until the leader publishes. *)
+      Mutex.unlock t.m;
+      Mutex.lock e.m;
+      let rec wait () =
+        match e.state with
+        | Pending ->
+            Condition.wait e.cv e.m;
+            wait ()
+        | Done r -> r
+      in
+      let r = wait () in
+      Mutex.unlock e.m;
+      match r with Ok v -> Joined v | Error exn -> raise exn)
+  | None -> (
+      let e = { m = Mutex.create (); cv = Condition.create (); state = Pending } in
+      Hashtbl.add t.table key e;
+      Mutex.unlock t.m;
+      let r = try Ok (f ()) with exn -> Error exn in
+      (* Retire the flight before publishing: a caller that arrives after
+         this point leads a fresh one instead of reading a stale result. *)
+      Mutex.lock t.m;
+      Hashtbl.remove t.table key;
+      Mutex.unlock t.m;
+      Mutex.lock e.m;
+      e.state <- Done r;
+      Condition.broadcast e.cv;
+      Mutex.unlock e.m;
+      match r with Ok v -> Led v | Error exn -> raise exn)

@@ -1,0 +1,31 @@
+(** Per-key solve coalescing.
+
+    A burst of identical requests — the hot-key pattern every cache-miss
+    storm is made of — must cost {e one} optimizer solve, not one per
+    request.  [run t key f] elects the first caller of a key its
+    {e leader}: the leader runs [f] while every concurrent caller of the
+    same key parks on a condition variable and receives the leader's
+    result.  The entry is removed before the result is published, so a
+    caller arriving {e after} the leader finished starts a fresh flight
+    (singleflight deduplicates concurrency, it is not a cache).
+
+    If the leader raises, followers re-raise the same exception; the
+    failed flight is forgotten, so a retry leads a new one. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+type 'a outcome =
+  | Led of 'a  (** this caller ran [f] *)
+  | Joined of 'a  (** this caller parked and received a leader's result *)
+
+val run : 'a t -> string -> (unit -> 'a) -> 'a outcome
+(** [run t key f] — leader runs [f]; followers block until the leader
+    publishes.  Reentrant calls on distinct keys are independent; [f]
+    must not recursively call [run] on the same [key] (it would join
+    itself and deadlock is avoided only because the entry belongs to the
+    caller — it would simply run again). *)
+
+val inflight : 'a t -> int
+(** Number of keys currently being led — for tests and gauges. *)

@@ -2,4 +2,5 @@ let () =
   Alcotest.run "opprox"
     (Test_util.suite @ Test_linalg.suite @ Test_ml.suite @ Test_sim.suite @ Test_apps.suite
    @ Test_core.suite @ Test_checkpoint.suite @ Test_serialize.suite @ Test_runtime.suite
-   @ Test_pool.suite @ Test_analysis.suite @ Test_obs.suite @ Test_serve.suite)
+   @ Test_pool.suite @ Test_analysis.suite @ Test_obs.suite @ Test_serve.suite
+   @ Test_corpus.suite)
