@@ -1,6 +1,6 @@
 # Convenience aliases; dune is the build system.
 
-.PHONY: all check test lint stats serve-smoke corpus-smoke pool-smoke fixtures bench bench-snapshot fmt clean
+.PHONY: all check test lint stats serve-smoke corpus-smoke pool-smoke conc-smoke fixtures bench bench-snapshot fmt clean
 
 all:
 	dune build @all
@@ -136,6 +136,21 @@ pool-smoke:
 	dune build bench/main.exe
 	dune exec --no-build bench/main.exe -- --pool-smoke
 
+# Concurrency smoke test: the seeded defect fixtures must each fail
+# with their documented CONC code, and the deterministic self-exercise
+# suite (pool stress, shardmap, plancache, singleflight, server
+# loopback under seeded interleaving widening) must report clean.
+conc-smoke:
+	dune build bin/opprox_cli.exe
+	@for f in deadlock unguarded reentrant; do \
+	  if dune exec --no-build bin/opprox_cli.exe -- check \
+	       --conc-fixture $$f >/dev/null 2>&1; then \
+	    echo "conc-smoke: $$f fixture was NOT flagged"; exit 1; \
+	  else echo "conc-smoke: $$f fixture flagged (ok)"; fi; \
+	done
+	dune exec --no-build bin/opprox_cli.exe -- check --concurrency --strict
+	@echo "conc-smoke: ok"
+
 # Regenerate the committed corruption fixtures under test/fixtures/.
 fixtures:
 	dune exec test/gen_fixtures.exe
@@ -145,12 +160,14 @@ bench:
 	dune exec bench/main.exe -- --quick
 
 # Regenerate the committed benchmark snapshots (BENCH_pool.json,
-# BENCH_checkpoint.json, BENCH_obs.json, BENCH_serve.json, and
-# BENCH_corpus.json) from the bechamel micro-suite.  Exits non-zero if
-# the pool scaling gate fails (inverted scaling, or under 1.5x at j4 on
-# a >= 4-core host) or the corpus gate fails (corpus hit not faster
-# than an LRU hit, corpus/nn lookups over 0.2 ms, or duplicate solves
-# not held to one per fingerprint under a hot-key loadgen storm).
+# BENCH_checkpoint.json, BENCH_obs.json, BENCH_serve.json,
+# BENCH_corpus.json, and BENCH_conc.json) from the bechamel
+# micro-suite.  Exits non-zero if the pool scaling gate fails (inverted
+# scaling, or under 1.5x at j4 on a >= 4-core host), the corpus gate
+# fails (corpus hit over 1.25x an LRU hit, corpus/nn lookups over
+# 0.2 ms, or duplicate solves not held to one per fingerprint under a
+# hot-key loadgen storm), or the conc gate fails (disabled-checker
+# Dmutex lock/unlock more than 1.35x a bare Mutex).
 bench-snapshot:
 	dune exec bench/main.exe -- --bechamel
 

@@ -349,6 +349,128 @@ module Checker = Opprox_analysis.Checker
 module Lint_app = Opprox_analysis.Lint_app
 module Lint_schedule = Opprox_analysis.Lint_schedule
 
+module Conc = Opprox_util.Conc
+module Dmutex = Opprox_util.Dmutex
+module Guarded = Opprox_util.Guarded
+
+(* Seeded defect fixtures: each deterministically triggers one CONC rule
+   so `make conc-smoke` (and the docs) can demonstrate the checker
+   catching a real defect with a stable code.  The deadlock fixture
+   needs no second domain — the order graph convicts the AB/BA shape
+   from one domain's history, which is the point: the cycle is reported
+   even when this run happened not to interleave fatally. *)
+let run_conc_fixture kind =
+  Conc.enable ();
+  match kind with
+  | "deadlock" ->
+      let a = Dmutex.create ~name:"fixture.lock_a" () in
+      let b = Dmutex.create ~name:"fixture.lock_b" () in
+      Dmutex.lock a;
+      Dmutex.lock b;
+      Dmutex.unlock b;
+      Dmutex.unlock a;
+      Dmutex.lock b;
+      Dmutex.lock a;
+      Dmutex.unlock a;
+      Dmutex.unlock b
+  | "unguarded" ->
+      let m = Dmutex.create ~name:"fixture.guard" () in
+      let cell = Guarded.create ~name:"fixture.cell" ~locks:[ m ] 0 in
+      ignore (Guarded.get cell : int)
+  | "reentrant" ->
+      let m = Dmutex.create ~name:"fixture.reentrant" () in
+      Dmutex.lock m;
+      (try Dmutex.lock m with Failure _ -> ());
+      Dmutex.unlock m
+  | other ->
+      Printf.eprintf
+        "opprox check: unknown --conc-fixture %S (expected deadlock, unguarded, or reentrant)\n"
+        other;
+      exit 2
+
+(* The deterministic self-exercise: drive every concurrent structure the
+   runtime owns — pool, shardmap, plancache, singleflight, and the full
+   server loopback path — under the checker, with seeded yield injection
+   widening the interleavings each repetition explores.  A clean run is
+   the evidence `opprox check --concurrency` reports; any discipline
+   break surfaces as a CONC diagnostic. *)
+let run_conc_suite ~seed ~reps =
+  Conc.enable ();
+  (* Train once (checked, not stressed): the driver memos and the pool
+     already run under the enabled checker here. *)
+  let app = List.hd (Opprox_apps.Registry.all ()) in
+  let config =
+    {
+      Opprox.default_train_config with
+      n_phases = Some 2;
+      training =
+        {
+          Opprox.Training.default_config with
+          joint_samples_per_phase = 2;
+          inputs =
+            Some
+              (Array.sub app.App.training_inputs 0
+                 (Stdlib.min 2 (Array.length app.App.training_inputs)));
+        };
+    }
+  in
+  let trained = Opprox.train ~config app in
+  let server = Opprox_serve.Server.create [ trained ] in
+  Conc.stress ~seed ~reps (fun rep ->
+      let pool = Opprox_util.Pool.create ~jobs:4 () in
+      Fun.protect
+        ~finally:(fun () -> Opprox_util.Pool.shutdown pool)
+        (fun () ->
+          (* Pool + shardmap: concurrent add/find churn across shards,
+             with capacity trims exercising the order lock. *)
+          let map = Opprox_util.Shardmap.create ~name:"conc.suite.map" ~capacity:64 () in
+          Opprox_util.Pool.parallel_iter ~pool
+            (fun i ->
+              let key = Printf.sprintf "k%d" (i mod 96) in
+              ignore (Opprox_util.Shardmap.add map key i : bool);
+              ignore (Opprox_util.Shardmap.find map key : int option))
+            (Array.init 256 Fun.id);
+          Opprox_util.Shardmap.set_capacity map 16;
+          ignore (Opprox_util.Shardmap.size map : int);
+          (* Plancache: sharded LRU under concurrent hits and evictions. *)
+          let cache = Opprox_serve.Plancache.create ~shards:4 ~capacity:32 () in
+          Opprox_util.Pool.parallel_iter ~pool
+            (fun i ->
+              let key = Printf.sprintf "p%d" (i mod 48) in
+              Opprox_serve.Plancache.add cache key i;
+              ignore (Opprox_serve.Plancache.find cache key : int option))
+            (Array.init 256 Fun.id);
+          (* Singleflight: a hot-key storm — leaders publish through the
+             entry condvar while followers park on it. *)
+          let sf : int Opprox_serve.Singleflight.t = Opprox_serve.Singleflight.create () in
+          Opprox_util.Pool.parallel_iter ~pool
+            (fun i ->
+              ignore
+                (Opprox_serve.Singleflight.run sf "hot"
+                   (fun () ->
+                     for _ = 0 to 200 do
+                       Domain.cpu_relax ()
+                     done;
+                     i)
+                  : int Opprox_serve.Singleflight.outcome))
+            (Array.init 64 Fun.id);
+          (* Server loopback: the full request path (validation, corpus
+             ladder, LRU, singleflight-coalesced solve) from several
+             domains at once. *)
+          Opprox_util.Pool.parallel_iter ~pool
+            (fun i ->
+              let client = Opprox_serve.Client.loopback server in
+              let budget = 5.0 +. float_of_int (i mod 3 + rep) in
+              let req = Opprox_serve.Protocol.request ~app:app.App.name ~budget () in
+              ignore (Opprox_serve.Client.request client req : Opprox_serve.Protocol.response))
+            (Array.init 32 Fun.id)))
+
+let conc_metric name =
+  match Opprox_obs.Metrics.find name with
+  | Some (Opprox_obs.Metrics.Counter n) -> n
+  | Some (Opprox_obs.Metrics.Gauge g) -> int_of_float g
+  | _ -> 0
+
 let check_cmd =
   let app_opt_arg =
     Arg.(
@@ -409,8 +531,41 @@ let check_cmd =
       value & flag
       & info [ "sexp" ] ~doc:"Also print each finding as an s-expression on stdout.")
   in
+  let concurrency_arg =
+    Arg.(
+      value & flag
+      & info [ "concurrency" ]
+          ~doc:"Run the concurrency self-exercise suite (pool, shardmap, plancache, \
+                singleflight, server loopback) under the runtime checker with seeded \
+                interleaving widening, and report any $(b,CONC) findings (lock-order \
+                cycles, unguarded shared state, reentrancy, foreign release).")
+  in
+  let conc_seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "conc-seed" ] ~docv:"SEED"
+          ~doc:"Seed for the stress mode's randomized yield injection.")
+  in
+  let conc_reps_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "conc-reps" ] ~docv:"N"
+          ~doc:"Repetitions of the self-exercise suite; each widens a different \
+                interleaving family from the seed.")
+  in
+  let conc_fixture_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "conc-fixture" ] ~docv:"KIND"
+          ~doc:"Instead of the self-exercise suite, run a seeded defect fixture and \
+                report its finding: $(b,deadlock) (AB/BA lock-order cycle, CONC001), \
+                $(b,unguarded) (lockset violation, CONC002), or $(b,reentrant) \
+                (self-deadlock, CONC003).  Exercises the checker's detection paths; \
+                used by $(b,make conc-smoke).")
+  in
   let run app models_file schedule_file request_file corpus_file strict_flag disabled sexp_out
-      verbose =
+      concurrency conc_seed conc_reps conc_fixture verbose =
     setup_logs verbose;
     let strict = strict_flag || Diagnostic.strict_env () in
     let checker =
@@ -542,6 +697,22 @@ let check_cmd =
             | exception Failure _ -> ())
         | None, _ -> ()
         | exception Failure _ -> () (* already reported by lint_file *)));
+    (match (concurrency, conc_fixture) with
+    | false, None -> ()
+    | _ ->
+        Conc.reset ();
+        (match conc_fixture with
+        | Some kind -> run_conc_fixture kind
+        | None -> run_conc_suite ~seed:conc_seed ~reps:conc_reps);
+        Printf.printf
+          "concurrency: %d lock acquisitions, %d lock classes, %d order edges, %d stress \
+           yields, %d reports\n"
+          (conc_metric "conc.locks.acquisitions")
+          (conc_metric "conc.locks.classes")
+          (conc_metric "conc.order.edges")
+          (conc_metric "conc.stress.yields")
+          (conc_metric "conc.reports");
+        Opprox_analysis.Lint_conc.check_into checker);
     if sexp_out then
       List.iter
         (fun d -> print_endline (Opprox_util.Sexp.to_string (Diagnostic.to_sexp d)))
@@ -552,12 +723,14 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:
-         "Audit applications, trained models, and schedules without running the simulator.  \
-          Exit status 0 when clean (or only notes/warnings), 1 when any error — or any \
-          warning under $(b,--strict) — fired, 2 on usage problems.")
+         "Audit applications, trained models, and schedules without running the simulator, \
+          and — with $(b,--concurrency) — the runtime's own lock discipline under the \
+          concurrency checker.  Exit status 0 when clean (or only notes/warnings), 1 when \
+          any error — or any warning under $(b,--strict) — fired, 2 on usage problems.")
     Term.(
       const run $ app_opt_arg $ models_arg $ schedule_arg $ request_arg $ corpus_arg
-      $ strict_arg $ disable_arg $ sexp_arg $ verbose_arg)
+      $ strict_arg $ disable_arg $ sexp_arg $ concurrency_arg $ conc_seed_arg $ conc_reps_arg
+      $ conc_fixture_arg $ verbose_arg)
 
 (* ---------------------------------------------------------------- oracle *)
 

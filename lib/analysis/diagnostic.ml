@@ -64,6 +64,10 @@ let codes =
     ("CORP002", "corpus file truncated, malformed, or index out of order");
     ("CORP003", "request falls outside the corpus app/budget grid");
     ("CORP004", "corpus plan record fails to decode or disagrees with its fingerprint");
+    ("CONC001", "potential deadlock: lock-order cycle between lock classes");
+    ("CONC002", "shared state accessed without its guarding lockset held");
+    ("CONC003", "reentrant acquisition of a mutex the domain already holds");
+    ("CONC004", "mutex released or waited on by a domain that does not hold it");
   ]
 
 let is_failure ~strict d =

@@ -1,0 +1,20 @@
+(* The CONC rule family: renders the concurrency checker's findings
+   ({!Opprox_util.Conc}) as diagnostics.
+
+   The checker itself lives in [lib/util] — it must sit below every
+   locked structure it instruments — and knows nothing of diagnostics;
+   this module is the bridge.  Every CONC report is an [Error]: each one
+   names a defect class (deadlock potential, unguarded shared state,
+   reentrancy, foreign release) that is a correctness bug whenever it
+   fires, never a style matter.  The [subject] becomes the location
+   detail, so [--sexp] consumers can key on the lock class / guarded
+   cell without parsing the message. *)
+
+module Conc = Opprox_util.Conc
+
+let of_report (r : Conc.report) =
+  Diagnostic.v ~detail:r.subject ~code:r.code Diagnostic.Error "%s" r.message
+
+let diagnostics () = List.map of_report (Conc.reports ())
+
+let check_into checker = Checker.add checker (diagnostics ())

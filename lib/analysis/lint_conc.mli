@@ -1,0 +1,22 @@
+(** CONC rule family — concurrency-checker findings as diagnostics.
+
+    {!Opprox_util.Conc} accumulates raw reports while the runtime
+    checker is enabled ([OPPROX_RACECHECK=1] / [Conc.enable]); this
+    module converts them for [opprox check --concurrency] and any other
+    {!Checker} consumer.
+
+    Codes (all [Error] severity):
+    - [CONC001] — potential deadlock: a nested acquisition closed a
+      cycle in the lock-order graph (both acquisition sites reported).
+    - [CONC002] — a {!Opprox_util.Guarded} cell was accessed without its
+      guarding lockset held.
+    - [CONC003] — reentrant acquisition of a held {!Opprox_util.Dmutex}.
+    - [CONC004] — a mutex released or waited on by a non-owner domain. *)
+
+val of_report : Opprox_util.Conc.report -> Diagnostic.t
+
+val diagnostics : unit -> Diagnostic.t list
+(** The checker's accumulated findings, converted. *)
+
+val check_into : Checker.t -> unit
+(** Add {!diagnostics} to an aggregating checker. *)

@@ -20,7 +20,7 @@ let m_configs = Metrics.counter "oracle.space.configs"
 module Shardmap = Opprox_util.Shardmap
 
 let cache : (int array * Driver.evaluation) list Shardmap.t =
-  Shardmap.create ~shards:8 ~capacity:max_int ()
+  Shardmap.create ~name:"oracle.measured" ~shards:8 ~capacity:max_int ()
 
 let clear_cache () = Shardmap.clear cache
 

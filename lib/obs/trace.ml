@@ -1,7 +1,12 @@
 (* Events are appended to a mutex-protected list; each append happens
    after the span body finished, so the lock is never held while user
-   code runs.  Timestamps are Unix.gettimeofday relative to the first
-   enable, in microseconds (the unit Chrome's trace viewer expects). *)
+   code runs.  Timestamps are CLOCK_MONOTONIC (via the C stub below)
+   relative to the first enable, in microseconds (the unit Chrome's
+   trace viewer expects) — an NTP step or settimeofday mid-run cannot
+   reorder spans or corrupt deadline arithmetic built on [now_us].  The
+   wall-clock instant of the monotonic epoch is captured once and
+   exported in the trace metadata so timelines can still be anchored to
+   real time. *)
 
 type event = {
   name : string;
@@ -14,14 +19,23 @@ type event = {
 
 let on = Atomic.make false
 let epoch0 = Atomic.make 0.0
+let wall_epoch_us = Atomic.make 0.0
 let events : event list ref = ref []
 let n_events = Atomic.make 0
 let mutex = Mutex.create ()
-let now_us () = Unix.gettimeofday () *. 1e6
+
+external monotonic_us : unit -> float = "opprox_monotonic_us"
+
+let now_us = monotonic_us
 
 let set_enabled b =
-  if b && Atomic.get epoch0 = 0.0 then Atomic.set epoch0 (now_us ());
+  if b && Atomic.get epoch0 = 0.0 then begin
+    Atomic.set epoch0 (now_us ());
+    Atomic.set wall_epoch_us (Unix.gettimeofday () *. 1e6)
+  end;
   Atomic.set on b
+
+let wall_epoch () = Atomic.get wall_epoch_us /. 1e6
 
 let enabled () = Atomic.get on
 
@@ -95,7 +109,11 @@ let to_json () =
       if ev.ph = 'X' then Buffer.add_string b (Printf.sprintf ",\"dur\":%.3f" ev.dur);
       Buffer.add_string b (Printf.sprintf ",\"pid\":%d,\"tid\":%d}" pid ev.tid))
     evs;
-  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"";
+  Buffer.add_string b
+    (Printf.sprintf ",\"otherData\":{\"clock\":\"monotonic\",\"wallClockEpochUs\":%.3f}"
+       (Atomic.get wall_epoch_us));
+  Buffer.add_string b "}\n";
   Buffer.contents b
 
 let export path =

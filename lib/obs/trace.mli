@@ -27,8 +27,18 @@ val instant : ?cat:string -> string -> unit
 (** A zero-duration marker event. *)
 
 val now_us : unit -> float
-(** Monotonic-enough wall clock in microseconds (shared with the metrics
-    instrumentation so span and histogram timings agree). *)
+(** [CLOCK_MONOTONIC] in microseconds (arbitrary epoch, typically since
+    boot; falls back to [gettimeofday] only where the monotonic clock is
+    unavailable).  Immune to NTP steps — safe for span timestamps,
+    latency histograms, and serve-deadline arithmetic, all of which use
+    differences of this clock.  Not wall time: anchor to real time with
+    {!wall_epoch}. *)
+
+val wall_epoch : unit -> float
+(** Wall-clock time (seconds since the Unix epoch) captured at the same
+    instant as the monotonic trace epoch (first {!set_enabled}[ true]);
+    [0.] before that.  Exported in the trace JSON metadata as
+    [otherData.wallClockEpochUs]. *)
 
 val event_count : unit -> int
 (** Spans and markers currently buffered. *)

@@ -1,0 +1,34 @@
+/* Monotonic clock for the tracer, in microseconds as a double.
+ *
+ * CLOCK_MONOTONIC is immune to NTP steps and settimeofday, so span
+ * durations and serve deadlines computed from differences of this
+ * clock cannot jump backwards or skip forwards mid-run.  The value is
+ * an arbitrary-epoch reading (typically since boot); the OCaml side
+ * pairs it with a wall-clock epoch captured once for trace metadata.
+ *
+ * Fallback to gettimeofday where CLOCK_MONOTONIC is unavailable — the
+ * pre-existing behaviour, kept so the build never loses the tracer.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value opprox_monotonic_us(value unit)
+{
+  (void)unit;
+#if defined(CLOCK_MONOTONIC)
+  {
+    struct timespec ts;
+    if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+      return caml_copy_double((double)ts.tv_sec * 1e6 + (double)ts.tv_nsec / 1e3);
+  }
+#endif
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_double((double)tv.tv_sec * 1e6 + (double)tv.tv_usec);
+  }
+}

@@ -1,48 +1,66 @@
+module Dmutex = Opprox_util.Dmutex
+module Guarded = Opprox_util.Guarded
+
 type 'a state = Pending | Done of ('a, exn) result
 
-type 'a entry = { m : Mutex.t; cv : Condition.t; mutable state : 'a state }
+(* Per-flight rendezvous.  [state] flips Pending -> Done exactly once,
+   under [m]; followers sleep on [cv].  All entries share the
+   [singleflight.entry] lock class — it must never nest with the table
+   lock (followers release the table before parking; the leader
+   publishes after retiring the flight). *)
+type 'a entry = { m : Dmutex.t; cv : Condition.t; state : 'a state Guarded.t }
 
-type 'a t = { m : Mutex.t; table : (string, 'a entry) Hashtbl.t }
+type 'a t = { m : Dmutex.t; table : (string, 'a entry) Hashtbl.t Guarded.t }
 
-let create () = { m = Mutex.create (); table = Hashtbl.create 64 }
+let create () =
+  let m = Dmutex.create ~name:"singleflight.table" () in
+  { m; table = Guarded.create ~name:"singleflight.table" ~locks:[ m ] (Hashtbl.create 64) }
 
 type 'a outcome = Led of 'a | Joined of 'a
 
 let inflight t =
-  Mutex.lock t.m;
-  let n = Hashtbl.length t.table in
-  Mutex.unlock t.m;
+  Dmutex.lock t.m;
+  let n = Hashtbl.length (Guarded.get t.table) in
+  Dmutex.unlock t.m;
   n
 
+let make_entry key =
+  let m = Dmutex.create ~name:"singleflight.entry" () in
+  {
+    m;
+    cv = Condition.create ();
+    state = Guarded.create ~name:("singleflight.entry " ^ key) ~locks:[ m ] Pending;
+  }
+
 let run t key f =
-  Mutex.lock t.m;
-  match Hashtbl.find_opt t.table key with
+  Dmutex.lock t.m;
+  match Hashtbl.find_opt (Guarded.get t.table) key with
   | Some e -> (
       (* Follower: park until the leader publishes. *)
-      Mutex.unlock t.m;
-      Mutex.lock e.m;
+      Dmutex.unlock t.m;
+      Dmutex.lock e.m;
       let rec wait () =
-        match e.state with
+        match Guarded.get e.state with
         | Pending ->
-            Condition.wait e.cv e.m;
+            Dmutex.wait e.cv e.m;
             wait ()
         | Done r -> r
       in
       let r = wait () in
-      Mutex.unlock e.m;
+      Dmutex.unlock e.m;
       match r with Ok v -> Joined v | Error exn -> raise exn)
   | None -> (
-      let e = { m = Mutex.create (); cv = Condition.create (); state = Pending } in
-      Hashtbl.add t.table key e;
-      Mutex.unlock t.m;
+      let e = make_entry key in
+      Hashtbl.add (Guarded.get t.table) key e;
+      Dmutex.unlock t.m;
       let r = try Ok (f ()) with exn -> Error exn in
       (* Retire the flight before publishing: a caller that arrives after
          this point leads a fresh one instead of reading a stale result. *)
-      Mutex.lock t.m;
-      Hashtbl.remove t.table key;
-      Mutex.unlock t.m;
-      Mutex.lock e.m;
-      e.state <- Done r;
+      Dmutex.lock t.m;
+      Hashtbl.remove (Guarded.get t.table) key;
+      Dmutex.unlock t.m;
+      Dmutex.lock e.m;
+      Guarded.set e.state (Done r);
       Condition.broadcast e.cv;
-      Mutex.unlock e.m;
+      Dmutex.unlock e.m;
       match r with Ok v -> Led v | Error exn -> raise exn)

@@ -48,16 +48,16 @@ let eval_capacity = ref 4096
 (* Exact runs are pure functions of (application, input); the memo is
    unbounded like in previous revisions (one entry per distinct input). *)
 let exact_cache : exact_run Bounded.t ref =
-  ref (Bounded.create ~shards:default_memo_shards ~capacity:max_int ())
+  ref (Bounded.create ~name:"driver.exact" ~shards:default_memo_shards ~capacity:max_int ())
 
 let checkpoint_cache : checkpoint Bounded.t ref =
-  ref (Bounded.create ~shards:default_memo_shards ~capacity:!ckpt_capacity ())
+  ref (Bounded.create ~name:"driver.ckpt" ~shards:default_memo_shards ~capacity:!ckpt_capacity ())
 
 (* Full-evaluation memo: schedules repeat across training sweeps, oracle
    probes and bench matrices, and an evaluation is a pure function of
    (app, input, schedule). *)
 let eval_cache : evaluation Bounded.t ref =
-  ref (Bounded.create ~shards:default_memo_shards ~capacity:!eval_capacity ())
+  ref (Bounded.create ~name:"driver.eval" ~shards:default_memo_shards ~capacity:!eval_capacity ())
 
 let checkpointing_on = Atomic.make true
 let eval_cache_on = Atomic.make true
@@ -77,9 +77,9 @@ let memo_shards () = !memo_shards_n
 let set_memo_shards n =
   if n < 1 then invalid_arg "Driver.set_memo_shards: shards must be >= 1";
   memo_shards_n := n;
-  exact_cache := Bounded.create ~shards:n ~capacity:max_int ();
-  checkpoint_cache := Bounded.create ~shards:n ~capacity:!ckpt_capacity ();
-  eval_cache := Bounded.create ~shards:n ~capacity:!eval_capacity ()
+  exact_cache := Bounded.create ~name:"driver.exact" ~shards:n ~capacity:max_int ();
+  checkpoint_cache := Bounded.create ~name:"driver.ckpt" ~shards:n ~capacity:!ckpt_capacity ();
+  eval_cache := Bounded.create ~name:"driver.eval" ~shards:n ~capacity:!eval_capacity ()
 
 (* Cache accounting lives in the process-wide metrics registry (atomic
    counters, so pool workers bump them without the cache mutexes); tests

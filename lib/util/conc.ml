@@ -1,0 +1,264 @@
+(* Concurrency-safety checker runtime: the shared state behind the CONC
+   diagnostic family.
+
+   {!Dmutex} and {!Guarded} call into this module from their slow paths;
+   nothing here runs unless checking is enabled ([OPPROX_RACECHECK=1],
+   the legacy alias [OPPROX_DEBUG=1], or {!enable}).  The runtime keeps
+
+   - a per-domain stack of held locks (in domain-local storage, so
+     reading it never synchronizes with other domains), and
+   - a global lock-order graph over lock {e classes}: an edge [a -> b]
+     means some domain acquired a lock of class [b] while holding one of
+     class [a].  The 16 shard locks of one map share a class, so the
+     graph stays a handful of nodes however wide the sharding — and
+     nesting two {e instances} of one class is a self-edge, which is
+     exactly the AB/BA hazard sharded structures must never create.
+
+   A new edge that closes a cycle is a potential deadlock (CONC001):
+   some interleaving of the involved domains can block forever, even if
+   this run did not.  Cycle detection runs only on the {e first}
+   observation of an edge, so steady-state cost per acquisition is a
+   held-stack walk plus one hashtable miss per held lock.
+
+   The checker's own state is guarded by a plain [Mutex.t] — it cannot
+   instrument itself.  Reports are deduplicated on (code, subject):
+   a defective call site inside a hot loop yields one report, not
+   millions. *)
+
+module Metrics = Opprox_obs.Metrics
+
+let m_acquisitions = Metrics.counter "conc.locks.acquisitions"
+let m_classes = Metrics.gauge "conc.locks.classes"
+let m_edges = Metrics.gauge "conc.order.edges"
+let m_reports = Metrics.counter "conc.reports"
+let m_yields = Metrics.counter "conc.stress.yields"
+
+type report = { code : string; subject : string; message : string }
+
+(* ------------------------------------------------------------- enabling *)
+
+let env_on v = Sys.getenv_opt v = Some "1"
+let enabled_flag = Atomic.make (env_on "OPPROX_RACECHECK" || env_on "OPPROX_DEBUG")
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+let enable () = set_enabled true
+
+(* -------------------------------------------------------- lock identity *)
+
+let next_id = Atomic.make 0
+let fresh_id () = Atomic.fetch_and_add next_id 1
+
+(* ------------------------------------------------- per-domain held stack *)
+
+type held = { id : int; cls : string; bt : Printexc.raw_backtrace }
+
+let held_key : held list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+let held_stack () = Domain.DLS.get held_key
+let holds ~id = List.exists (fun h -> h.id = id) !(held_stack ())
+let held_classes () = List.map (fun h -> h.cls) !(held_stack ())
+
+(* ------------------------------------------------------- checker state *)
+
+let state_mu = Mutex.create ()
+
+(* Adjacency lists for cycle search; [edge_sites] doubles as the edge
+   set and remembers the acquisition sites of each edge's first
+   observation (the pair CONC001 reports). *)
+let succs : (string, string list ref) Hashtbl.t = Hashtbl.create 64
+let edge_sites : (string * string, string * string) Hashtbl.t = Hashtbl.create 64
+let classes : (string, unit) Hashtbl.t = Hashtbl.create 64
+let report_keys : (string, unit) Hashtbl.t = Hashtbl.create 16
+let reports_rev : report list ref = ref []
+
+let with_state f =
+  Mutex.lock state_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock state_mu) f
+
+let report_locked ~code ~subject message =
+  let key = code ^ "|" ^ subject in
+  if not (Hashtbl.mem report_keys key) then begin
+    Hashtbl.add report_keys key ();
+    reports_rev := { code; subject; message } :: !reports_rev;
+    Metrics.incr m_reports
+  end
+
+let report ~code ~subject fmt =
+  Printf.ksprintf (fun message -> with_state (fun () -> report_locked ~code ~subject message)) fmt
+
+let reports () = with_state (fun () -> List.rev !reports_rev)
+let report_count () = with_state (fun () -> List.length !reports_rev)
+
+let reset () =
+  with_state (fun () ->
+      Hashtbl.reset succs;
+      Hashtbl.reset edge_sites;
+      Hashtbl.reset classes;
+      Hashtbl.reset report_keys;
+      reports_rev := [];
+      Metrics.set m_classes 0.0;
+      Metrics.set m_edges 0.0);
+  (* Only the calling domain's stack can be cleared safely; entries left
+     by enabling/disabling mid-critical-section on other domains drain
+     as those domains release. *)
+  held_stack () := []
+
+(* Backtraces compress to their first few frames on one line: enough to
+   name the acquisition site without drowning a diagnostic in a page of
+   stack. *)
+let site_string bt =
+  let internal frame =
+    (* The checker's and Dmutex's own frames head every capture; the
+       caller wants the acquisition site, not the instrumentation. *)
+    let has sub =
+      let n = String.length sub and m = String.length frame in
+      let rec at i = i + n <= m && (String.sub frame i n = sub || at (i + 1)) in
+      at 0
+    in
+    has "Opprox_util__Conc" || has "Opprox_util__Dmutex"
+  in
+  let frames =
+    String.split_on_char '\n' (Printexc.raw_backtrace_to_string bt)
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && not (internal l))
+  in
+  match frames with
+  | [] -> "(backtrace unavailable; compile with debug info)"
+  | frames -> String.concat " | " (List.filteri (fun i _ -> i < 3) frames)
+
+(* --------------------------------------------------- stress (yield widening) *)
+
+let stress_on = Atomic.make false
+let stress_seed = Atomic.make 0
+
+let rng_key : (int * Random.State.t) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let maybe_yield () =
+  if Atomic.get stress_on then begin
+    let seed = Atomic.get stress_seed in
+    let cell = Domain.DLS.get rng_key in
+    let st =
+      match !cell with
+      | Some (s, st) when s = seed -> st
+      | _ ->
+          let st = Random.State.make [| seed; (Domain.self () :> int) |] in
+          cell := Some (seed, st);
+          st
+    in
+    (* A short randomized spin at the lock site perturbs the arrival
+       order of contending domains, widening the interleavings one
+       seeded run explores. *)
+    let n = Random.State.int st 4 in
+    if n > 0 then begin
+      Metrics.incr m_yields;
+      for _ = 1 to n * 16 do
+        Domain.cpu_relax ()
+      done
+    end
+  end
+
+let stress ?(seed = 0) ?(reps = 3) f =
+  let prev_enabled = enabled () in
+  set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stress_on false;
+      set_enabled prev_enabled)
+    (fun () ->
+      for rep = 0 to reps - 1 do
+        (* A distinct seed per repetition re-randomizes every domain's
+           yield schedule; the multiplier just decorrelates low bits. *)
+        Atomic.set stress_seed (seed + (rep * 0x9e3779b9));
+        Atomic.set stress_on true;
+        f rep
+      done)
+
+(* ------------------------------------------------------ order graph *)
+
+let path_exists_locked src dst =
+  let visited = Hashtbl.create 16 in
+  let rec go n =
+    n = dst
+    || (not (Hashtbl.mem visited n)
+       &&
+       (Hashtbl.add visited n ();
+        match Hashtbl.find_opt succs n with
+        | None -> false
+        | Some l -> List.exists go !l))
+  in
+  go src
+
+let intern_class_locked c =
+  if not (Hashtbl.mem classes c) then begin
+    Hashtbl.add classes c ();
+    Metrics.set m_classes (float_of_int (Hashtbl.length classes))
+  end
+
+(* Called by [Dmutex.create] — lock creation is rare, so interning every
+   class up front keeps [conc.locks.classes] meaningful without touching
+   the acquisition path. *)
+let register_class c = with_state (fun () -> intern_class_locked c)
+
+let add_edge_locked ~from_cls ~from_bt ~to_cls ~to_bt =
+  let key = (from_cls, to_cls) in
+  if not (Hashtbl.mem edge_sites key) then begin
+    (* Check reachability before inserting, so the fresh edge itself is
+       not part of the searched graph. *)
+    let closes_cycle = path_exists_locked to_cls from_cls in
+    Hashtbl.add edge_sites key (site_string from_bt, site_string to_bt);
+    let l =
+      match Hashtbl.find_opt succs from_cls with
+      | Some l -> l
+      | None ->
+          let l = ref [] in
+          Hashtbl.add succs from_cls l;
+          l
+    in
+    l := to_cls :: !l;
+    intern_class_locked from_cls;
+    intern_class_locked to_cls;
+    Metrics.set m_edges (float_of_int (Hashtbl.length edge_sites));
+    if closes_cycle then begin
+      let here_from, here_to = Hashtbl.find edge_sites key in
+      let return_leg =
+        match Hashtbl.find_opt edge_sites (to_cls, from_cls) with
+        | Some (rf, rt) ->
+            Printf.sprintf "reverse edge %s -> %s first seen holding-at %s, acquiring-at %s"
+              to_cls from_cls rf rt
+        | None -> Printf.sprintf "reverse path %s ->* %s via intermediate lock classes" to_cls from_cls
+      in
+      report_locked ~code:"CONC001"
+        ~subject:(Printf.sprintf "%s -> %s" from_cls to_cls)
+        (Printf.sprintf
+           "lock-order cycle: acquiring %s while holding %s (held-at %s, acquired-at %s) \
+            completes a cycle; %s"
+           to_cls from_cls here_from here_to return_leg)
+    end
+  end
+
+(* ------------------------------------------------------- Dmutex hooks *)
+
+(* All hooks below are slow-path only: {!Dmutex} calls them after one
+   atomic load of the enable flag said checking is on. *)
+
+let add_edge ~from_cls ~from_bt ~to_cls ~to_bt =
+  with_state (fun () -> add_edge_locked ~from_cls ~from_bt ~to_cls ~to_bt)
+
+let on_lock ~id:_ ~cls =
+  Metrics.incr m_acquisitions;
+  let bt = Printexc.get_callstack 16 in
+  List.iter (fun h -> add_edge ~from_cls:h.cls ~from_bt:h.bt ~to_cls:cls ~to_bt:bt) !(held_stack ());
+  maybe_yield ();
+  bt
+
+let on_acquired ~id ~cls ~bt =
+  let s = held_stack () in
+  s := { id; cls; bt } :: !s
+
+let on_release ~id =
+  let s = held_stack () in
+  let rec remove_first = function
+    | [] -> []
+    | h :: tl -> if h.id = id then tl else h :: remove_first tl
+  in
+  s := remove_first !s

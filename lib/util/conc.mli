@@ -1,0 +1,96 @@
+(** Concurrency-safety checker runtime (the CONC diagnostic family).
+
+    Always compiled in; near-free when off.  {!Dmutex} and {!Guarded}
+    consult one atomic enable flag per operation and call into this
+    module only when checking is on — [OPPROX_RACECHECK=1] in the
+    environment at startup, the legacy alias [OPPROX_DEBUG=1], or
+    {!enable}.  While enabled, the runtime maintains a per-domain
+    held-lock stack and a global lock-order graph over lock {e classes}
+    (same-named locks — e.g. all 16 shard locks of one map — share a
+    class), and accumulates deduplicated {!report}s:
+
+    - [CONC001] — a nested acquisition closed a cycle in the lock-order
+      graph: a potential deadlock, reported with both acquisition sites.
+    - [CONC002] — a {!Guarded} cell was accessed without its guarding
+      lockset held (reported by {!Guarded}, stored here).
+    - [CONC003] — reentrant acquisition: a domain locked a {!Dmutex} it
+      already holds (reported by {!Dmutex}).
+    - [CONC004] — a {!Dmutex} was released by a domain that does not
+      hold it (reported by {!Dmutex}).
+
+    Reports are plain data; {!Opprox_analysis} renders them as
+    [Diagnostic]s ([Lint_conc]).  Metrics: [conc.locks.acquisitions],
+    [conc.locks.classes], [conc.order.edges], [conc.reports],
+    [conc.stress.yields]. *)
+
+type report = { code : string; subject : string; message : string }
+(** One deduplicated finding: stable CONC code, the lock class / edge /
+    cell it concerns, and a human message carrying acquisition sites. *)
+
+(** {2 Enabling} *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+
+val set_enabled : bool -> unit
+(** Process-wide. Initial state comes from [OPPROX_RACECHECK=1] or
+    [OPPROX_DEBUG=1].  Toggling while locks are held leaves the checker's
+    view of those locks incomplete; reports remain best-effort until
+    they are released (never false deadlocks from balanced sections). *)
+
+(** {2 Reports} *)
+
+val reports : unit -> report list
+(** Accumulated findings in observation order (deduplicated on
+    (code, subject)). *)
+
+val report_count : unit -> int
+
+val report : code:string -> subject:string -> ('a, unit, string, unit) format4 -> 'a
+(** Record a finding (deduplicated).  Used by {!Dmutex} / {!Guarded};
+    available to other instrumentation that detects CONC conditions. *)
+
+val reset : unit -> unit
+(** Drop all reports and the lock-order graph, and clear the {e calling}
+    domain's held stack.  Tests bracket fixtures with this. *)
+
+(** {2 Stress — seeded interleaving widening} *)
+
+val stress : ?seed:int -> ?reps:int -> (int -> unit) -> unit
+(** [stress ~seed ~reps f] runs [f 0 .. f (reps-1)] with checking forced
+    on and randomized yield injection active at every instrumented lock
+    site: each contending domain spins a seeded-pseudorandom number of
+    times before acquiring, perturbing arrival orders so one test
+    explores [reps] distinct interleaving families deterministically
+    per seed.  Restores the previous enable state. *)
+
+val maybe_yield : unit -> unit
+(** The stress-mode yield point (no-op unless {!stress} is active). *)
+
+(** {2 Instrumentation hooks — called by Dmutex/Guarded slow paths} *)
+
+val fresh_id : unit -> int
+(** Process-unique lock identity. *)
+
+val register_class : string -> unit
+(** Intern a lock class for the [conc.locks.classes] gauge (called once
+    per {!Dmutex.create}). *)
+
+val holds : id:int -> bool
+(** Whether the calling domain's held stack contains lock [id]. *)
+
+val held_classes : unit -> string list
+(** Lock classes the calling domain currently holds, innermost first. *)
+
+val on_lock : id:int -> cls:string -> Printexc.raw_backtrace
+(** Pre-acquisition hook: counts the acquisition, adds lock-order edges
+    from every held lock to [cls] (checking each new edge for a cycle —
+    CONC001), and applies stress yields.  Returns the captured
+    acquisition site for {!on_acquired}. *)
+
+val on_acquired : id:int -> cls:string -> bt:Printexc.raw_backtrace -> unit
+(** Post-acquisition hook: pushes the lock on the held stack. *)
+
+val on_release : id:int -> unit
+(** Removes the lock from the held stack (also used around
+    [Condition.wait]'s release window). *)

@@ -1,46 +1,76 @@
-(* A mutex with optional owner tracking.  In normal operation this is a
-   plain [Mutex.t] — one extra branch per operation.  With checking
-   enabled ([OPPROX_DEBUG=1] or {!set_enabled}) each acquisition records
-   the owning domain, and a domain re-acquiring a lock it already holds
-   fails immediately with a descriptive exception instead of deadlocking
-   silently.  Systhreads mutexes already raise [Sys_error] on some
-   platforms for recursive locking, but not reliably, and never with the
-   owner identified. *)
+(* An instrumented mutex.  In normal operation this is a plain [Mutex.t]
+   plus one atomic load of the {!Conc} enable flag per operation.  With
+   checking on, every acquisition runs through the {!Conc} runtime: the
+   per-domain held stack catches reentrant acquisition (CONC003) before
+   it deadlocks, the lock-order graph catches cyclic nesting across lock
+   classes (CONC001), and release by a non-owner is CONC004.  The
+   reentrancy/foreign-release defects additionally raise [Failure]
+   immediately — they corrupt the calling domain's own discipline and
+   continuing would hang or crash it anyway. *)
 
-type t = { m : Mutex.t; owner : int Atomic.t }
+type t = { m : Mutex.t; owner : int Atomic.t; id : int; cls : string }
 
 let no_owner = -1
-let enabled = ref (Sys.getenv_opt "OPPROX_DEBUG" = Some "1")
-let set_enabled b = enabled := b
-let checking () = !enabled
-let create () = { m = Mutex.create (); owner = Atomic.make no_owner }
+
+let create ?name () =
+  let id = Conc.fresh_id () in
+  (* Unnamed locks get a unique class: distinct anonymous locks must not
+     alias in the order graph.  Named locks share their name as a class
+     (all shards of one map), so instance count never widens the graph. *)
+  let cls = match name with Some n -> n | None -> Printf.sprintf "lock#%d" id in
+  Conc.register_class cls;
+  { m = Mutex.create (); owner = Atomic.make no_owner; id; cls }
+
+let name t = t.cls
+let id t = t.id
 let self () = (Domain.self () :> int)
 
-let lock t =
-  if !enabled && Atomic.get t.owner = self () then
-    failwith "Dmutex.lock: reentrant acquisition (this domain already holds the lock)";
-  Mutex.lock t.m;
-  if !enabled then Atomic.set t.owner (self ())
-
-let unlock t =
-  if !enabled then begin
-    let o = Atomic.get t.owner in
-    (* [o = no_owner] is tolerated: checking may have been enabled between
-       lock and unlock. *)
-    if o <> no_owner && o <> self () then
-      failwith "Dmutex.unlock: lock held by another domain";
-    Atomic.set t.owner no_owner
+let lock_slow t =
+  if Conc.holds ~id:t.id then begin
+    Conc.report ~code:"CONC003" ~subject:t.cls
+      "reentrant acquisition of %s by domain %d (already on its held stack)" t.cls (self ());
+    failwith "Dmutex.lock: reentrant acquisition (this domain already holds the lock)"
   end;
+  let bt = Conc.on_lock ~id:t.id ~cls:t.cls in
+  Mutex.lock t.m;
+  Atomic.set t.owner (self ());
+  Conc.on_acquired ~id:t.id ~cls:t.cls ~bt
+
+let lock t = if Conc.enabled () then lock_slow t else Mutex.lock t.m
+
+let unlock_slow t =
+  let o = Atomic.get t.owner in
+  (* [o = no_owner] is tolerated: checking may have been enabled between
+     lock and unlock. *)
+  if o <> no_owner && o <> self () then begin
+    Conc.report ~code:"CONC004" ~subject:t.cls
+      "%s released by domain %d while owned by domain %d" t.cls (self ()) o;
+    failwith "Dmutex.unlock: lock held by another domain"
+  end;
+  Atomic.set t.owner no_owner;
+  Conc.on_release ~id:t.id;
   Mutex.unlock t.m
 
+let unlock t = if Conc.enabled () then unlock_slow t else Mutex.unlock t.m
+
 let wait cond t =
-  if !enabled then begin
+  if Conc.enabled () then begin
     let o = Atomic.get t.owner in
-    if o <> no_owner && o <> self () then
-      failwith "Dmutex.wait: lock held by another domain";
-    (* Condition.wait releases the mutex atomically; ownership must be
-       cleared for the duration so a waking peer can acquire cleanly. *)
-    Atomic.set t.owner no_owner
-  end;
-  Condition.wait cond t.m;
-  if !enabled then Atomic.set t.owner (self ())
+    if o <> no_owner && o <> self () then begin
+      Conc.report ~code:"CONC004" ~subject:t.cls
+        "%s waited on by domain %d while owned by domain %d" t.cls (self ()) o;
+      failwith "Dmutex.wait: lock held by another domain"
+    end;
+    (* Condition.wait releases the mutex atomically; the checker's view
+       must agree for the duration so a waking peer acquires cleanly. *)
+    Atomic.set t.owner no_owner;
+    Conc.on_release ~id:t.id;
+    Condition.wait cond t.m;
+    Atomic.set t.owner (self ());
+    Conc.on_acquired ~id:t.id ~cls:t.cls ~bt:(Printexc.get_callstack 16)
+  end
+  else Condition.wait cond t.m
+
+let held_by_self t = Conc.enabled () && Conc.holds ~id:t.id
+let set_enabled = Conc.set_enabled
+let checking = Conc.enabled

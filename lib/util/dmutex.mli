@@ -1,33 +1,55 @@
-(** Owner-tracked mutex for debugging lock discipline.
+(** Instrumented mutex — the lock primitive of the concurrency checker.
 
     Drop-in for the [Mutex.t]/[Condition.wait] subset the codebase uses.
-    In normal operation the cost over a bare mutex is one branch per
-    operation.  When checking is on — [OPPROX_DEBUG=1] in the environment
-    at startup, or {!set_enabled} — each acquisition records the owning
-    domain and a reentrant acquisition (the same domain locking a lock it
-    already holds, the classic self-deadlock in memo-table callbacks)
-    raises [Failure] immediately instead of hanging the process. *)
+    In normal operation the cost over a bare mutex is one atomic load of
+    the {!Conc} enable flag per operation.  With checking on —
+    [OPPROX_RACECHECK=1] (or the legacy alias [OPPROX_DEBUG=1]) in the
+    environment at startup, or {!Conc.enable} — every acquisition feeds
+    the per-domain held-lock stack and the global lock-order graph:
+
+    - cyclic nesting across lock classes reports [CONC001];
+    - reentrant acquisition reports [CONC003] {e and} raises [Failure]
+      (the classic self-deadlock in memo-table callbacks) instead of
+      hanging the process;
+    - release or wait by a non-owner reports [CONC004] and raises.
+
+    Locks created with the same [?name] share a lock {e class} in the
+    order graph — name structural roles (["shardmap.plans.shard"]), not
+    instances, so 16-way sharding stays one graph node and nesting two
+    shards of one class is flagged as the self-edge it is. *)
 
 type t
 
-val create : unit -> t
+val create : ?name:string -> unit -> t
+(** [create ~name ()] — [name] is the lock class for order auditing;
+    unnamed locks get a unique class of their own. *)
+
+val name : t -> string
+(** The lock class. *)
+
+val id : t -> int
+(** Process-unique instance identity (checker integration — {!Guarded}
+    uses it to test membership in the holder's lockset). *)
 
 val lock : t -> unit
-(** Acquire.  With checking on, raises [Failure] if the calling domain
-    already holds [t]. *)
+(** Acquire.  With checking on, raises [Failure] (after recording
+    CONC003) if the calling domain already holds [t]. *)
 
 val unlock : t -> unit
-(** Release.  With checking on, raises [Failure] if another domain is the
-    recorded owner. *)
+(** Release.  With checking on, raises [Failure] (after recording
+    CONC004) if another domain is the recorded owner. *)
 
 val wait : Condition.t -> t -> unit
 (** [wait cond t] is [Condition.wait cond (the underlying mutex)]:
     atomically releases [t] and sleeps, reacquiring before returning.
-    Ownership tracking is cleared for the sleep and restored on wakeup. *)
+    The checker's held stack and ownership track the release window. *)
+
+val held_by_self : t -> bool
+(** With checking on, whether the calling domain holds [t]; always
+    [false] when checking is off (the held stack is not maintained). *)
 
 val set_enabled : bool -> unit
-(** Turn checking on or off process-wide (initial state comes from
-    [OPPROX_DEBUG=1]).  Affects subsequent operations on all mutexes. *)
+(** Alias for {!Conc.set_enabled} (kept for existing call sites). *)
 
 val checking : unit -> bool
-(** Whether checking is currently on. *)
+(** Alias for {!Conc.enabled}. *)

@@ -1,0 +1,42 @@
+(* A lockset-checked cell: the data half of the concurrency checker.
+
+   The lock-order graph in {!Conc} answers "can these locks deadlock";
+   this module answers the complementary Eraser-style question "is this
+   shared state only touched under its lock".  A [Guarded.t] binds a
+   value to the {!Dmutex}(es) that guard it at construction time; with
+   checking on, every [get]/[set] verifies the full lockset is on the
+   calling domain's held stack and records CONC002 when it is not.
+   Unlike reentrancy, an unguarded access is not fatal to the caller, so
+   it reports and proceeds — one deduplicated report per cell, not a
+   crash in the middle of a run.
+
+   With checking off an access is one atomic load plus the field
+   read/write — the same cost as the bare record field it replaces. *)
+
+type 'a t = { cell_name : string; locks : Dmutex.t list; mutable v : 'a }
+
+let create ?(name = "guarded") ~locks v =
+  if locks = [] then invalid_arg "Guarded.create: empty lockset";
+  { cell_name = name; locks; v }
+
+let name t = t.cell_name
+let lockset t = t.locks
+let lockset_held t = List.for_all (fun l -> Conc.holds ~id:(Dmutex.id l)) t.locks
+
+let check t op =
+  if not (lockset_held t) then
+    Conc.report ~code:"CONC002" ~subject:t.cell_name
+      "unguarded %s of %s by domain %d: lockset {%s} not held (holding: %s)" op t.cell_name
+      (Domain.self () :> int)
+      (String.concat ", " (List.map Dmutex.name t.locks))
+      (match Conc.held_classes () with [] -> "nothing" | cs -> String.concat ", " cs)
+
+let get t =
+  if Conc.enabled () then check t "read";
+  t.v
+
+let set t v =
+  if Conc.enabled () then check t "write";
+  t.v <- v
+
+let unsafe_get t = t.v

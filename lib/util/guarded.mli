@@ -1,0 +1,37 @@
+(** Lockset-checked shared state (CONC002).
+
+    [Guarded.t] binds a mutable cell to the {!Dmutex}(es) that guard it;
+    with checking on ({!Conc.enabled}), any {!get}/{!set} performed by a
+    domain that does not hold the {e entire} lockset records a CONC002
+    report (deduplicated per cell) and proceeds.  With checking off an
+    access costs one atomic load over the bare field it replaces.
+
+    The cell holds the {e root} of the guarded state: putting a
+    [Hashtbl.t] in a cell checks that every traversal {e entry} happens
+    under the lock — interior mutation through a retained alias is
+    outside the discipline, as in every lockset checker. *)
+
+type 'a t
+
+val create : ?name:string -> locks:Dmutex.t list -> 'a -> 'a t
+(** [create ~name ~locks v] — [name] labels CONC002 reports; [locks]
+    must be non-empty ([Invalid_argument] otherwise). *)
+
+val name : 'a t -> string
+val lockset : 'a t -> Dmutex.t list
+
+val lockset_held : 'a t -> bool
+(** Whether the calling domain's held stack covers the lockset (always
+    [false] with checking off — the stack is not maintained). *)
+
+val get : 'a t -> 'a
+(** Read; records CONC002 when checking is on and the lockset is not
+    held. *)
+
+val set : 'a t -> 'a -> unit
+(** Write; same check as {!get}. *)
+
+val unsafe_get : 'a t -> 'a
+(** Read with no check ever — for deliberate lock-free snapshots
+    (metrics gauges, [to_sexp] of a quiesced structure).  Use sparingly;
+    every use is an assertion that tearing is acceptable. *)

@@ -349,8 +349,8 @@ let create ?jobs ?active () =
       deques = Array.init (jobs - 1) (fun _ -> Deque.create ());
       inject = Queue.create ();
       inject_n = Atomic.make 0;
-      inject_mutex = Dmutex.create ();
-      park_mutex = Dmutex.create ();
+      inject_mutex = Dmutex.create ~name:"pool.inject" ();
+      park_mutex = Dmutex.create ~name:"pool.park" ();
       park_cond = Condition.create ();
       n_parked = Atomic.make 0;
       n_searching = Atomic.make 0;
@@ -396,7 +396,7 @@ let make_batch n =
   {
     remaining = Atomic.make n;
     first_error = Atomic.make None;
-    bmutex = Dmutex.create ();
+    bmutex = Dmutex.create ~name:"pool.batch" ();
     bcond = Condition.create ();
   }
 
@@ -498,7 +498,7 @@ let run_tasks t tasks =
 (* ---------------------------------------------------------- default pool *)
 
 let default_pool = ref None
-let default_lock = Dmutex.create ()
+let default_lock = Dmutex.create ~name:"pool.default" ()
 
 (* One at_exit hook for the lifetime of the process, registered the
    first time a default pool exists; it shuts down whatever the default

@@ -14,29 +14,53 @@
    on the whole table and eviction order is the global insertion order,
    exactly as in the single-table memo it replaces.  A key always lands
    in the same shard, so first-writer-wins, hit/miss accounting, and
-   determinism are unchanged (tested against a 1-shard instance). *)
+   determinism are unchanged (tested against a 1-shard instance).
+
+   Both halves of the state are {!Guarded} cells bound to their mutex,
+   so the concurrency checker audits that no code path reaches a table
+   or the eviction queue outside its lock.  Shard locks share one class
+   per map ([<name>.shard]) and the order lock is its own class
+   ([<name>.order]); the lock-order invariant — shard locks are never
+   taken while holding the order lock and vice versa — shows up as an
+   edge-free region of the order graph. *)
 
 type 'a shard = {
-  table : (string, 'a) Hashtbl.t;
   mutex : Dmutex.t;
+  table : (string, 'a) Hashtbl.t Guarded.t;
+}
+
+(* The eviction queue and the capacity bound change together under the
+   order lock, so they live in one guarded cell. *)
+type order_state = {
+  order : string Queue.t; (* global insertion order; keys unique *)
+  mutable capacity : int;
 }
 
 type 'a t = {
   shards : 'a shard array;
-  order : string Queue.t; (* global insertion order; keys unique *)
-  mutable capacity : int;
   order_mutex : Dmutex.t;
+  ostate : order_state Guarded.t;
 }
 
-let create ?(shards = 16) ~capacity () =
+let create ?(name = "shardmap") ?(shards = 16) ~capacity () =
   if shards < 1 then invalid_arg "Shardmap.create: shards must be >= 1";
   if capacity < 0 then invalid_arg "Shardmap.create: capacity must be >= 0";
+  let order_mutex = Dmutex.create ~name:(name ^ ".order") () in
   {
     shards =
-      Array.init shards (fun _ -> { table = Hashtbl.create 64; mutex = Dmutex.create () });
-    order = Queue.create ();
-    capacity;
-    order_mutex = Dmutex.create ();
+      Array.init shards (fun i ->
+          let mutex = Dmutex.create ~name:(name ^ ".shard") () in
+          {
+            mutex;
+            table =
+              Guarded.create
+                ~name:(Printf.sprintf "%s.shard[%d].table" name i)
+                ~locks:[ mutex ] (Hashtbl.create 64);
+          });
+    order_mutex;
+    ostate =
+      Guarded.create ~name:(name ^ ".order_state") ~locks:[ order_mutex ]
+        { order = Queue.create (); capacity };
   }
 
 let shard_count t = Array.length t.shards
@@ -48,14 +72,14 @@ let shard_of t key = t.shards.(Hashtbl.hash key mod Array.length t.shards)
 let find t key =
   let s = shard_of t key in
   Dmutex.lock s.mutex;
-  let r = Hashtbl.find_opt s.table key in
+  let r = Hashtbl.find_opt (Guarded.get s.table) key in
   Dmutex.unlock s.mutex;
   r
 
 let remove_key t key =
   let s = shard_of t key in
   Dmutex.lock s.mutex;
-  Hashtbl.remove s.table key;
+  Hashtbl.remove (Guarded.get s.table) key;
   Dmutex.unlock s.mutex
 
 (* Pop over-capacity victims under the order lock, remove them from
@@ -63,9 +87,10 @@ let remove_key t key =
    holding the order lock, so the two lock classes cannot deadlock). *)
 let trim_over_capacity t =
   Dmutex.lock t.order_mutex;
+  let os = Guarded.get t.ostate in
   let victims = ref [] in
-  while Queue.length t.order > t.capacity do
-    victims := Queue.pop t.order :: !victims
+  while Queue.length os.order > os.capacity do
+    victims := Queue.pop os.order :: !victims
   done;
   Dmutex.unlock t.order_mutex;
   List.iter (remove_key t) !victims
@@ -75,29 +100,30 @@ let trim_over_capacity t =
 let add t key v =
   let s = shard_of t key in
   Dmutex.lock s.mutex;
-  let fresh = not (Hashtbl.mem s.table key) in
-  if fresh then Hashtbl.replace s.table key v;
+  let table = Guarded.get s.table in
+  let fresh = not (Hashtbl.mem table key) in
+  if fresh then Hashtbl.replace table key v;
   Dmutex.unlock s.mutex;
   if not fresh then false
   else begin
     Dmutex.lock t.order_mutex;
-    Queue.push key t.order;
+    Queue.push key (Guarded.get t.ostate).order;
     Dmutex.unlock t.order_mutex;
     trim_over_capacity t;
     Dmutex.lock s.mutex;
-    let survived = Hashtbl.mem s.table key in
+    let survived = Hashtbl.mem (Guarded.get s.table) key in
     Dmutex.unlock s.mutex;
     survived
   end
 
 let clear t =
   Dmutex.lock t.order_mutex;
-  Queue.clear t.order;
+  Queue.clear (Guarded.get t.ostate).order;
   Dmutex.unlock t.order_mutex;
   Array.iter
     (fun s ->
       Dmutex.lock s.mutex;
-      Hashtbl.reset s.table;
+      Hashtbl.reset (Guarded.get s.table);
       Dmutex.unlock s.mutex)
     t.shards
 
@@ -105,7 +131,7 @@ let size t =
   Array.fold_left
     (fun acc s ->
       Dmutex.lock s.mutex;
-      let n = Hashtbl.length s.table in
+      let n = Hashtbl.length (Guarded.get s.table) in
       Dmutex.unlock s.mutex;
       acc + n)
     0 t.shards
@@ -113,6 +139,6 @@ let size t =
 let set_capacity t capacity =
   if capacity < 0 then invalid_arg "Shardmap.set_capacity: capacity must be >= 0";
   Dmutex.lock t.order_mutex;
-  t.capacity <- capacity;
+  (Guarded.get t.ostate).capacity <- capacity;
   Dmutex.unlock t.order_mutex;
   trim_over_capacity t

@@ -13,14 +13,22 @@
     determinism) are identical to a single-shard table — only contention
     changes.  Values should be deterministic functions of their key: two
     domains racing on one key duplicate a computation instead of
-    corrupting anything. *)
+    corrupting anything.
+
+    The tables and the eviction queue are {!Guarded} cells, so under
+    [OPPROX_RACECHECK=1] the concurrency checker verifies every access
+    happens under the owning lock (CONC002) and that the map's two lock
+    classes ([<name>.shard], [<name>.order]) never nest (CONC001). *)
 
 type 'a t
 
-val create : ?shards:int -> capacity:int -> unit -> 'a t
-(** [create ~shards ~capacity ()] builds a table of [shards] independent
-    shards (default 16) bounded to ~[capacity] entries in total
-    ([max_int] = unbounded).  Requires [shards >= 1], [capacity >= 0]. *)
+val create : ?name:string -> ?shards:int -> capacity:int -> unit -> 'a t
+(** [create ~name ~shards ~capacity ()] builds a table of [shards]
+    independent shards (default 16) bounded to ~[capacity] entries in
+    total ([max_int] = unbounded).  [name] (default ["shardmap"]) labels
+    the map's lock classes in the concurrency checker's order graph —
+    give distinct structural roles distinct names.  Requires
+    [shards >= 1], [capacity >= 0]. *)
 
 val shard_count : 'a t -> int
 

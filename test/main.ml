@@ -1,6 +1,30 @@
 let () =
-  Alcotest.run "opprox"
-    (Test_util.suite @ Test_linalg.suite @ Test_ml.suite @ Test_sim.suite @ Test_apps.suite
-   @ Test_core.suite @ Test_checkpoint.suite @ Test_serialize.suite @ Test_runtime.suite
-   @ Test_pool.suite @ Test_analysis.suite @ Test_obs.suite @ Test_serve.suite
-   @ Test_corpus.suite)
+  let outcome =
+    try
+      Ok
+        (Alcotest.run ~and_exit:false "opprox"
+           (Test_util.suite @ Test_linalg.suite @ Test_ml.suite @ Test_sim.suite
+          @ Test_apps.suite @ Test_core.suite @ Test_checkpoint.suite @ Test_serialize.suite
+          @ Test_runtime.suite @ Test_pool.suite @ Test_analysis.suite @ Test_obs.suite
+          @ Test_serve.suite @ Test_corpus.suite @ Test_conc.suite))
+    with e -> Error e
+  in
+  (* Under OPPROX_RACECHECK=1 (or the OPPROX_DEBUG alias) the whole suite
+     ran with the concurrency checker live; any report that survived —
+     tests planting deliberate defects reset after themselves — is a real
+     lock-discipline break somewhere in the runtime, and fails the run
+     even though every assertion passed. *)
+  let checker_env v = Sys.getenv_opt v = Some "1" in
+  if checker_env "OPPROX_RACECHECK" || checker_env "OPPROX_DEBUG" then begin
+    match Opprox_util.Conc.reports () with
+    | [] -> print_endline "conc: suite report-clean under the concurrency checker"
+    | reports ->
+        List.iter
+          (fun (r : Opprox_util.Conc.report) ->
+            Printf.eprintf "conc: %s %s: %s\n" r.Opprox_util.Conc.code r.Opprox_util.Conc.subject
+              r.Opprox_util.Conc.message)
+          reports;
+        Printf.eprintf "conc: %d report(s) leaked from the suite\n" (List.length reports);
+        exit 1
+  end;
+  match outcome with Ok () -> () | Error e -> raise e

@@ -1,0 +1,285 @@
+(* Tests for the concurrency-safety checker: the Conc runtime (lock-order
+   graph, held stacks, stress mode), Dmutex instrumentation, Guarded
+   lockset checking, and the Lint_conc diagnostic bridge.
+
+   Every test brackets itself with [with_checker]: the checker state is
+   process-global, and tests that deliberately plant defects must not
+   leak their reports into the suite-wide report-clean assertion
+   [main.ml] makes under OPPROX_RACECHECK=1. *)
+
+open Fixtures
+module Conc = Opprox_util.Conc
+module Dmutex = Opprox_util.Dmutex
+module Guarded = Opprox_util.Guarded
+module Lint_conc = Opprox_analysis.Lint_conc
+module Diagnostic = Opprox_analysis.Diagnostic
+
+let with_checker f =
+  let was = Conc.enabled () in
+  Conc.reset ();
+  Conc.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Conc.reset ();
+      Conc.set_enabled was)
+    f
+
+let codes () = List.map (fun (r : Conc.report) -> r.Conc.code) (Conc.reports ())
+
+(* ------------------------------------------------------------- CONC001 *)
+
+let test_ab_ba_deadlock_detected () =
+  with_checker (fun () ->
+      let a = Dmutex.create ~name:"t.conc.a" () in
+      let b = Dmutex.create ~name:"t.conc.b" () in
+      (* A -> B then B -> A from one domain: the order graph convicts the
+         shape without needing the fatal interleaving to occur. *)
+      Dmutex.lock a;
+      Dmutex.lock b;
+      Dmutex.unlock b;
+      Dmutex.unlock a;
+      check_bool "clean after first nesting" true (Conc.reports () = []);
+      Dmutex.lock b;
+      Dmutex.lock a;
+      Dmutex.unlock a;
+      Dmutex.unlock b;
+      match Conc.reports () with
+      | [ r ] ->
+          Alcotest.(check string) "code" "CONC001" r.Conc.code;
+          check_bool "subject names both classes" true
+            (r.Conc.subject = "t.conc.b -> t.conc.a");
+          (* Both acquisition sites of the closing edge are in the message. *)
+          check_bool "message carries sites" true
+            (String.length r.Conc.message > 0
+            && String.split_on_char 't' r.Conc.message <> [])
+      | rs -> Alcotest.failf "expected exactly one CONC001, got %d" (List.length rs))
+
+let test_same_class_nesting_is_self_cycle () =
+  with_checker (fun () ->
+      (* Two instances of one class nested: the AB/BA hazard sharded
+         structures must never create, reported from a single nesting. *)
+      let s1 = Dmutex.create ~name:"t.conc.shard" () in
+      let s2 = Dmutex.create ~name:"t.conc.shard" () in
+      Dmutex.lock s1;
+      Dmutex.lock s2;
+      Dmutex.unlock s2;
+      Dmutex.unlock s1;
+      check_bool "self-edge reported as CONC001" true (List.mem "CONC001" (codes ())))
+
+let test_deadlock_deduplicated () =
+  with_checker (fun () ->
+      let a = Dmutex.create ~name:"t.dedup.a" () in
+      let b = Dmutex.create ~name:"t.dedup.b" () in
+      for _ = 1 to 5 do
+        Dmutex.lock a;
+        Dmutex.lock b;
+        Dmutex.unlock b;
+        Dmutex.unlock a;
+        Dmutex.lock b;
+        Dmutex.lock a;
+        Dmutex.unlock a;
+        Dmutex.unlock b
+      done;
+      Alcotest.(check int) "one report for five repeats" 1 (List.length (Conc.reports ())))
+
+(* The QCheck property the checker's soundness rests on: any acquisition
+   discipline that respects a fixed hierarchy (locks only taken in
+   ascending index order) can never close a cycle, so CONC001 must never
+   fire — however the sessions are shaped. *)
+let prop_hierarchical_discipline_never_conc001 =
+  qcheck_case ~count:150 "hierarchical lock discipline never reports CONC001"
+    QCheck.(list_of_size (Gen.int_range 0 12) (list_of_size (Gen.int_range 0 5) (int_range 0 7)))
+    (fun sessions ->
+      let was = Conc.enabled () in
+      Conc.reset ();
+      Conc.set_enabled true;
+      Fun.protect
+        ~finally:(fun () ->
+          Conc.reset ();
+          Conc.set_enabled was)
+        (fun () ->
+          let locks = Array.init 8 (fun i -> Dmutex.create ~name:(Printf.sprintf "t.h%d" i) ()) in
+          List.iter
+            (fun session ->
+              (* Ascending, deduplicated: a legal nested acquisition order. *)
+              let order = List.sort_uniq compare session in
+              List.iter (fun i -> Dmutex.lock locks.(i)) order;
+              List.iter (fun i -> Dmutex.unlock locks.(i)) (List.rev order))
+            sessions;
+          not (List.mem "CONC001" (codes ()))))
+
+(* ------------------------------------------------------------- CONC002 *)
+
+let test_unguarded_access_detected () =
+  with_checker (fun () ->
+      let m = Dmutex.create ~name:"t.guard" () in
+      let cell = Guarded.create ~name:"t.cell" ~locks:[ m ] 7 in
+      (* Guarded access: clean. *)
+      Dmutex.lock m;
+      Alcotest.(check int) "guarded read" 7 (Guarded.get cell);
+      Guarded.set cell 8;
+      Dmutex.unlock m;
+      check_bool "no report for guarded access" true (Conc.reports () = []);
+      (* Unguarded access: CONC002, and the access still proceeds. *)
+      Alcotest.(check int) "unguarded read proceeds" 8 (Guarded.get cell);
+      match Conc.reports () with
+      | [ r ] ->
+          Alcotest.(check string) "code" "CONC002" r.Conc.code;
+          Alcotest.(check string) "subject" "t.cell" r.Conc.subject
+      | rs -> Alcotest.failf "expected exactly one CONC002, got %d" (List.length rs))
+
+let test_partial_lockset_detected () =
+  with_checker (fun () ->
+      let m1 = Dmutex.create ~name:"t.ls.m1" () in
+      let m2 = Dmutex.create ~name:"t.ls.m2" () in
+      let cell = Guarded.create ~name:"t.ls.cell" ~locks:[ m1; m2 ] 0 in
+      (* Holding only half the lockset is still unguarded. *)
+      Dmutex.lock m1;
+      Guarded.set cell 1;
+      Dmutex.unlock m1;
+      check_bool "partial lockset reported" true (List.mem "CONC002" (codes ())))
+
+let test_guarded_requires_lockset () =
+  Alcotest.check_raises "empty lockset rejected"
+    (Invalid_argument "Guarded.create: empty lockset") (fun () ->
+      ignore (Guarded.create ~locks:[] 0 : int Guarded.t))
+
+let test_guarded_off_is_unchecked () =
+  let was = Conc.enabled () in
+  Conc.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Conc.set_enabled was)
+    (fun () ->
+      let m = Dmutex.create ~name:"t.off.guard" () in
+      let cell = Guarded.create ~name:"t.off.cell" ~locks:[ m ] 1 in
+      let before = Conc.report_count () in
+      Alcotest.(check int) "read passes" 1 (Guarded.get cell);
+      Alcotest.(check int) "no report while off" before (Conc.report_count ()))
+
+(* ----------------------------------------------------- CONC003 / CONC004 *)
+
+let test_reentrant_reports_and_raises () =
+  with_checker (fun () ->
+      let m = Dmutex.create ~name:"t.reent" () in
+      Dmutex.lock m;
+      (match Dmutex.lock m with
+      | () -> Alcotest.fail "reentrant lock not detected"
+      | exception Failure msg ->
+          check_bool "legacy Failure message kept" true
+            (String.length msg >= String.length "Dmutex.lock"
+            && String.sub msg 0 (String.length "Dmutex.lock") = "Dmutex.lock"));
+      Dmutex.unlock m;
+      check_bool "CONC003 recorded" true (List.mem "CONC003" (codes ()));
+      (* After release the same domain may take it again. *)
+      Dmutex.lock m;
+      Dmutex.unlock m)
+
+let test_foreign_unlock_reports_and_raises () =
+  with_checker (fun () ->
+      let m = Dmutex.create ~name:"t.foreign" () in
+      Dmutex.lock m;
+      let d =
+        Domain.spawn (fun () ->
+            match Dmutex.unlock m with
+            | () -> false
+            | exception Failure _ -> true)
+      in
+      check_bool "foreign unlock raised in the other domain" true (Domain.join d);
+      check_bool "CONC004 recorded" true (List.mem "CONC004" (codes ()));
+      Dmutex.unlock m)
+
+(* ------------------------------------------------------- held-stack API *)
+
+let test_held_by_self_tracks_wait_window () =
+  with_checker (fun () ->
+      let m = Dmutex.create ~name:"t.held" () in
+      check_bool "not held before lock" false (Dmutex.held_by_self m);
+      Dmutex.lock m;
+      check_bool "held after lock" true (Dmutex.held_by_self m);
+      Dmutex.unlock m;
+      check_bool "not held after unlock" false (Dmutex.held_by_self m))
+
+(* --------------------------------------------------------------- stress *)
+
+let test_stress_runs_reps_and_restores () =
+  let was = Conc.enabled () in
+  Conc.set_enabled false;
+  Fun.protect
+    ~finally:(fun () ->
+      Conc.reset ();
+      Conc.set_enabled was)
+    (fun () ->
+      let seen = ref [] in
+      Conc.stress ~seed:7 ~reps:4 (fun rep ->
+          seen := rep :: !seen;
+          check_bool "checker forced on inside stress" true (Conc.enabled ()));
+      Alcotest.(check (list int)) "all reps ran in order" [ 0; 1; 2; 3 ] (List.rev !seen);
+      check_bool "enable state restored" false (Conc.enabled ()))
+
+let test_stress_widening_still_deterministic_results () =
+  with_checker (fun () ->
+      (* A sharded map under stress: yields perturb interleavings, the
+         result stays a function of the inputs. *)
+      let map = Opprox_util.Shardmap.create ~name:"t.stress.map" ~capacity:max_int () in
+      Conc.stress ~seed:3 ~reps:2 (fun rep ->
+          let pool = Opprox_util.Pool.create ~jobs:3 () in
+          Fun.protect
+            ~finally:(fun () -> Opprox_util.Pool.shutdown pool)
+            (fun () ->
+              Opprox_util.Pool.parallel_iter ~pool
+                (fun i ->
+                  ignore (Opprox_util.Shardmap.add map (Printf.sprintf "r%d.%d" rep i) i : bool))
+                (Array.init 64 Fun.id)));
+      Alcotest.(check int) "every key inserted exactly once" 128
+        (Opprox_util.Shardmap.size map);
+      check_bool "no reports from disciplined stress" true (Conc.reports () = []))
+
+(* ------------------------------------------------------------ Lint_conc *)
+
+let test_lint_conc_bridge () =
+  with_checker (fun () ->
+      let m = Dmutex.create ~name:"t.lint.guard" () in
+      let cell = Guarded.create ~name:"t.lint.cell" ~locks:[ m ] 0 in
+      ignore (Guarded.get cell : int);
+      match Lint_conc.diagnostics () with
+      | [ d ] ->
+          Alcotest.(check string) "code" "CONC002" d.Diagnostic.code;
+          check_bool "severity error" true (d.Diagnostic.severity = Diagnostic.Error);
+          Alcotest.(check (option string)) "subject as detail" (Some "t.lint.cell")
+            d.Diagnostic.location.Diagnostic.detail
+      | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds))
+
+let test_conc_codes_registered () =
+  List.iter
+    (fun code ->
+      check_bool (code ^ " in Diagnostic.codes") true
+        (List.mem_assoc code Diagnostic.codes))
+    [ "CONC001"; "CONC002"; "CONC003"; "CONC004" ]
+
+let suite =
+  [
+    ( "conc",
+      [
+        Alcotest.test_case "AB/BA lock-order cycle -> CONC001" `Quick
+          test_ab_ba_deadlock_detected;
+        Alcotest.test_case "same-class nesting -> CONC001 self-edge" `Quick
+          test_same_class_nesting_is_self_cycle;
+        Alcotest.test_case "CONC001 deduplicated" `Quick test_deadlock_deduplicated;
+        prop_hierarchical_discipline_never_conc001;
+        Alcotest.test_case "unguarded access -> CONC002" `Quick test_unguarded_access_detected;
+        Alcotest.test_case "partial lockset -> CONC002" `Quick test_partial_lockset_detected;
+        Alcotest.test_case "empty lockset rejected" `Quick test_guarded_requires_lockset;
+        Alcotest.test_case "checker off: Guarded unchecked" `Quick test_guarded_off_is_unchecked;
+        Alcotest.test_case "reentrant lock -> CONC003 + Failure" `Quick
+          test_reentrant_reports_and_raises;
+        Alcotest.test_case "foreign unlock -> CONC004 + Failure" `Quick
+          test_foreign_unlock_reports_and_raises;
+        Alcotest.test_case "held_by_self tracking" `Quick test_held_by_self_tracks_wait_window;
+        Alcotest.test_case "stress: reps, forced-on, restore" `Quick
+          test_stress_runs_reps_and_restores;
+        Alcotest.test_case "stress: results deterministic, report-clean" `Quick
+          test_stress_widening_still_deterministic_results;
+        Alcotest.test_case "Lint_conc renders reports" `Quick test_lint_conc_bridge;
+        Alcotest.test_case "CONC codes registered" `Quick test_conc_codes_registered;
+      ] );
+  ]
