@@ -1,6 +1,6 @@
 # Convenience aliases; dune is the build system.
 
-.PHONY: all check test lint stats serve-smoke corpus-smoke pool-smoke conc-smoke fixtures bench bench-snapshot fmt clean
+.PHONY: all check test lint stats serve-smoke corpus-smoke pool-smoke conc-smoke control-smoke fixtures bench bench-snapshot fmt clean
 
 all:
 	dune build @all
@@ -151,6 +151,44 @@ conc-smoke:
 	dune exec --no-build bin/opprox_cli.exe -- check --concurrency --strict
 	@echo "conc-smoke: ok"
 
+# Online-recontrol smoke test: on a small-scale bodytrack training
+# (seconds, not minutes — same pipeline, trimmed inputs), the static
+# plan must blow its budget on a perturbed input while the controlled
+# run replans at a phase boundary and holds it; then the same scenario
+# again with the replans streamed as telemetry frames to a serve
+# daemon answering with plan deltas over a real socket.
+control-smoke:
+	dune build bin/opprox_cli.exe
+	@set -e; \
+	DIR=$$(mktemp -d /tmp/opprox-control-XXXXXX); \
+	SOCK=$$DIR/serve.sock; \
+	OPX="dune exec --no-build bin/opprox_cli.exe --"; \
+	SMALL="-p 3 --inputs 2,16,3;3,24,4 --joint 4"; \
+	trap 'kill $$SRV 2>/dev/null || true; rm -rf $$DIR' EXIT; \
+	$$OPX train bodytrack $$SMALL -o $$DIR/bt.sexp >/dev/null 2>&1; \
+	$$OPX run bodytrack $$SMALL -b 10 --perturb 1.5 --controlled \
+	  > $$DIR/run.out 2>/dev/null; \
+	grep -q "static:.*over budget" $$DIR/run.out \
+	  || { echo "control-smoke: static plan did NOT violate its budget"; cat $$DIR/run.out; exit 1; }; \
+	echo "control-smoke: static plan violates on the perturbed input (ok)"; \
+	grep -Eq "controlled: [1-9][0-9]* replan\(s\), budget held" $$DIR/run.out \
+	  || { echo "control-smoke: controlled run did not replan and hold"; cat $$DIR/run.out; exit 1; }; \
+	echo "control-smoke: controlled run replanned and held the budget (ok)"; \
+	$$OPX serve --socket $$SOCK --models $$DIR/bt.sexp > $$DIR/serve.log 2>&1 & \
+	SRV=$$!; \
+	for i in $$(seq 1 100); do [ -S $$SOCK ] && break; sleep 0.1; done; \
+	[ -S $$SOCK ] || { echo "control-smoke: daemon never bound $$SOCK"; cat $$DIR/serve.log; exit 1; }; \
+	$$OPX run bodytrack $$SMALL -b 10 --perturb 1.5 --via $$SOCK \
+	  > $$DIR/via.out 2>/dev/null; \
+	grep -q "streaming telemetry via" $$DIR/via.out \
+	  || { echo "control-smoke: run did not stream telemetry"; cat $$DIR/via.out; exit 1; }; \
+	grep -Eq "controlled: [1-9][0-9]* replan\(s\), budget held" $$DIR/via.out \
+	  || { echo "control-smoke: streamed recontrol did not replan and hold"; \
+	       cat $$DIR/via.out $$DIR/serve.log; exit 1; }; \
+	echo "control-smoke: streamed recontrol replanned and held the budget (ok)"; \
+	kill -TERM $$SRV; wait $$SRV || true; \
+	echo "control-smoke: ok"
+
 # Regenerate the committed corruption fixtures under test/fixtures/.
 fixtures:
 	dune exec test/gen_fixtures.exe
@@ -161,13 +199,17 @@ bench:
 
 # Regenerate the committed benchmark snapshots (BENCH_pool.json,
 # BENCH_checkpoint.json, BENCH_obs.json, BENCH_serve.json,
-# BENCH_corpus.json, and BENCH_conc.json) from the bechamel
-# micro-suite.  Exits non-zero if the pool scaling gate fails (inverted
-# scaling, or under 1.5x at j4 on a >= 4-core host), the corpus gate
-# fails (corpus hit over 1.25x an LRU hit, corpus/nn lookups over
-# 0.2 ms, or duplicate solves not held to one per fingerprint under a
-# hot-key loadgen storm), or the conc gate fails (disabled-checker
-# Dmutex lock/unlock more than 1.35x a bare Mutex).
+# BENCH_corpus.json, BENCH_conc.json, and BENCH_control.json) from the
+# bechamel micro-suite.  Exits non-zero if the pool scaling gate fails
+# (inverted scaling, or under 1.5x at j4 on a >= 4-core host), the
+# corpus gate fails (corpus hit over 1.25x an LRU hit, corpus/nn
+# lookups over 0.2 ms, or duplicate solves not held to one per
+# fingerprint under a hot-key loadgen storm), the conc gate fails
+# (disabled-checker Dmutex lock/unlock more than 1.35x a bare Mutex),
+# or the control gate fails (the controller not reducing
+# budget-violations vs the static plan on the perturbed-input suite,
+# never replanning, re-simulating executed phases, or a suffix
+# re-solve costing more than a controlled run).
 bench-snapshot:
 	dune exec bench/main.exe -- --bechamel
 

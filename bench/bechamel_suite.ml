@@ -723,6 +723,175 @@ let write_corpus_snapshot entries (report, solves, n_keys) =
   if not passed then Printf.printf "  CORPUS GATE FAILED (see %s)\n%!" corpus_snapshot_file;
   passed
 
+(* ------------------------------------------------------------- controller *)
+
+(* Perturbed-input harness for the online controller: train bodytrack at
+   a small problem scale, solve one static plan for the training-default
+   input, then execute that plan on a suite of inputs drawn further and
+   further off the training distribution.  The static runs show how the
+   open-loop plan's budget guarantee erodes with input drift; the
+   controlled runs must strictly reduce the violation count by
+   re-solving the remaining phases at the boundaries where the drift
+   shows up — while reusing the live run's state (steps equal to outer
+   iterations, no re-simulation). *)
+module Controller = Opprox.Controller
+
+let control_budget = 10.0
+
+(* input.(0) scaled by (1 + f): the same off-distribution axis the
+   controller tests pin. *)
+let control_perturbations = [ 0.0; 0.5; 1.0; 1.5; 2.0; 2.5 ]
+
+let control_payload =
+  lazy
+    (let a =
+       App.with_training_inputs (app "bodytrack")
+         ~default_input:[| 2.0; 16.0; 3.0 |]
+         ~training_inputs:[| [| 2.0; 16.0; 3.0 |]; [| 3.0; 24.0; 4.0 |] |]
+     in
+     let config =
+       {
+         Opprox.default_train_config with
+         n_phases = Some 3;
+         training = { Opprox.Training.default_config with joint_samples_per_phase = 4 };
+       }
+     in
+     let tr = Opprox.train ~config a in
+     let plan = Opprox.optimize tr ~budget:control_budget in
+     (tr, plan))
+
+let control_input f =
+  let tr, _ = Lazy.force control_payload in
+  let input = Array.copy tr.Opprox.app.App.default_input in
+  input.(0) <- input.(0) *. (1.0 +. f);
+  input
+
+let control_static_run () =
+  let tr, plan = Lazy.force control_payload in
+  ignore (Opprox.apply ~input:(control_input 1.5) tr plan)
+
+let control_controlled_run () =
+  let tr, plan = Lazy.force control_payload in
+  ignore (Opprox.run_controlled ~input:(control_input 1.5) tr plan)
+
+(* The marginal cost of one boundary re-solve: the reused solver closure
+   pricing a remaining-phase suffix, the thing a replan adds on top of
+   the run itself. *)
+let control_solver =
+  lazy
+    (let tr, _ = Lazy.force control_payload in
+     Opprox.Optimizer.solver ~models:tr.Opprox.models ~roi:tr.Opprox.roi
+       ~input:(control_input 1.5) ())
+
+let control_suffix_solve () =
+  ignore ((Lazy.force control_solver) ~first_phase:1 ~budget:6.0 ())
+
+let control_tests =
+  [
+    Test.make ~name:"control:static-run" (Staged.stage control_static_run);
+    Test.make ~name:"control:controlled-run" (Staged.stage control_controlled_run);
+    Test.make ~name:"control:suffix-solve" (Staged.stage control_suffix_solve);
+  ]
+
+type control_row = {
+  cr_perturb : float;
+  cr_static_qos : float;
+  cr_static_violates : bool;
+  cr_ctrl_qos : float;
+  cr_ctrl_violates : bool;
+  cr_ctrl_speedup : float;
+  cr_replans : int;
+  cr_steps_consistent : bool;
+}
+
+let control_suite () =
+  let tr, plan = Lazy.force control_payload in
+  List.map
+    (fun f ->
+      let input = control_input f in
+      let static = Opprox.apply ~input tr plan in
+      let out = Opprox.run_controlled ~input tr plan in
+      let ev = out.Controller.evaluation in
+      {
+        cr_perturb = f;
+        cr_static_qos = static.Driver.qos_degradation;
+        cr_static_violates = static.Driver.qos_degradation > control_budget;
+        cr_ctrl_qos = ev.Driver.qos_degradation;
+        cr_ctrl_violates = not out.Controller.within_budget;
+        cr_ctrl_speedup = ev.Driver.speedup;
+        cr_replans = out.Controller.replans;
+        cr_steps_consistent = out.Controller.steps = ev.Driver.outer_iters;
+      })
+    control_perturbations
+
+let control_snapshot_file = "BENCH_control.json"
+
+let write_control_snapshot entries rows =
+  let est name = Option.join (List.assoc_opt name entries) in
+  let static_violations =
+    List.length (List.filter (fun r -> r.cr_static_violates) rows)
+  in
+  let ctrl_violations = List.length (List.filter (fun r -> r.cr_ctrl_violates) rows) in
+  let replans = List.fold_left (fun acc r -> acc + r.cr_replans) 0 rows in
+  let steps_ok = List.for_all (fun r -> r.cr_steps_consistent) rows in
+  (* The replan must cost less than starting over: one suffix solve
+     under the controlled run's own roof, and the controlled run itself
+     within 2x of the static run it replaces (it adds one reference
+     profile evaluation and the boundary checks). *)
+  let replan_bounded =
+    match (est "control:suffix-solve", est "control:controlled-run") with
+    | Some solve, Some run -> solve < run
+    | _ -> false
+  in
+  let passed =
+    ctrl_violations < static_violations && static_violations > 0 && replans > 0 && steps_ok
+    && replan_bounded
+  in
+  let oc = open_out control_snapshot_file in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc
+    "  \"suite\": \"bodytrack small-scale, 3 phases, budget %.1f%%, input[0] scaled by \
+     (1+f)\",\n"
+    control_budget;
+  Printf.fprintf oc "  \"benchmarks\": [\n";
+  let n = List.length entries in
+  List.iteri
+    (fun i (name, e) ->
+      let value = match e with Some ns -> Printf.sprintf "%.1f" ns | None -> "null" in
+      Printf.fprintf oc "    { \"name\": %S, \"ns_per_run\": %s }%s\n" name value
+        (if i = n - 1 then "" else ","))
+    entries;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"perturbed_suite\": [\n";
+  let m = List.length rows in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    { \"perturb\": %.1f, \"static_qos\": %.2f, \"static_violates\": %b, \
+         \"controlled_qos\": %.2f, \"controlled_violates\": %b, \"controlled_speedup\": \
+         %.3f, \"replans\": %d }%s\n"
+        r.cr_perturb r.cr_static_qos r.cr_static_violates r.cr_ctrl_qos r.cr_ctrl_violates
+        r.cr_ctrl_speedup r.cr_replans
+        (if i = m - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"gate\": {\n";
+  Printf.fprintf oc "    \"static_violations\": %d,\n" static_violations;
+  Printf.fprintf oc "    \"controlled_violations\": %d,\n" ctrl_violations;
+  Printf.fprintf oc "    \"controlled_strictly_fewer_violations\": %b,\n"
+    (ctrl_violations < static_violations);
+  Printf.fprintf oc "    \"replans_fired\": %d,\n" replans;
+  Printf.fprintf oc "    \"steps_equal_outer_iters\": %b,\n" steps_ok;
+  Printf.fprintf oc "    \"suffix_solve_cheaper_than_run\": %b,\n" replan_bounded;
+  Printf.fprintf oc "    \"passed\": %b\n" passed;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc;
+  Printf.printf
+    "  control gate: %d/%d static violations vs %d/%d controlled, %d replan(s)\n%!"
+    static_violations m ctrl_violations m replans;
+  if not passed then Printf.printf "  CONTROL GATE FAILED (see %s)\n%!" control_snapshot_file;
+  passed
+
 let pool_snapshot_file = "BENCH_pool.json"
 
 (* Scaling gate.  On a host with real cores (>= 4 recommended domains)
@@ -896,6 +1065,17 @@ let run () =
   List.iter print_entry corpus_entries;
   let corpus_gate_ok = write_corpus_snapshot corpus_entries (corpus_loadgen_dedup ()) in
   Printf.printf "  corpus group snapshot -> %s\n%!" corpus_snapshot_file;
+  (* Warm the controller payload (training + the static plan) so the
+     control arms measure execution, not setup. *)
+  ignore (Lazy.force control_payload);
+  let (_ : ?first_phase:int -> budget:float -> unit -> Opprox.Optimizer.plan) =
+    Lazy.force control_solver
+  in
+  let control_entries = List.concat_map (measure cfg instances) control_tests in
+  let control_entries = List.sort (fun (a, _) (b, _) -> compare a b) control_entries in
+  List.iter print_entry control_entries;
+  let control_gate_ok = write_control_snapshot control_entries (control_suite ()) in
+  Printf.printf "  control group snapshot -> %s\n%!" control_snapshot_file;
   (* The scratch collect arm re-simulates everything and takes seconds per
      run; give the checkpoint group a larger quota so both arms get
      enough iterations for a stable estimate. *)
@@ -915,7 +1095,7 @@ let run () =
   write_ckpt_snapshot ckpt_entries;
   Printf.printf "  checkpoint group snapshot -> %s\n%!" ckpt_snapshot_file;
   List.iter (fun (_, p) -> Pool.shutdown p) (Lazy.force pool_table);
-  pool_gate_ok && corpus_gate_ok && conc_gate_ok
+  pool_gate_ok && corpus_gate_ok && conc_gate_ok && control_gate_ok
 
 (* Fast wall-clock sanity check for CI (a full bechamel pass is minutes):
    collect the same training dataset on a 1-job and a 2-job pool, require

@@ -5,6 +5,8 @@
      probe APP                   phase/level sensitivity of one application
      train APP -o FILE           offline stage only; persist the models
      optimize APP -b BUDGET      emit + execute a plan (optionally --load)
+     run APP -b BUDGET           execute on a (perturbed) input; --controlled adds
+                                 online phase-boundary recontrol
      oracle APP -b BUDGET        the phase-agnostic exhaustive baseline
      check [APP]                 static diagnostics over apps/models/schedules/corpora
      stats [APP]                 exercise the pipeline, report the metrics registry
@@ -226,6 +228,69 @@ let probe_cmd =
 
 (* ----------------------------------------------------------------- train *)
 
+(* Small-scale training knobs shared by [train] and [run].  Full-scale
+   bodytrack training runs for minutes; trimmed to two small inputs and
+   a few joint samples it runs in under a second, which is what the
+   smoke targets and CI need.  [--inputs] rebuilds the registry app
+   through {!App.with_training_inputs} (same computation, same ABs —
+   only the workload scale changes), so the trimmed pipeline is a real
+   pipeline, not a mock. *)
+let train_inputs_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inputs" ] ~docv:"CSV;CSV"
+        ~doc:"Train on these input vectors instead of the app's registered training set \
+              (semicolon-separated vectors of comma-separated floats; the first also \
+              becomes the default input).  Small-scale training for smokes and CI.")
+
+let joint_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "joint" ] ~docv:"N"
+        ~doc:"Joint configuration samples drawn per phase during profiling (default: \
+              the training config's).")
+
+let trim_app (app : App.t) = function
+  | None -> app
+  | Some spec ->
+      let vector s =
+        match List.map float_of_string (String.split_on_char ',' (String.trim s)) with
+        | v -> Array.of_list v
+        | exception Failure _ ->
+            Printf.eprintf "opprox: --inputs: cannot parse %S as a float vector\n" s;
+            exit 2
+      in
+      let vectors =
+        String.split_on_char ';' spec
+        |> List.filter (fun s -> String.trim s <> "")
+        |> List.map vector |> Array.of_list
+      in
+      if Array.length vectors = 0 then begin
+        Printf.eprintf "opprox: --inputs: no input vectors given\n";
+        exit 2
+      end;
+      (try App.with_training_inputs app ~default_input:vectors.(0) ~training_inputs:vectors
+       with Invalid_argument msg ->
+         Printf.eprintf "opprox: --inputs: %s\n" msg;
+         exit 2)
+
+let train_config ~phases ~joint =
+  let config =
+    match phases with
+    | None -> Opprox.default_train_config
+    | Some n -> { Opprox.default_train_config with n_phases = Some n }
+  in
+  match joint with
+  | None -> config
+  | Some n ->
+      {
+        config with
+        Opprox.training =
+          { config.Opprox.training with Opprox.Training.joint_samples_per_phase = n };
+      }
+
 let train_cmd =
   let output_arg =
     Arg.(
@@ -233,13 +298,10 @@ let train_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Where to store the trained pipeline.")
   in
-  let run () () (app : App.t) phases output verbose =
+  let run () () (app : App.t) phases inputs joint output verbose =
     setup_logs verbose;
-    let config =
-      match phases with
-      | None -> Opprox.default_train_config
-      | Some n -> { Opprox.default_train_config with n_phases = Some n }
-    in
+    let app = trim_app app inputs in
+    let config = train_config ~phases ~joint in
     Printf.printf "Training OPPROX on %s...\n%!" app.name;
     let trained = Opprox.train ~config app in
     Opprox.save output trained;
@@ -250,7 +312,9 @@ let train_cmd =
   in
   Cmd.v
     (Cmd.info "train" ~doc:"Run the offline stage and persist the trained pipeline.")
-    Term.(const run $ jobs_arg $ obs_arg $ app_arg $ phases_arg $ output_arg $ verbose_arg)
+    Term.(
+      const run $ jobs_arg $ obs_arg $ app_arg $ phases_arg $ train_inputs_arg $ joint_arg
+      $ output_arg $ verbose_arg)
 
 (* -------------------------------------------------------------- optimize *)
 
@@ -314,6 +378,157 @@ let optimize_cmd =
     Term.(
       const run $ jobs_arg $ obs_arg $ app_arg $ budget_arg $ phases_arg $ load_arg
       $ verbose_arg)
+
+(* ------------------------------------------------------------------- run *)
+
+let run_cmd =
+  let controlled_arg =
+    Arg.(
+      value & flag
+      & info [ "controlled" ]
+          ~doc:"Execute under the online controller (phase-boundary drift checks and \
+                mid-run replans) alongside the static plan, and compare.")
+  in
+  let drift_tol_arg =
+    Arg.(
+      value
+      & opt float Opprox.Controller.default_config.Opprox.Controller.drift_tol
+      & info [ "drift-tol" ] ~docv:"F"
+          ~doc:"Relative per-phase work drift that triggers a replan (0 replans on any \
+                drift; inf never replans).")
+  in
+  let max_replans_arg =
+    Arg.(
+      value
+      & opt int Opprox.Controller.default_config.Opprox.Controller.max_replans
+      & info [ "max-replans" ] ~docv:"N" ~doc:"Cap on mid-run re-solves.")
+  in
+  let input_arg =
+    Arg.(
+      value
+      & opt (some (list float)) None
+      & info [ "input" ] ~docv:"CSV"
+          ~doc:"Input vector to execute on, comma-separated (default: the app's default \
+                input).  The plan is always solved for the default input, so a different \
+                vector here runs the plan off its assumptions — the controller's case.")
+  in
+  let perturb_arg =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "perturb" ] ~docv:"F"
+          ~doc:"Scale the leading (size) input parameter by $(b,1+F) before executing — a \
+                shorthand for an off-distribution input.")
+  in
+  let via_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "via" ] ~docv:"SOCKET"
+          ~doc:"Stream the controlled run's phase-boundary telemetry to the $(b,opprox \
+                serve) daemon on $(docv) and adopt its plan deltas instead of re-solving \
+                locally (implies $(b,--controlled)).")
+  in
+  let run () () (app : App.t) budget phases inputs joint load controlled drift_tol
+      max_replans via input perturb verbose =
+    setup_logs verbose;
+    let app = trim_app app inputs in
+    let controlled = controlled || via <> None in
+    let trained =
+      match load with
+      | Some path ->
+          Printf.printf "Loading trained pipeline from %s...\n%!" path;
+          Opprox.load ~resolve:Opprox_apps.Registry.find path
+      | None ->
+          let config = train_config ~phases ~joint in
+          Printf.printf "Training OPPROX on %s...\n%!" app.name;
+          Opprox.train ~config app
+    in
+    let input =
+      let base =
+        match input with Some l -> Array.of_list l | None -> app.App.default_input
+      in
+      if perturb = 0.0 then base
+      else begin
+        let p = Array.copy base in
+        p.(0) <- p.(0) *. (1.0 +. perturb);
+        p
+      end
+    in
+    (* The static OPPROX protocol: solve for the default input, run the
+       plan unchanged on whatever input actually arrives. *)
+    let plan = Opprox.optimize trained ~budget in
+    print_plan_table ~budget plan;
+    let static = Opprox.apply ~input trained plan in
+    Printf.printf "static:     speedup %.3f, qos degradation %.2f%% (budget %.1f%%)%s\n%!"
+      static.Driver.speedup static.Driver.qos_degradation budget
+      (if static.Driver.qos_degradation > budget then "  ** over budget **" else "");
+    if controlled then begin
+      let config = { Opprox.Controller.drift_tol; max_replans } in
+      let outcome =
+        match via with
+        | None -> Opprox.run_controlled ~config ~input trained plan
+        | Some socket -> (
+            (* Streaming recontrol: this process executes the phases;
+               every over-tolerance boundary ships to the daemon as a
+               telemetry frame, and the daemon's plan deltas steer the
+               remaining phases. *)
+            let client =
+              try Opprox_serve.Client.connect ~socket
+              with Unix.Unix_error (err, _, _) ->
+                Printf.eprintf "opprox run: cannot connect to %s: %s\n" socket
+                  (Unix.error_message err);
+                exit 2
+            in
+            Printf.printf "controlled: streaming telemetry via %s\n%!" socket;
+            Fun.protect
+              ~finally:(fun () -> Opprox_serve.Client.close client)
+              (fun () ->
+                let replan =
+                  Opprox_serve.Client.replanner client ~input ~app:app.App.name
+                    ~plan_budget:budget ~drift_tol ()
+                in
+                try Opprox.run_controlled ~config ~replan ~input trained plan
+                with Failure msg ->
+                  Printf.eprintf "opprox run: telemetry stream failed: %s\n" msg;
+                  exit 1))
+      in
+      let ev = outcome.Opprox.Controller.evaluation in
+      Printf.printf "controlled: speedup %.3f, qos degradation %.2f%% (budget %.1f%%)%s\n"
+        ev.Driver.speedup ev.Driver.qos_degradation budget
+        (if outcome.Opprox.Controller.within_budget then "" else "  ** over budget **");
+      Printf.printf "controlled: %d replan(s), budget %s\n"
+        outcome.Opprox.Controller.replans
+        (if outcome.Opprox.Controller.within_budget then "held" else "violated");
+      let t = Table.create [ "phase"; "levels"; "pred work"; "obs work"; "drift"; "replan" ] in
+      List.iter
+        (fun (r : Opprox.Controller.phase_report) ->
+          Table.add_row t
+            [
+              string_of_int (r.Opprox.Controller.phase + 1);
+              Printf.sprintf "[%s]"
+                (String.concat ";"
+                   (Array.to_list (Array.map string_of_int r.Opprox.Controller.levels)));
+              Printf.sprintf "%.0f" r.Opprox.Controller.predicted_work;
+              Printf.sprintf "%.0f" r.Opprox.Controller.observed_work;
+              Printf.sprintf "%.2f" r.Opprox.Controller.drift;
+              (if r.Opprox.Controller.replanned then "yes" else "");
+            ])
+        outcome.Opprox.Controller.phases;
+      Table.print ~title:"Controlled execution" t
+    end
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Execute a plan on an input — optionally perturbed away from the training \
+          distribution — statically and, with $(b,--controlled), under the online \
+          phase-boundary controller (drift checks, mid-run suffix replans against the \
+          remaining budget).")
+    Term.(
+      const run $ jobs_arg $ obs_arg $ app_arg $ budget_arg $ phases_arg $ train_inputs_arg
+      $ joint_arg $ load_arg $ controlled_arg $ drift_tol_arg $ max_replans_arg $ via_arg
+      $ input_arg $ perturb_arg $ verbose_arg)
 
 (* ---------------------------------------------------------------- submit *)
 
@@ -1230,6 +1445,10 @@ let request_cmd =
     | Protocol.Overloaded { inflight; limit } ->
         Printf.eprintf "server overloaded: %d in flight, limit %d\n" inflight limit;
         false
+    | Protocol.PlanDelta _ ->
+        (* Plan requests never get a delta; only telemetry frames do. *)
+        Printf.eprintf "unexpected plan-delta reply to a plan request\n";
+        false
   in
   let run () () socket app input budget deadline_ms no_cache models_hash batch sexp_out
       malformed loopback_models verbose =
@@ -1317,6 +1536,7 @@ let () =
             probe_cmd;
             train_cmd;
             optimize_cmd;
+            run_cmd;
             submit_cmd;
             oracle_cmd;
             check_cmd;

@@ -52,6 +52,7 @@ let codes =
     ("PLAN006", "predicted QoS exceeds the phase sub-budget");
     ("PLAN007", "plan schedule shape differs from the models'");
     ("PLAN008", "plan choices are not one-per-phase in phase order");
+    ("PLAN009", "sub-budget split far exceeds the plan's predicted consumption");
     ("SRV001", "request budget non-finite or outside (0, 100]");
     ("SRV002", "request names an application the server holds no models for");
     ("SRV003", "request models-hash differs from the loaded models");

@@ -150,6 +150,30 @@ let check_plan v =
       ]
     else []
   in
+  let over_alloc =
+    (* Allocation drifting away from predicted consumption is the
+       signature of stale budget accounting (the pre-fix optimizer sweep
+       re-granted infeasible phases every pass): the split can stay under
+       the hard PLAN004 cap while still promising phases far more than
+       the plan predicts they can spend.  Warning severity — generous
+       hand-written splits are legal, just suspicious past half the
+       budget scale. *)
+    let total_alloc = List.fold_left (fun acc c -> acc +. c.sub_budget) 0.0 v.choices in
+    let total_need =
+      List.fold_left (fun acc c -> acc +. Float.max 0.0 c.qos_hi) 0.0 v.choices
+    in
+    if
+      Float.is_finite total_alloc && Float.is_finite total_need
+      && total_alloc > total_need +. (0.5 *. Float.max 1.0 (Float.abs v.budget))
+    then
+      [
+        D.v ~app ~code:"PLAN009" D.Warning
+          "sub-budget split sums to %.3f but predicted consumption is only %.3f — stale or \
+           inflated budget accounting"
+          total_alloc total_need;
+      ]
+    else []
+  in
   let shape =
     let sched_diags =
       if Schedule.n_phases v.schedule <> v.n_phases then
@@ -178,4 +202,4 @@ let check_plan v =
         (Lint_schedule.check ~app ~abs:v.abs ~n_phases:v.n_phases v.schedule)
     else []
   in
-  List.concat_map per_choice v.choices @ order @ split @ shape @ sched
+  List.concat_map per_choice v.choices @ order @ split @ over_alloc @ shape @ sched

@@ -41,5 +41,8 @@ val check_plan : plan_view -> Diagnostic.t list
     its sub-budget — the optimizer's own feasibility contract;
     [Warning]), [PLAN007] (schedule shape differing from the models'),
     [PLAN008] (choices not one-per-phase in phase order — consumers
-    index choices by position), plus the [SCHED***] findings of
+    index choices by position), [PLAN009] (the split summing far past
+    the plan's own predicted consumption — stale or inflated budget
+    accounting, the signature of the pre-fix optimizer sweep re-granting
+    infeasible phases; [Warning]), plus the [SCHED***] findings of
     {!Lint_schedule.check} on the plan's schedule. *)

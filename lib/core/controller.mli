@@ -1,0 +1,104 @@
+(** Online phase-boundary recontrol.
+
+    OPPROX commits to a static plan before the run starts, which is
+    exactly where it loses on inputs drawn off the training distribution:
+    the plan's per-phase predictions stop matching what the run actually
+    does, and by the time the output is scored the budget is already
+    blown.  The controller executes a plan {e phase by phase} and checks
+    it against reality at every phase boundary — the one place mid-run
+    state is well defined (the same boundaries the driver's checkpoint
+    cache keys on, via {!Opprox_sim.Driver.phase_boundary}).
+
+    At the end of each phase the controller compares the work the phase
+    {e actually} charged against what the plan's per-phase speedup
+    prediction implied.  When the relative drift exceeds [drift_tol], the
+    remaining phases are re-solved against the budget still unspent
+    ({!Optimizer.solver} with [~first_phase], reusing one compiled solver
+    across every replan), and the run continues under the merged
+    schedule.  The switch uses {!Opprox_sim.Env.snapshot} /
+    {!Opprox_sim.Env.resume} plus {!Opprox_sim.App.instance} cloning —
+    the same machinery behind the driver's checkpoint reuse — so {b no
+    completed work is ever re-simulated}: the outcome's [steps] counter
+    equals the final outer-iteration count whatever happened.
+
+    A zero-drift run (or [drift_tol = infinity]) never replans and is
+    bit-identical to [Driver.evaluate] of the static plan — the
+    controller creates its environment exactly as the driver does (same
+    {!Opprox_sim.Driver.seed_for} seed, same expected iteration count).
+
+    Metrics: [controller.runs], [controller.phases] (boundaries
+    inspected), [controller.replans], [controller.budget_violations]
+    (final QoS past the plan budget).  Spans: [controller.run] and one
+    [controller.replan] per re-solve. *)
+
+type config = {
+  drift_tol : float;
+      (** relative per-phase work drift that triggers a replan; [0] replans
+          at every boundary with any drift, [infinity] never replans *)
+  max_replans : int;  (** hard cap on re-solves per run *)
+}
+
+val default_config : config
+(** [drift_tol = 0.25], [max_replans = 4]. *)
+
+type telemetry = {
+  phase : int;  (** phase that just completed *)
+  n_phases : int;
+  drift : float;  (** relative work drift observed for that phase *)
+  observed_work : float;
+  predicted_work : float;
+  remaining_budget : float;
+      (** plan budget minus the conservative estimate of QoS already
+          consumed by the executed phases *)
+}
+(** What the controller knows at a phase boundary — also the payload of
+    the serving protocol's telemetry frames (streaming recontrol). *)
+
+type replanner = telemetry -> Optimizer.plan option
+(** Policy invoked when drift exceeds tolerance.  Returning [None] (or a
+    plan whose suffix schedule is unchanged) keeps the current schedule.
+    A returned plan must keep the phase count; only its phases after
+    [telemetry.phase] are adopted.  The default replanner solves locally
+    with [Optimizer.solver ~first_phase:(phase+1)
+    ~budget:remaining_budget]; the serving client substitutes one that
+    ships the telemetry to a daemon and applies the returned plan
+    delta. *)
+
+type phase_report = {
+  phase : int;
+  levels : int array;  (** levels this phase actually ran under *)
+  predicted_work : float;
+  observed_work : float;
+  drift : float;
+  replanned : bool;  (** a replan fired at this phase's end boundary *)
+}
+
+type outcome = {
+  evaluation : Opprox_sim.Driver.evaluation;
+      (** scored like any driver evaluation, under the merged schedule *)
+  schedule : Opprox_sim.Schedule.t;  (** the schedule that actually ran *)
+  phases : phase_report list;  (** one report per phase, in phase order *)
+  replans : int;
+  plan_budget : float;
+  within_budget : bool;
+      (** final QoS degradation within the plan's budget (+eps) *)
+  steps : int;
+      (** outer iterations actually stepped; equals
+          [evaluation.outer_iters] — the no-re-simulation proof *)
+}
+
+val run :
+  ?config:config ->
+  ?replan:replanner ->
+  models:Models.t ->
+  roi:float array ->
+  input:float array ->
+  Optimizer.plan ->
+  outcome
+(** Execute [plan] under control.  The plan is audited first
+    ({!Optimizer.lint}, errors raise
+    {!Opprox_analysis.Diagnostic.Lint_error}).  Requires an application
+    built with {!Opprox_sim.App.make_iterative} — controlling an opaque
+    run is impossible (no phase-boundary state) and raises
+    [Invalid_argument].  [roi] is only used by the default replanner;
+    pass the trained pipeline's ROI vector. *)

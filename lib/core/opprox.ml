@@ -6,6 +6,7 @@ module Oracle = Oracle
 module Phases = Phases
 module Cfmodel = Cfmodel
 module Runtime = Runtime
+module Controller = Controller
 module App = Opprox_sim.App
 module Driver = Opprox_sim.Driver
 
@@ -56,6 +57,10 @@ let apply ?input trained (plan : Optimizer.plan) =
   Opprox_analysis.Diagnostic.raise_errors ~strict:false
     (Optimizer.lint ~models:trained.models plan);
   Driver.evaluate trained.app plan.Optimizer.schedule input
+
+let run_controlled ?config ?replan ?input trained (plan : Optimizer.plan) =
+  let input = match input with Some i -> i | None -> trained.app.App.default_input in
+  Controller.run ?config ?replan ~models:trained.models ~roi:trained.roi ~input plan
 
 let run_oracle ?input app ~budget =
   let input = match input with Some i -> i | None -> app.App.default_input in

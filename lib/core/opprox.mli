@@ -35,6 +35,7 @@ module Oracle = Oracle
 module Phases = Phases
 module Cfmodel = Cfmodel
 module Runtime = Runtime
+module Controller = Controller
 
 type trained = {
   app : Opprox_sim.App.t;
@@ -69,6 +70,20 @@ val apply : ?input:float array -> trained -> Optimizer.plan -> Opprox_sim.Driver
     fit the application — out-of-range level, wrong AB count — raises
     {!Opprox_analysis.Diagnostic.Lint_error} instead of misbehaving
     mid-run. *)
+
+val run_controlled :
+  ?config:Controller.config ->
+  ?replan:Controller.replanner ->
+  ?input:float array ->
+  trained ->
+  Optimizer.plan ->
+  Controller.outcome
+(** Execute a plan under the online {!Controller}: phase-by-phase, with
+    drift checks at each boundary and suffix replans against the
+    remaining budget when observations diverge from the plan's
+    predictions.  Requires an iterative application.  [input] defaults to
+    the app's default input — running a plan solved for one input on a
+    {e different} (perturbed) input is the whole point. *)
 
 val run_oracle : ?input:float array -> Opprox_sim.App.t -> budget:float -> Oracle.result
 (** The phase-agnostic exhaustive baseline on the same protocol. *)

@@ -157,9 +157,17 @@ let solver ?search ?(enumeration_limit = 20000) ~models ~roi ~input () =
   in
   let order = Roi.descending_order roi in
   let n_abs = Array.length abs in
-  fun ~budget ->
+  fun ?(first_phase = 0) ~budget () ->
   Trace.with_span ~cat:"optimizer" "optimizer.solve" @@ fun () ->
   Metrics.incr m_solves;
+  if first_phase < 0 || first_phase > n_phases then
+    invalid_arg
+      (Printf.sprintf "Optimizer.solver: first_phase %d out of range 0..%d" first_phase n_phases);
+  (* Suffix solve (mid-run replanning): phases before [first_phase] are
+     already executed, so they take no allocation and stay exact in the
+     emitted schedule; only the remaining phases compete for [budget]. *)
+  let active phase = phase >= first_phase in
+  let order = List.filter active order in
   (* Pre-flight: budget / ROI / input defects become structured
      diagnostics (raised as Lint_error) instead of ad-hoc invalid_arg. *)
   Diagnostic.raise_errors ~strict:false
@@ -184,7 +192,7 @@ let solver ?search ?(enumeration_limit = 20000) ~models ~roi ~input () =
        in decreasing-ROI order and re-optimize each phase with its grown
        allocation.  Leftovers from earlier phases flow to later ones. *)
     let remaining = ref (Float.max 0.0 (budget -. total_consumed ())) in
-    let remaining_roi = ref (Array.fold_left ( +. ) 0.0 roi) in
+    let remaining_roi = ref (List.fold_left (fun acc phase -> acc +. roi.(phase)) 0.0 order) in
     let changed = ref false in
     List.iter
       (fun phase ->
@@ -220,7 +228,15 @@ let solver ?search ?(enumeration_limit = 20000) ~models ~roi ~input () =
                 allocated.(phase) <- Float.max c consumed.(phase);
                 consumed.(phase) <- Float.max c consumed.(phase)
             | None -> ())
-        | None -> ())
+        | None ->
+            (* No feasible configuration at this allocation: hand the whole
+               unconsumed grant back to the phases visited after this one.
+               Without this the grant was stranded for the rest of the
+               sweep and a fresh one re-granted every sweep, so the
+               reported sub_budget inflated monotonically and the split
+               could sum past the total budget. *)
+            remaining := !remaining +. Float.max 0.0 (allocated.(phase) -. consumed.(phase));
+            allocated.(phase) <- consumed.(phase))
       order;
     !changed
   in
@@ -272,7 +288,7 @@ let solver ?search ?(enumeration_limit = 20000) ~models ~roi ~input () =
   plan
 
 let optimize ?search ?enumeration_limit ~models ~roi ~input ~budget () =
-  solver ?search ?enumeration_limit ~models ~roi ~input () ~budget
+  solver ?search ?enumeration_limit ~models ~roi ~input () ~budget ()
 
 (* ---------------------------------------------------------- serialization *)
 

@@ -73,7 +73,9 @@ val solver :
   roi:float array ->
   input:float array ->
   unit ->
+  ?first_phase:int ->
   budget:float ->
+  unit ->
   plan
 (** Partially-applied {!optimize}: compile the prediction pipeline (input
     classification, model selection, regression scratch) and the
@@ -81,7 +83,17 @@ val solver :
     budgets against them.  Predictions do not depend on the budget — only
     admissibility does — so a budget-grid sweep (the corpus precompute)
     pays the model-compilation cost once per (app, input) instead of once
-    per cell.  [optimize ~budget] is [solver () ~budget]. *)
+    per cell.  [optimize ~budget ()] is [solver () ~budget ()].
+
+    [first_phase] (default 0) restricts the solve to the plan {e suffix}:
+    phases before it are treated as already executed — they receive no
+    allocation, keep all-exact levels in the emitted schedule, and report
+    a zero sub-budget — while the remaining phases compete for the whole
+    [budget] in descending-ROI order.  This is what the runtime
+    {!Controller} calls at a phase boundary to re-solve only the work
+    still ahead against the budget still unspent; a caller merges the
+    suffix into the executed prefix itself.  Raises [Invalid_argument]
+    when [first_phase] is outside [0..n_phases]. *)
 
 val lint : models:Models.t -> plan -> Opprox_analysis.Diagnostic.t list
 (** Audit any plan — including one doctored or deserialized outside the

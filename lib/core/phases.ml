@@ -13,7 +13,11 @@ type probe_result = {
 
 let probe ?(samples_per_phase = 8) ?(seed = 0x9A5E) (app : App.t) ~n_phases =
   if n_phases < 1 then invalid_arg "Phases.probe: n_phases must be >= 1";
-  let rng = Rng.create (seed + n_phases) in
+  (* Seed from [seed] alone — NOT [seed + n_phases].  Algorithm 1 compares
+     max_consecutive_diff across phase counts, so every probe must draw the
+     same AL configurations; seeding per phase count injected sampling
+     variance into exactly the signal the doubling threshold chases. *)
+  let rng = Rng.create seed in
   let input = app.App.default_input in
   (* The same AL vectors probe every phase, so per-phase means differ only
      by phase placement. *)

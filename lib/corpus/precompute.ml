@@ -60,7 +60,7 @@ let sweep ?pool ?(inputs = inputs_of) ~budgets trained =
         in
         Array.to_list budgets
         |> List.filter_map (fun budget ->
-               match solve ~budget with
+               match solve ~budget () with
                | plan ->
                    Metrics.incr m_cells;
                    Some

@@ -49,6 +49,46 @@ let batch t reqs =
       List.map (fun _ -> read_response fd) reqs
   | Loopback _ -> List.map (request t) reqs
 
+let telemetry t tm =
+  match t.transport with
+  | Socket { fd; closed } ->
+      if closed then failwith "Client.telemetry: connection is closed";
+      Protocol.write_frame fd (Protocol.telemetry_to_sexp tm);
+      read_response fd
+  | Loopback server ->
+      (* Same both-directions codec round-trip as [request]. *)
+      let tm =
+        Protocol.telemetry_of_sexp
+          (Opprox_util.Sexp.of_string
+             (Opprox_util.Sexp.to_string (Protocol.telemetry_to_sexp tm)))
+      in
+      Protocol.response_of_sexp
+        (Opprox_util.Sexp.of_string
+           (Opprox_util.Sexp.to_string
+              (Protocol.response_to_sexp (Server.handle_telemetry server tm))))
+
+let replanner t ?input ~app ~plan_budget ~drift_tol () : Opprox.Controller.replanner =
+ fun (tm : Opprox.Controller.telemetry) ->
+  let frame =
+    Protocol.telemetry ?input ~app ~plan_budget ~phase:tm.Opprox.Controller.phase
+      ~n_phases:tm.Opprox.Controller.n_phases ~drift:tm.Opprox.Controller.drift ~drift_tol
+      ~observed_work:tm.Opprox.Controller.observed_work
+      ~predicted_work:tm.Opprox.Controller.predicted_work
+      ~remaining_budget:tm.Opprox.Controller.remaining_budget ()
+  in
+  match telemetry t frame with
+  | Protocol.PlanDelta { delta = Protocol.No_change; _ } -> None
+  | Protocol.PlanDelta { delta = Protocol.Replan { plan; _ }; _ } -> Some plan
+  | Protocol.Error diags ->
+      failwith
+        (Printf.sprintf "Client.replanner: server rejected telemetry: %s"
+           (String.concat "; "
+              (List.map
+                 (fun d -> Format.asprintf "%a" Opprox_analysis.Diagnostic.pp d)
+                 diags)))
+  | Protocol.Plan _ | Protocol.Timeout _ | Protocol.Overloaded _ ->
+      failwith "Client.replanner: unexpected reply to a telemetry frame"
+
 let send_raw t payload =
   match t.transport with
   | Socket { fd; closed } ->

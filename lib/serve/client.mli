@@ -35,6 +35,29 @@ val batch : t -> Protocol.request list -> Protocol.response list
     non-draining server; split such batches.  Loopback clients degrade
     to sequential {!request}s. *)
 
+val telemetry : t -> Protocol.telemetry -> Protocol.response
+(** Send one phase-boundary telemetry frame from a controlled run and
+    wait for the server's verdict — normally [PlanDelta], or [Error] on a
+    rejected frame.  Loopback clients round-trip both codecs around
+    {!Server.handle_telemetry}, like {!request}. *)
+
+val replanner :
+  t ->
+  ?input:float array ->
+  app:string ->
+  plan_budget:float ->
+  drift_tol:float ->
+  unit ->
+  Opprox.Controller.replanner
+(** Streaming recontrol: an {!Opprox.Controller.replanner} that ships
+    each over-tolerance boundary to the server as a telemetry frame and
+    adopts the returned plan delta — [No_change] keeps the schedule,
+    [Replan] hands the fresh suffix to the controller.  [input] should be
+    the input the controlled run executes on (the server re-solves
+    against it); [plan_budget] and [drift_tol] stamp the frames.  Raises
+    [Failure] when the server rejects the telemetry or answers with a
+    non-delta reply. *)
+
 val send_raw : t -> string -> Protocol.response
 (** Frame arbitrary bytes and send them — for probing the server's
     malformed-frame ([SRV004]) path.  Raises [Failure] on a loopback

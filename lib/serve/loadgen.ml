@@ -43,6 +43,7 @@ type report = {
   wall_s : float;
   achieved_rps : float;
   sources : counts;
+  dropped_nonfinite : int;
 }
 
 (* One scheduled arrival: when (seconds from epoch) and what to send. *)
@@ -116,6 +117,17 @@ let percentile sorted q =
   if n = 0 then Float.nan
   else sorted.(Stdlib.min (n - 1) (int_of_float (Float.ceil (q *. float_of_int n)) - 1))
 
+(* Percentiles run over finite latencies only, under Float.compare: the
+   polymorphic compare this replaced boxed every element and has no
+   total order story for NaN, so one bad clock read could land anywhere
+   in the sorted array and poison p999.  Non-finite samples are dropped
+   and counted instead of silently ranked. *)
+let finite_sorted lat =
+  let finite, nonfinite = List.partition Float.is_finite lat in
+  let sorted = Array.of_list finite in
+  Array.sort Float.compare sorted;
+  (sorted, List.length nonfinite)
+
 let run ~connect ~keys cfg =
   validate cfg ~keys;
   let shots = schedule cfg ~keys in
@@ -146,7 +158,7 @@ let run ~connect ~keys cfg =
             | Some (Protocol.Plan { cache; _ }) -> Answered (lat_ms, cache)
             | Some (Protocol.Overloaded _) -> Shed
             | Some (Protocol.Timeout _) -> TimedOut
-            | Some (Protocol.Error _) | None -> Failed);
+            | Some (Protocol.Error _ | Protocol.PlanDelta _) | None -> Failed);
           i := !i + cfg.conns
         done)
   in
@@ -175,8 +187,7 @@ let run ~connect ~keys cfg =
       | Failed -> incr errors
       | TimedOut -> incr timeouts)
     outcomes;
-  let sorted = Array.of_list !lat in
-  Array.sort compare sorted;
+  let sorted, dropped_nonfinite = finite_sorted !lat in
   let last_finish = Array.fold_left Float.max t0_us finished in
   let wall_s = Float.max 1e-9 ((last_finish -. t0_us) /. 1e6) in
   {
@@ -192,6 +203,7 @@ let run ~connect ~keys cfg =
     wall_s;
     achieved_rps = float_of_int n /. wall_s;
     sources = !sources;
+    dropped_nonfinite;
   }
 
 let pp ppf r =
@@ -201,4 +213,7 @@ let pp ppf r =
      sources: corpus %d  nn %d  cache %d  solved %d@,\
      wall %.2fs  achieved %.0f rps@]"
     r.sent r.answered r.shed r.errors r.timeouts r.p50_ms r.p99_ms r.p999_ms r.max_ms
-    r.sources.corpus r.sources.nn r.sources.cache r.sources.solved r.wall_s r.achieved_rps
+    r.sources.corpus r.sources.nn r.sources.cache r.sources.solved r.wall_s r.achieved_rps;
+  if r.dropped_nonfinite > 0 then
+    Format.fprintf ppf "@,WARNING: %d non-finite latency sample(s) dropped before percentiles"
+      r.dropped_nonfinite

@@ -62,7 +62,22 @@ type report = {
   wall_s : float;
   achieved_rps : float;
   sources : counts;  (** where answered plans came from *)
+  dropped_nonfinite : int;
+      (** latency samples that were NaN/infinite (broken clock reads) —
+          dropped before the percentile pass instead of being ranked *)
 }
+
+val finite_sorted : float list -> float array * int
+(** The report's percentile pre-pass: drop non-finite samples (returning
+    how many), sort the rest ascending under [Float.compare] — a total
+    order, unlike the polymorphic compare it replaced, which had no story
+    for NaN and could rank one bad clock read anywhere in the array.
+    Exposed so the regression tests can pin the behaviour without a live
+    load run. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] with [sorted] ascending; NaN on an empty
+    array. *)
 
 val run : connect:(unit -> Client.t) -> keys:key array -> config -> report
 (** Fire the schedule at servers reached through [connect] (called once

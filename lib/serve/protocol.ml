@@ -22,6 +22,36 @@ let request ?input ?deadline_ms ?models_hash ?(no_cache = false) ~app ~budget ()
    budget), the in-memory LRU, or a fresh solve. *)
 type cache_status = Corpus | Nearest | Hit | Miss
 
+type telemetry = {
+  t_app : string;
+  t_input : float array option;
+  plan_budget : float;
+  phase : int;
+  n_phases : int;
+  drift : float;
+  drift_tol : float;
+  observed_work : float;
+  predicted_work : float;
+  remaining_budget : float;
+}
+
+let telemetry ?input ~app ~plan_budget ~phase ~n_phases ~drift ~drift_tol ~observed_work
+    ~predicted_work ~remaining_budget () =
+  {
+    t_app = app;
+    t_input = input;
+    plan_budget;
+    phase;
+    n_phases;
+    drift;
+    drift_tol;
+    observed_work;
+    predicted_work;
+    remaining_budget;
+  }
+
+type plan_delta = No_change | Replan of { from_phase : int; plan : Optimizer.plan }
+
 type response =
   | Plan of {
       plan : Optimizer.plan;
@@ -29,6 +59,7 @@ type response =
       models_hash : string;
       elapsed_ms : float;
     }
+  | PlanDelta of { delta : plan_delta; elapsed_ms : float }
   | Error of Diagnostic.t list
   | Timeout of { elapsed_ms : float; deadline_ms : float }
   | Overloaded of { inflight : int; limit : int }
@@ -47,6 +78,48 @@ let request_to_sexp r =
 
 let frame_version sexp =
   match Sexp.field_opt sexp "v" with None -> version | Some v -> Sexp.to_int v
+
+(* Plan requests predate the [kind] tag and stay untagged on the wire;
+   every other frame shape carries [(kind ...)] so the server can
+   dispatch before decoding the payload. *)
+let frame_kind sexp =
+  match Sexp.field_opt sexp "kind" with
+  | None -> "request"
+  | Some k -> Sexp.to_string_atom k
+
+let telemetry_to_sexp t =
+  Sexp.record
+    ([
+       ("v", Sexp.int version);
+       ("kind", Sexp.atom "telemetry");
+       ("app", Sexp.string t.t_app);
+       ("plan_budget", Sexp.float t.plan_budget);
+       ("phase", Sexp.int t.phase);
+       ("n_phases", Sexp.int t.n_phases);
+       ("drift", Sexp.float t.drift);
+       ("drift_tol", Sexp.float t.drift_tol);
+       ("observed_work", Sexp.float t.observed_work);
+       ("predicted_work", Sexp.float t.predicted_work);
+       ("remaining_budget", Sexp.float t.remaining_budget);
+     ]
+    @ opt "input" Sexp.float_array t.t_input)
+
+let telemetry_of_sexp sexp =
+  (match frame_kind sexp with
+  | "telemetry" -> ()
+  | k -> failwith (Printf.sprintf "telemetry: frame kind %S is not telemetry" k));
+  {
+    t_app = Sexp.to_string_atom (Sexp.field sexp "app");
+    t_input = Option.map Sexp.to_float_array (Sexp.field_opt sexp "input");
+    plan_budget = Sexp.to_float (Sexp.field sexp "plan_budget");
+    phase = Sexp.to_int (Sexp.field sexp "phase");
+    n_phases = Sexp.to_int (Sexp.field sexp "n_phases");
+    drift = Sexp.to_float (Sexp.field sexp "drift");
+    drift_tol = Sexp.to_float (Sexp.field sexp "drift_tol");
+    observed_work = Sexp.to_float (Sexp.field sexp "observed_work");
+    predicted_work = Sexp.to_float (Sexp.field sexp "predicted_work");
+    remaining_budget = Sexp.to_float (Sexp.field sexp "remaining_budget");
+  }
 
 let request_of_sexp sexp =
   {
@@ -83,6 +156,24 @@ let response_to_sexp = function
           ("status", Sexp.atom "plan");
           ("cache", Sexp.atom (cache_status_string cache));
           ("models_hash", Sexp.string models_hash);
+          ("elapsed_ms", Sexp.float elapsed_ms);
+          ("plan", Optimizer.plan_to_sexp plan);
+        ]
+  | PlanDelta { delta = No_change; elapsed_ms } ->
+      Sexp.record
+        [
+          ("v", Sexp.int version);
+          ("status", Sexp.atom "plan_delta");
+          ("delta", Sexp.atom "no_change");
+          ("elapsed_ms", Sexp.float elapsed_ms);
+        ]
+  | PlanDelta { delta = Replan { from_phase; plan }; elapsed_ms } ->
+      Sexp.record
+        [
+          ("v", Sexp.int version);
+          ("status", Sexp.atom "plan_delta");
+          ("delta", Sexp.atom "replan");
+          ("from_phase", Sexp.int from_phase);
           ("elapsed_ms", Sexp.float elapsed_ms);
           ("plan", Optimizer.plan_to_sexp plan);
         ]
@@ -126,6 +217,20 @@ let response_of_sexp sexp =
           models_hash = Sexp.to_string_atom (Sexp.field sexp "models_hash");
           elapsed_ms = Sexp.to_float (Sexp.field sexp "elapsed_ms");
         }
+  | "plan_delta" ->
+      let elapsed_ms = Sexp.to_float (Sexp.field sexp "elapsed_ms") in
+      let delta =
+        match Sexp.to_string_atom (Sexp.field sexp "delta") with
+        | "no_change" -> No_change
+        | "replan" ->
+            Replan
+              {
+                from_phase = Sexp.to_int (Sexp.field sexp "from_phase");
+                plan = Optimizer.plan_of_sexp (Sexp.field sexp "plan");
+              }
+        | s -> failwith (Printf.sprintf "response: bad plan delta %S" s)
+      in
+      PlanDelta { delta; elapsed_ms }
   | "error" ->
       Error (List.map Diagnostic.of_sexp (Sexp.to_list (Sexp.field sexp "diagnostics")))
   | "timeout" ->

@@ -71,6 +71,50 @@ val cache_status_string : cache_status -> string
 val cache_source_string : cache_status -> string
 (** User-facing naming: [corpus], [nn], [cache], [solved]. *)
 
+type telemetry = {
+  t_app : string;  (** application the controlled run executes *)
+  t_input : float array option;
+      (** the input the run is executing on ([None]: the app's default) —
+          the server re-solves against {e this} input, not the one the
+          original plan was built for *)
+  plan_budget : float;  (** the plan's total QoS budget (percent) *)
+  phase : int;  (** phase that just completed *)
+  n_phases : int;
+  drift : float;  (** relative work drift the controller observed *)
+  drift_tol : float;
+      (** the controller's tolerance; the server answers [No_change] when
+          [drift <= drift_tol], so retransmitted or below-threshold frames
+          are cheap *)
+  observed_work : float;
+  predicted_work : float;
+  remaining_budget : float;  (** budget left for the remaining phases *)
+}
+(** One phase-boundary report from a controlled run (streaming
+    recontrol).  On the wire it is a [(kind telemetry)] frame — plan
+    requests stay untagged — so one connection can interleave plan
+    requests and telemetry. *)
+
+val telemetry :
+  ?input:float array ->
+  app:string ->
+  plan_budget:float ->
+  phase:int ->
+  n_phases:int ->
+  drift:float ->
+  drift_tol:float ->
+  observed_work:float ->
+  predicted_work:float ->
+  remaining_budget:float ->
+  unit ->
+  telemetry
+
+type plan_delta =
+  | No_change  (** keep executing the current schedule *)
+  | Replan of { from_phase : int; plan : Opprox.Optimizer.plan }
+      (** adopt [plan]'s phases at and after [from_phase]; phases before
+          it are already executed and never change *)
+(** The server's verdict on one telemetry frame. *)
+
 type response =
   | Plan of {
       plan : Opprox.Optimizer.plan;
@@ -78,6 +122,8 @@ type response =
       models_hash : string;  (** hash of the models that solved it *)
       elapsed_ms : float;
     }
+  | PlanDelta of { delta : plan_delta; elapsed_ms : float }
+      (** reply to a telemetry frame *)
   | Error of Opprox_analysis.Diagnostic.t list
       (** boundary validation or solve failure; every diagnostic carries
           a stable [SRV***] (or [PLAN***]) code *)
@@ -96,6 +142,16 @@ val request_of_sexp : Opprox_util.Sexp.t -> request
 
 val frame_version : Opprox_util.Sexp.t -> int
 (** The [(v N)] field of a frame, defaulting to {!version} when absent. *)
+
+val frame_kind : Opprox_util.Sexp.t -> string
+(** The [(kind K)] field of a frame; ["request"] when absent (plan
+    requests predate the tag and stay untagged on the wire). *)
+
+val telemetry_to_sexp : telemetry -> Opprox_util.Sexp.t
+
+val telemetry_of_sexp : Opprox_util.Sexp.t -> telemetry
+(** Raises [Failure] on a malformed record or a frame whose [kind] is not
+    [telemetry]. *)
 
 val response_to_sexp : response -> Opprox_util.Sexp.t
 

@@ -20,6 +20,8 @@ let m_request_us = Metrics.histogram "server.request_us"
 let m_solve_us = Metrics.histogram "server.solve_us"
 let m_sf_leaders = Metrics.counter "server.singleflight.leaders"
 let m_sf_coalesced = Metrics.counter "server.singleflight.coalesced"
+let m_telemetry = Metrics.counter "server.telemetry"
+let m_deltas = Metrics.counter "server.plan_deltas"
 let m_corpus_hits = Metrics.counter "corpus.hits"
 let m_corpus_misses = Metrics.counter "corpus.misses"
 let m_corpus_nn_hits = Metrics.counter "corpus.nn_hits"
@@ -365,6 +367,89 @@ let process t (req : Protocol.request) ~t0_us =
               | r -> r)
       end)
 
+(* ---------------------------------------------------------- telemetry path *)
+
+(* Answer one phase-boundary telemetry frame from a controlled run:
+   below-tolerance drift is acknowledged with [No_change]; anything past
+   it re-solves the remaining phases against the remaining budget on the
+   input the run is actually executing.  The suffix solve reuses the
+   plan-request machinery's models but none of its caches — telemetry
+   budgets are continuous (remaining budget after an arbitrary drift),
+   so fingerprint reuse would be noise. *)
+let process_telemetry t (tm : Protocol.telemetry) ~t0_us =
+  Metrics.incr m_telemetry;
+  Trace.with_span ~cat:"server" "server.telemetry" (fun () ->
+      let elapsed_ms () = (Trace.now_us () -. t0_us) /. 1000.0 in
+      let view =
+        {
+          Lint_request.app = tm.Protocol.t_app;
+          budget = tm.Protocol.plan_budget;
+          input = tm.Protocol.t_input;
+          models_hash = None;
+          deadline_ms = None;
+        }
+      in
+      let shape_diags =
+        let bad fmt = Printf.ksprintf (fun m -> [ Lint_request.malformed m ]) fmt in
+        if tm.Protocol.n_phases < 1 then bad "telemetry: n_phases %d < 1" tm.Protocol.n_phases
+        else if tm.Protocol.phase < 0 || tm.Protocol.phase >= tm.Protocol.n_phases then
+          bad "telemetry: phase %d outside 0..%d" tm.Protocol.phase (tm.Protocol.n_phases - 1)
+        else if not (Float.is_finite tm.Protocol.drift && tm.Protocol.drift >= 0.0) then
+          bad "telemetry: non-finite or negative drift"
+        else if not (Float.is_finite tm.Protocol.remaining_budget) then
+          bad "telemetry: non-finite remaining budget"
+        else []
+      in
+      let diags = shape_diags @ Lint_request.check t.target view in
+      if Diagnostic.errors diags <> [] then begin
+        Metrics.incr m_errors;
+        Protocol.Error diags
+      end
+      else if tm.Protocol.drift <= tm.Protocol.drift_tol then
+        Protocol.PlanDelta { delta = Protocol.No_change; elapsed_ms = elapsed_ms () }
+      else begin
+        let served = Hashtbl.find t.served tm.Protocol.t_app in
+        let trained = served.trained in
+        let input =
+          match tm.Protocol.t_input with
+          | Some i -> i
+          | None -> trained.Opprox.app.App.default_input
+        in
+        match
+          let t_solve = Trace.now_us () in
+          let plan =
+            Trace.with_span ~cat:"server" "server.solve" (fun () ->
+                Opprox.Optimizer.solver ~models:trained.Opprox.models ~roi:trained.Opprox.roi
+                  ~input ()
+                  ~first_phase:(tm.Protocol.phase + 1)
+                  ~budget:(Float.max 0.0 tm.Protocol.remaining_budget)
+                  ())
+          in
+          Metrics.observe m_solve_us (Trace.now_us () -. t_solve);
+          plan
+        with
+        | exception Diagnostic.Lint_error ds ->
+            Metrics.incr m_errors;
+            Protocol.Error ds
+        | exception ((Stdlib.Exit | Stack_overflow | Out_of_memory | Assert_failure _) as e) ->
+            raise e
+        | exception e ->
+            Metrics.incr m_errors;
+            Protocol.Error [ Lint_request.internal (Printexc.to_string e) ]
+        | plan ->
+            Metrics.incr m_deltas;
+            Log.info (fun m ->
+                m "%s: drift %.2f > tol %.2f after phase %d; replanned phases %d.. against \
+                   budget %.3f"
+                  tm.Protocol.t_app tm.Protocol.drift tm.Protocol.drift_tol tm.Protocol.phase
+                  (tm.Protocol.phase + 1) tm.Protocol.remaining_budget);
+            Protocol.PlanDelta
+              {
+                delta = Protocol.Replan { from_phase = tm.Protocol.phase + 1; plan };
+                elapsed_ms = elapsed_ms ();
+              }
+      end)
+
 (* Admission around one request: bump the in-flight counter, shed when
    over the bound. *)
 let with_admission t f =
@@ -384,6 +469,12 @@ let with_admission t f =
 let handle t req =
   let t0_us = Trace.now_us () in
   let resp = with_admission t (fun () -> process t req ~t0_us) in
+  Metrics.observe m_request_us (Trace.now_us () -. t0_us);
+  resp
+
+let handle_telemetry t tm =
+  let t0_us = Trace.now_us () in
+  let resp = with_admission t (fun () -> process_telemetry t tm ~t0_us) in
   Metrics.observe m_request_us (Trace.now_us () -. t0_us);
   resp
 
@@ -412,16 +503,38 @@ let handle_conn t fd =
               (Protocol.response_to_sexp
                  (Protocol.Error [ Lint_request.bad_version ~got:v ]))
         | _ -> (
-            match Protocol.request_of_sexp frame with
-            | exception Failure msg ->
+            match (try Protocol.frame_kind frame with Failure _ -> "<malformed>") with
+            | "telemetry" -> (
+                match Protocol.telemetry_of_sexp frame with
+                | exception Failure msg ->
+                    Metrics.incr m_errors;
+                    reply
+                      (Protocol.response_to_sexp
+                         (Protocol.Error [ Lint_request.malformed msg ]))
+                | tm ->
+                    let resp = process_telemetry t tm ~t0_us in
+                    Metrics.observe m_request_us (Trace.now_us () -. t0_us);
+                    reply (Protocol.response_to_sexp resp))
+            | "request" -> (
+                match Protocol.request_of_sexp frame with
+                | exception Failure msg ->
+                    Metrics.incr m_errors;
+                    reply
+                      (Protocol.response_to_sexp
+                         (Protocol.Error [ Lint_request.malformed msg ]))
+                | req ->
+                    let resp = process t req ~t0_us in
+                    Metrics.observe m_request_us (Trace.now_us () -. t0_us);
+                    reply (Protocol.response_to_sexp resp))
+            | k ->
                 Metrics.incr m_errors;
                 reply
                   (Protocol.response_to_sexp
-                     (Protocol.Error [ Lint_request.malformed msg ]))
-            | req ->
-                let resp = process t req ~t0_us in
-                Metrics.observe m_request_us (Trace.now_us () -. t0_us);
-                reply (Protocol.response_to_sexp resp)));
+                     (Protocol.Error
+                        [
+                          Lint_request.malformed
+                            (Printf.sprintf "unknown frame kind %S" k);
+                        ]))));
         (* During a drain, finish the frame just answered, then close. *)
         if not (Atomic.get t.stopping) then loop ()
   in

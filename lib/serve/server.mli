@@ -96,6 +96,17 @@ val handle : t -> Protocol.request -> Protocol.response
     defects — they come back as [Error] replies; programming errors
     inside the server itself still raise. *)
 
+val handle_telemetry : t -> Protocol.telemetry -> Protocol.response
+(** Streaming-recontrol loopback: answer one phase-boundary telemetry
+    frame from a controlled run.  Drift at or below the frame's
+    [drift_tol] is acknowledged with [PlanDelta No_change]; drift past it
+    re-solves the remaining phases against the remaining budget on the
+    run's actual input ({!Opprox.Optimizer.solver} with [~first_phase])
+    and replies [PlanDelta (Replan _)].  Unknown apps, bad inputs, and
+    malformed fields come back as [SRV***]-coded [Error] replies.  The
+    socket path dispatches [(kind telemetry)] frames here
+    ([server.telemetry] / [server.plan_deltas] metrics). *)
+
 val serve : t -> socket:string -> unit
 (** Bind [socket] (an existing stale socket file is replaced), then
     accept until {!stop}: each connection is handed to a pool worker,

@@ -89,6 +89,10 @@ let make_iterative ~name ~description ~param_names ~abs ~default_input ~training
     seed;
   }
 
+let with_training_inputs t ~default_input ~training_inputs =
+  validate ~name:t.name ~abs:t.abs ~param_names:t.param_names ~default_input ~training_inputs;
+  { t with default_input; training_inputs }
+
 let n_abs t = Array.length t.abs
 let max_levels t = Array.map (fun (ab : Ab.t) -> ab.max_level) t.abs
 let ab_names t = Array.map (fun (ab : Ab.t) -> ab.name) t.abs

@@ -95,6 +95,13 @@ val make_iterative :
     synthesized as init / step-to-completion / finish, so behaviour is
     identical for callers that never checkpoint. *)
 
+val with_training_inputs : t -> default_input:float array -> training_inputs:float array array -> t
+(** The same application over a different input set — the computation,
+    ABs, and seed are untouched.  What tests and bench harnesses use to
+    retrain a registry app at a smaller problem scale without rebuilding
+    its closures.  Validates like {!make} (arity, finiteness, at least one
+    training input). *)
+
 val n_abs : t -> int
 
 val max_levels : t -> int array

@@ -202,6 +202,7 @@ let run_exact (app : App.t) input =
    prefix covering phases [0 .. q-1] is bit-identical to the golden
    trajectory up to (not including) this iteration. *)
 let boundary_iter ~n_phases ~i_total q = ((q * i_total) + n_phases - 1) / n_phases
+let phase_boundary ~n_phases ~i_total q = boundary_iter ~n_phases ~i_total q
 
 (* Run [app] under [sched], restoring the deepest cached exact-prefix
    checkpoint and saving any boundary checkpoints the run passes through.

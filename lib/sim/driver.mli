@@ -133,6 +133,14 @@ val input_key : App.t -> float array -> string
     name plus the IEEE-754 bit pattern of every input component.  Shared
     with {!Oracle}'s measured-space memo. *)
 
+val phase_boundary : n_phases:int -> i_total:int -> int -> int
+(** [phase_boundary ~n_phases ~i_total q] is the first outer iteration of
+    phase [q] when [i_total] exact iterations are split over [n_phases]
+    phases: [ceil (q * i_total / n_phases)].  This is the boundary the
+    checkpoint cache keys on; the runtime controller uses it to step a
+    live instance phase by phase and to snapshot at exactly the
+    iterations the driver's own checkpoints would. *)
+
 val seed_for : App.t -> float array -> int
 (** The deterministic RNG seed the driver uses for a given input: the
     app seed and the IEEE-754 bits of every input component folded through

@@ -226,6 +226,7 @@ let code_of = function
   | Protocol.Error (d :: _) -> d.Diagnostic.code
   | Protocol.Error [] -> "no-diagnostic"
   | Protocol.Plan _ -> "plan"
+  | Protocol.PlanDelta _ -> "plan_delta"
   | Protocol.Timeout _ -> "timeout"
   | Protocol.Overloaded _ -> "overloaded"
 
