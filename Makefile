@@ -1,6 +1,6 @@
 # Convenience aliases; dune is the build system.
 
-.PHONY: all check test lint stats serve-smoke corpus-smoke pool-smoke conc-smoke control-smoke fixtures bench bench-snapshot fmt clean
+.PHONY: all check test lint stats serve-smoke corpus-smoke pool-smoke conc-smoke control-smoke search-smoke fixtures bench bench-snapshot fmt clean
 
 all:
 	dune build @all
@@ -189,6 +189,38 @@ control-smoke:
 	kill -TERM $$SRV; wait $$SRV || true; \
 	echo "control-smoke: ok"
 
+# Stochastic-search smoke test: on a small-scale transformer training
+# the multi-chain MCMC must plan the 9^13-point joint space (enumeration
+# is infeasible there — the fallback the PLAN010 rule makes visible) in
+# seconds with a lint-clean plan (opprox search exits non-zero on any
+# PLAN/SRCH error), and the result must be bit-identical across repeat
+# runs and across --jobs: chains are seeded by (seed, index), never by
+# scheduling.
+search-smoke:
+	dune build bin/opprox_cli.exe
+	@set -e; \
+	DIR=$$(mktemp -d /tmp/opprox-search-XXXXXX); \
+	trap 'rm -rf $$DIR' EXIT; \
+	ARGS="search transformer -b 10 -p 2 --inputs 32,12,8 --joint 3 --chains 2 --iters 400 --seed 11"; \
+	dune exec --no-build bin/opprox_cli.exe -- $$ARGS -j 1 > $$DIR/j1.out \
+	  || { echo "search-smoke: search failed"; cat $$DIR/j1.out; exit 1; }; \
+	grep -q "2541865828329 joint configs" $$DIR/j1.out \
+	  || { echo "search-smoke: 9^13 joint space not reported"; cat $$DIR/j1.out; exit 1; }; \
+	grep -q "predicted speedup" $$DIR/j1.out \
+	  || { echo "search-smoke: no search stats line"; cat $$DIR/j1.out; exit 1; }; \
+	echo "search-smoke: planned the 9^13 joint space, plan lint-clean (ok)"; \
+	dune exec --no-build bin/opprox_cli.exe -- $$ARGS -j 1 > $$DIR/j1b.out; \
+	cmp -s $$DIR/j1.out $$DIR/j1b.out \
+	  || { echo "search-smoke: repeat run differs at the same seed"; \
+	       diff $$DIR/j1.out $$DIR/j1b.out; exit 1; }; \
+	echo "search-smoke: repeat run bit-identical (ok)"; \
+	dune exec --no-build bin/opprox_cli.exe -- $$ARGS -j 4 > $$DIR/j4.out; \
+	cmp -s $$DIR/j1.out $$DIR/j4.out \
+	  || { echo "search-smoke: output differs between -j 1 and -j 4"; \
+	       diff $$DIR/j1.out $$DIR/j4.out; exit 1; }; \
+	echo "search-smoke: bit-identical across --jobs (ok)"; \
+	echo "search-smoke: ok"
+
 # Regenerate the committed corruption fixtures under test/fixtures/.
 fixtures:
 	dune exec test/gen_fixtures.exe
@@ -199,17 +231,21 @@ bench:
 
 # Regenerate the committed benchmark snapshots (BENCH_pool.json,
 # BENCH_checkpoint.json, BENCH_obs.json, BENCH_serve.json,
-# BENCH_corpus.json, BENCH_conc.json, and BENCH_control.json) from the
-# bechamel micro-suite.  Exits non-zero if the pool scaling gate fails
-# (inverted scaling, or under 1.5x at j4 on a >= 4-core host), the
-# corpus gate fails (corpus hit over 1.25x an LRU hit, corpus/nn
-# lookups over 0.2 ms, or duplicate solves not held to one per
-# fingerprint under a hot-key loadgen storm), the conc gate fails
-# (disabled-checker Dmutex lock/unlock more than 1.35x a bare Mutex),
-# or the control gate fails (the controller not reducing
+# BENCH_corpus.json, BENCH_conc.json, BENCH_control.json, and
+# BENCH_search.json) from the bechamel micro-suite.  Exits non-zero if
+# the pool scaling gate fails (inverted scaling, or under 1.5x at j4 on
+# a >= 4-core host), the corpus gate fails (corpus hit over 1.25x an
+# LRU hit, corpus/nn lookups over 0.2 ms, or duplicate solves not held
+# to one per fingerprint under a hot-key loadgen storm), the conc gate
+# fails (disabled-checker Dmutex lock/unlock more than 1.35x a bare
+# Mutex), the control gate fails (the controller not reducing
 # budget-violations vs the static plan on the perturbed-input suite,
 # never replanning, re-simulating executed phases, or a suffix
-# re-solve costing more than a controlled run).
+# re-solve costing more than a controlled run), or the search gate
+# fails (the stochastic solve on the transformer's 9^13 space — where
+# enumeration is recorded as infeasible, never attempted — missing its
+# wall-clock bound, differing across seeds or pool widths, or
+# returning an infeasible or over-budget plan).
 bench-snapshot:
 	dune exec bench/main.exe -- --bechamel
 

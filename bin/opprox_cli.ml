@@ -7,6 +7,8 @@
      optimize APP -b BUDGET      emit + execute a plan (optionally --load)
      run APP -b BUDGET           execute on a (perturbed) input; --controlled adds
                                  online phase-boundary recontrol
+     search APP -b BUDGET        multi-chain MCMC plan search (--chains, --iters,
+                                 --seed) for spaces enumeration cannot touch
      oracle APP -b BUDGET        the phase-agnostic exhaustive baseline
      check [APP]                 static diagnostics over apps/models/schedules/corpora
      stats [APP]                 exercise the pipeline, report the metrics registry
@@ -276,20 +278,41 @@ let trim_app (app : App.t) = function
          Printf.eprintf "opprox: --inputs: %s\n" msg;
          exit 2)
 
-let train_config ~phases ~joint =
+(* The one uniform stochastic-seed flag.  Every pipeline command that
+   draws randomness takes [--seed N] with the same meaning: it seeds the
+   training sampler (default 0xDA7A = 55930), and in [search] the MCMC
+   master seed as well (default 0x5EA2C = 387628).  Results are a
+   deterministic function of the seed at any [--jobs]. *)
+let seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"N"
+        ~doc:"Seed for the command's stochastic components: the training sampling plan \
+              (default $(b,0xDA7A) = 55930) and, under $(b,search), the MCMC master seed \
+              (default $(b,0x5EA2C) = 387628).  Every result is a deterministic function \
+              of the seed, independent of $(b,--jobs).")
+
+let train_config ~phases ~joint ~seed =
   let config =
     match phases with
     | None -> Opprox.default_train_config
     | Some n -> { Opprox.default_train_config with n_phases = Some n }
   in
-  match joint with
+  let config =
+    match joint with
+    | None -> config
+    | Some n ->
+        {
+          config with
+          Opprox.training =
+            { config.Opprox.training with Opprox.Training.joint_samples_per_phase = n };
+        }
+  in
+  match seed with
   | None -> config
-  | Some n ->
-      {
-        config with
-        Opprox.training =
-          { config.Opprox.training with Opprox.Training.joint_samples_per_phase = n };
-      }
+  | Some s ->
+      { config with Opprox.training = { config.Opprox.training with Opprox.Training.seed = s } }
 
 let train_cmd =
   let output_arg =
@@ -298,10 +321,10 @@ let train_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Where to store the trained pipeline.")
   in
-  let run () () (app : App.t) phases inputs joint output verbose =
+  let run () () (app : App.t) phases inputs joint seed output verbose =
     setup_logs verbose;
     let app = trim_app app inputs in
-    let config = train_config ~phases ~joint in
+    let config = train_config ~phases ~joint ~seed in
     Printf.printf "Training OPPROX on %s...\n%!" app.name;
     let trained = Opprox.train ~config app in
     Opprox.save output trained;
@@ -314,7 +337,7 @@ let train_cmd =
     (Cmd.info "train" ~doc:"Run the offline stage and persist the trained pipeline.")
     Term.(
       const run $ jobs_arg $ obs_arg $ app_arg $ phases_arg $ train_inputs_arg $ joint_arg
-      $ output_arg $ verbose_arg)
+      $ seed_arg $ output_arg $ verbose_arg)
 
 (* -------------------------------------------------------------- optimize *)
 
@@ -429,7 +452,7 @@ let run_cmd =
                 serve) daemon on $(docv) and adopt its plan deltas instead of re-solving \
                 locally (implies $(b,--controlled)).")
   in
-  let run () () (app : App.t) budget phases inputs joint load controlled drift_tol
+  let run () () (app : App.t) budget phases inputs joint seed load controlled drift_tol
       max_replans via input perturb verbose =
     setup_logs verbose;
     let app = trim_app app inputs in
@@ -440,7 +463,7 @@ let run_cmd =
           Printf.printf "Loading trained pipeline from %s...\n%!" path;
           Opprox.load ~resolve:Opprox_apps.Registry.find path
       | None ->
-          let config = train_config ~phases ~joint in
+          let config = train_config ~phases ~joint ~seed in
           Printf.printf "Training OPPROX on %s...\n%!" app.name;
           Opprox.train ~config app
     in
@@ -527,8 +550,101 @@ let run_cmd =
           remaining budget).")
     Term.(
       const run $ jobs_arg $ obs_arg $ app_arg $ budget_arg $ phases_arg $ train_inputs_arg
-      $ joint_arg $ load_arg $ controlled_arg $ drift_tol_arg $ max_replans_arg $ via_arg
-      $ input_arg $ perturb_arg $ verbose_arg)
+      $ joint_arg $ seed_arg $ load_arg $ controlled_arg $ drift_tol_arg $ max_replans_arg
+      $ via_arg $ input_arg $ perturb_arg $ verbose_arg)
+
+(* ---------------------------------------------------------------- search *)
+
+let search_cmd =
+  let chains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chains" ] ~docv:"N"
+          ~doc:"Independent MCMC chains (default 4).  Chain $(i,i) is seeded from \
+                $(b,(seed, i)) alone, so the result is bit-identical at any $(b,--jobs) \
+                and — once the iteration budget lets every chain converge — across chain \
+                counts too.")
+  in
+  let iters_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "iters" ] ~docv:"N" ~doc:"Proposal steps per chain (default 2000).")
+  in
+  let run () () (app : App.t) budget phases inputs joint seed load chains iters verbose =
+    setup_logs verbose;
+    let app = trim_app app inputs in
+    let trained =
+      match load with
+      | Some path ->
+          Printf.printf "Loading trained pipeline from %s...\n%!" path;
+          Opprox.load ~resolve:Opprox_apps.Registry.find path
+      | None ->
+          let config = train_config ~phases ~joint ~seed in
+          Printf.printf "Training OPPROX on %s...\n%!" app.name;
+          Opprox.train ~config app
+    in
+    let app = trained.Opprox.app in
+    let module Search = Opprox_search.Search in
+    let base = Search.default_config in
+    let config =
+      {
+        Search.chains = Option.value chains ~default:base.Search.chains;
+        iters = Option.value iters ~default:base.Search.iters;
+        seed = Option.value seed ~default:base.Search.seed;
+      }
+    in
+    Printf.printf
+      "Searching %s (%d ABs, %d joint configs) at budget %.1f%%: %d chain(s) x %d step(s), \
+       seed %d\n%!"
+      app.App.name (App.n_abs app)
+      (Opprox_sim.Config_space.count app.abs)
+      budget config.Search.chains config.Search.iters config.Search.seed;
+    let plan, stats =
+      try
+        Search.solve ~config ~models:trained.Opprox.models ~input:app.App.default_input
+          ~budget ()
+      with Opprox_analysis.Diagnostic.Lint_error diags ->
+        Format.eprintf "opprox search: audit failed:@.%a@." Opprox_analysis.Diagnostic.pp_list
+          diags;
+        exit 1
+    in
+    print_plan_table ~budget plan;
+    let t = Table.create [ "chain"; "best cost" ] in
+    Array.iteri
+      (fun i c ->
+        Table.add_row t
+          [
+            (if i = stats.Search.best_chain then Printf.sprintf "%d *" i else string_of_int i);
+            (if Float.is_nan c then "never feasible" else Printf.sprintf "%.6f" c);
+          ])
+      stats.Search.chain_costs;
+    Table.print ~title:"Chains (* = winner)" t;
+    Printf.printf
+      "search: %d step(s), %d accept(s) (%.0f%%), %d restart(s); best cost %.6f, predicted \
+       speedup %.3f, predicted qos-hi %.2f%%\n"
+      stats.Search.steps stats.Search.accepts
+      (if stats.Search.steps = 0 then 0.0
+       else 100.0 *. float_of_int stats.Search.accepts /. float_of_int stats.Search.steps)
+      stats.Search.restarts stats.Search.best_cost plan.Opprox.Optimizer.predicted_speedup
+      plan.Opprox.Optimizer.predicted_qos;
+    let outcome = Opprox.apply trained plan in
+    Printf.printf "Measured: speedup %.3f, qos degradation %.2f%% (budget %.1f%%)%s\n"
+      outcome.Driver.speedup outcome.Driver.qos_degradation budget
+      (if outcome.Driver.qos_degradation > budget then "  ** over budget **" else "")
+  in
+  Cmd.v
+    (Cmd.info "search"
+       ~doc:
+         "Plan through the stochastic schedule search: multi-chain MCMC over whole \
+          per-phase AL schedules, priced by the trained models — the only strategy that \
+          scales to joint spaces enumeration cannot touch (e.g. $(b,transformer)'s \
+          9^13).  Prints the winning plan, per-chain outcomes, and acceptance stats, \
+          then executes the plan.")
+    Term.(
+      const run $ jobs_arg $ obs_arg $ app_arg $ budget_arg $ phases_arg $ train_inputs_arg
+      $ joint_arg $ seed_arg $ load_arg $ chains_arg $ iters_arg $ verbose_arg)
 
 (* ---------------------------------------------------------------- submit *)
 
@@ -972,7 +1088,7 @@ let stats_cmd =
       & info [] ~docv:"APP"
           ~doc:"Application to exercise (default: the first registered one).")
   in
-  let run () () app budget verbose =
+  let run () () app budget seed verbose =
     setup_logs verbose;
     let app =
       match app with
@@ -988,12 +1104,13 @@ let stats_cmd =
         n_phases = Some 2;
         training =
           {
-            Opprox.Training.default_config with
-            joint_samples_per_phase = 2;
+            Opprox.Training.joint_samples_per_phase = 2;
             inputs =
               Some
                 (Array.sub app.App.training_inputs 0
                    (Stdlib.min 2 (Array.length app.App.training_inputs)));
+            seed =
+              Option.value seed ~default:Opprox.Training.default_config.Opprox.Training.seed;
           };
       }
     in
@@ -1009,7 +1126,7 @@ let stats_cmd =
        ~doc:
          "Run a small train/optimize/apply pass and print the metrics registry \
           (counters, gauges, histograms) it produced.")
-    Term.(const run $ jobs_arg $ obs_arg $ app_opt_arg $ budget_arg $ verbose_arg)
+    Term.(const run $ jobs_arg $ obs_arg $ app_opt_arg $ budget_arg $ seed_arg $ verbose_arg)
 
 (* ----------------------------------------------------------------- serve *)
 
@@ -1537,6 +1654,7 @@ let () =
             train_cmd;
             optimize_cmd;
             run_cmd;
+            search_cmd;
             submit_cmd;
             oracle_cmd;
             check_cmd;

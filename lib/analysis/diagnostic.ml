@@ -53,6 +53,7 @@ let codes =
     ("PLAN007", "plan schedule shape differs from the models'");
     ("PLAN008", "plan choices are not one-per-phase in phase order");
     ("PLAN009", "sub-budget split far exceeds the plan's predicted consumption");
+    ("PLAN010", "per-phase search fell back from exhaustive enumeration");
     ("SRV001", "request budget non-finite or outside (0, 100]");
     ("SRV002", "request names an application the server holds no models for");
     ("SRV003", "request models-hash differs from the loaded models");
@@ -69,6 +70,9 @@ let codes =
     ("CONC002", "shared state accessed without its guarding lockset held");
     ("CONC003", "reentrant acquisition of a mutex the domain already holds");
     ("CONC004", "mutex released or waited on by a domain that does not hold it");
+    ("SRCH001", "stochastic search chains diverged on best cost");
+    ("SRCH002", "stochastic search found no feasible schedule");
+    ("SRCH003", "stochastic search best schedule violates the QoS budget");
   ]
 
 let is_failure ~strict d =

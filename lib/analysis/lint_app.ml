@@ -66,8 +66,9 @@ let check_app (app : App.t) =
       [ D.v ~app:name ~code:"APP003" D.Error "joint configuration space count is %d" count ]
     else if count > enumeration_bound then
       [
-        D.v ~app:name ~code:"APP004" D.Warning
-          "joint configuration space has %d points (> %d); exhaustive passes will be truncated"
+        D.v ~app:name ~code:"APP004" D.Info
+          "joint configuration space has %d points (> %d); exhaustive passes are skipped and \
+           plans come from greedy or stochastic search"
           count enumeration_bound;
       ]
     else []

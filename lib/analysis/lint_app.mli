@@ -6,9 +6,12 @@
     declared input vectors. *)
 
 val enumeration_bound : int
-(** Joint spaces larger than this trigger [APP004]: {!Opprox_sim.Config_space.all}
-    materializes the full list, and both the optimizer's exhaustive search
-    and the model sanity sweep enumerate it. *)
+(** Joint spaces larger than this trigger [APP004] ([Info]):
+    {!Opprox_sim.Config_space.all} materializes the full list, and both
+    the optimizer's exhaustive search and the model sanity sweep
+    enumerate it.  Larger spaces are legitimate since the stochastic
+    search landed — the diagnostic records that exhaustive passes are
+    skipped for them, not a defect. *)
 
 val check_app : Opprox_sim.App.t -> Diagnostic.t list
 (** Rules [APP001]–[APP007] over one application. *)

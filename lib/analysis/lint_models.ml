@@ -154,11 +154,12 @@ let check_class_samples v =
    region), so report the first offending point per (phase, rule) only. *)
 let check_sweep v =
   let app = v.app_name in
-  let space = Config_space.all v.abs in
+  (* The guard must run before the space is materialized: a huge app's
+     joint space (transformer: ~2.5e12 points) cannot even be listed. *)
   let truncated =
     if Config_space.count v.abs > Lint_app.enumeration_bound then
       [
-        D.v ~app ~code:"APP004" D.Warning
+        D.v ~app ~code:"APP004" D.Info
           "prediction sweep skipped: configuration space exceeds %d points"
           Lint_app.enumeration_bound;
       ]
@@ -166,6 +167,7 @@ let check_sweep v =
   in
   if truncated <> [] then truncated
   else begin
+    let space = Config_space.all v.abs in
     let out = ref [] in
     let levels_str levels =
       Printf.sprintf "levels [%s]"

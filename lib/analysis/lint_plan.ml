@@ -203,3 +203,8 @@ let check_plan v =
     else []
   in
   List.concat_map per_choice v.choices @ order @ split @ over_alloc @ shape @ sched
+
+let fallback ~app ~space ~limit ~chosen =
+  D.v ~app ~code:"PLAN010" D.Warning
+    "per-phase space has %d points (> enumeration limit %d); falling back to %s search" space
+    limit chosen

@@ -46,3 +46,12 @@ val check_plan : plan_view -> Diagnostic.t list
     accounting, the signature of the pre-fix optimizer sweep re-granting
     infeasible phases; [Warning]), plus the [SCHED***] findings of
     {!Lint_schedule.check} on the plan's schedule. *)
+
+val fallback : app:string -> space:int -> limit:int -> chosen:string -> Diagnostic.t
+(** [PLAN010] ([Warning]): the optimizer replaced exhaustive per-phase
+    enumeration with [chosen] ("greedy" or "stochastic") because the
+    joint AL space has [space] points, more than [limit].  Built here so
+    the optimizer's silent-fallback fix and its regression test share one
+    constructor; the optimizer logs it and bumps [optimizer.fallbacks]
+    rather than failing — the fallback is correct, just no longer
+    invisible. *)

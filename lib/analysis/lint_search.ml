@@ -1,0 +1,58 @@
+module D = Diagnostic
+
+type view = {
+  app_name : string;
+  budget : float;
+  chain_costs : float array;
+  best_cost : float;
+  best_qos_hi : float;
+  feasible : bool;
+}
+
+let divergence_threshold = 0.10
+
+(* Mirrors Lint_plan.feasibility_eps: budgets are percent-scale floats
+   accumulated over phases, so comparisons carry a small relative slack. *)
+let feasibility_eps budget = 1e-6 *. Float.max 1.0 (Float.abs budget)
+
+let check v =
+  let app = v.app_name in
+  let divergence =
+    let finite =
+      List.filter Float.is_finite (Array.to_list v.chain_costs)
+    in
+    match finite with
+    | [] | [ _ ] -> []
+    | costs ->
+        let best = List.fold_left Float.min infinity costs in
+        let worst = List.fold_left Float.max neg_infinity costs in
+        let spread = (worst -. best) /. Float.max 1e-9 (Float.abs best) in
+        if spread > divergence_threshold then
+          [
+            D.v ~app ~code:"SRCH001" D.Warning
+              "chains diverged: best costs spread %.1f%% across %d chain(s) (best %.4f, worst \
+               %.4f) — consider more iterations or chains"
+              (100.0 *. spread) (List.length costs) best worst;
+          ]
+        else []
+  in
+  let infeasible =
+    if not v.feasible then
+      [
+        D.v ~app ~code:"SRCH002" D.Warning
+          "no chain visited a feasible schedule under budget %.3f; falling back to the \
+           all-exact schedule"
+          v.budget;
+      ]
+    else []
+  in
+  let over_budget =
+    if v.feasible && v.best_qos_hi > v.budget +. feasibility_eps v.budget then
+      [
+        D.v ~app ~code:"SRCH003" D.Error
+          "best schedule marked feasible but conservative QoS %.3f exceeds budget %.3f"
+          v.best_qos_hi v.budget;
+      ]
+    else []
+  in
+  divergence @ infeasible @ over_budget

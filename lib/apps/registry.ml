@@ -6,7 +6,7 @@ let register (app : Opprox_sim.App.t) =
   registered := !registered @ [ app ]
 
 let paper = [ Lulesh.app; Vidproc.app; Bodytrack.app; Pso.app; Comd.app ]
-let extensions = [ Kmeans.app ]
+let extensions = [ Kmeans.app; Transformer.app ]
 let () = List.iter register (paper @ extensions)
 let all () = !registered
 

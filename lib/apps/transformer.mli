@@ -1,0 +1,33 @@
+(** Transformer-inference simulation (extension application): the
+    deliberately huge knob space that defeats enumeration.
+
+    The outer loop decodes one token per iteration.  Each token attends
+    over the hidden-state history (the KV cache), runs four layer groups
+    of perforated attention scoring + perforated FFN/residual updates of
+    a recurrent hidden state, then layer-norms, quantizes, and refines
+    the token's output contribution.  Because the hidden state and the
+    attended history both recur, an early-phase approximation corrupts
+    everything decoded after it — the paper's phase-sensitivity
+    structure, at a scale only the stochastic search can plan for.
+
+    Input parameters: [n_tokens], [d_model], [n_layers].
+
+    Approximable blocks — 13 ABs, every one with [max_level = 8], so the
+    joint configuration space is 9{^13} (~2.5e12 points, far past both
+    {!Opprox_analysis.Lint_app.enumeration_bound} and 10{^12}):
+    + [attention_scores_g0..g3] — {b loop perforation} over the attended
+      context positions, per layer group,
+    + [ffn_update_g0..g3] — {b loop perforation} over the hidden
+      dimensions updated per token, per layer group,
+    + [kv_cache_summary] — {b memoization}: the context-summary vector is
+      recomputed every (level+1)-th token and replayed stale in between,
+    + [context_topk] — {b truncation} of the attention window,
+    + [layernorm] — {b loop perforation} of the centering pass,
+    + [logit_precision] — {b parameter tuning} of the quantization grid,
+    + [decode_refinement] — {b truncation} of the fixed-point decode
+      loop.
+
+    QoS metric: relative distortion of the accumulated decoded output
+    plus an attention-entropy trace. *)
+
+val app : Opprox_sim.App.t

@@ -15,6 +15,7 @@ let m_sweeps = Metrics.counter "optimizer.sweeps"
 let m_predict_hits = Metrics.counter "optimizer.predict.hit"
 let m_predict_misses = Metrics.counter "optimizer.predict.miss"
 let m_reopts = Metrics.counter "optimizer.phase.reopt"
+let m_fallbacks = Metrics.counter "optimizer.fallbacks"
 
 type phase_choice = {
   phase : int;
@@ -31,7 +32,29 @@ type plan = {
   budget : float;
 }
 
-type search = Enumerate | Greedy
+type search = Enumerate | Greedy | Stochastic
+
+type stochastic_params = { chains : int; iters : int; seed : int }
+
+let default_stochastic_params = { chains = 4; iters = 2000; seed = 0x5EA2C }
+
+(* The stochastic strategy lives in opprox.search, which depends on this
+   module (it prices schedules through Models.predictor and audits plans
+   through lint).  The dependency is inverted through a registration
+   hook: linking opprox.search installs the solver at module-init time. *)
+let stochastic_solver :
+    (models:Models.t ->
+    input:float array ->
+    budget:float ->
+    first_phase:int ->
+    params:stochastic_params ->
+    int array array)
+    option
+    ref =
+  ref None
+
+let set_stochastic_solver f = stochastic_solver := Some f
+let stochastic_available () = !stochastic_solver <> None
 
 let compose_speedup speedups =
   let savings =
@@ -125,7 +148,8 @@ let log_diags diags =
       Log.msg level (fun m -> m "%a" Diagnostic.pp d))
     diags
 
-let solver ?search ?(enumeration_limit = 20000) ~models ~roi ~input () =
+let solver ?search ?(enumeration_limit = 20000) ?(stochastic = default_stochastic_params)
+    ~models ~roi ~input () =
   let app = Models.app models in
   let n_phases = Models.n_phases models in
   let abs = app.App.abs in
@@ -153,7 +177,23 @@ let solver ?search ?(enumeration_limit = 20000) ~models ~roi ~input () =
   let search =
     match search with
     | Some s -> s
-    | None -> if Config_space.count abs <= enumeration_limit then Enumerate else Greedy
+    | None ->
+        let space = Config_space.count abs in
+        if space <= enumeration_limit then Enumerate
+        else begin
+          (* The fallback is correct but must not be silent: a plan whose
+             per-phase optimum came from a heuristic search is a different
+             artifact than an enumerated one.  PLAN010 + a counter make
+             the switch observable (and regression-testable). *)
+          let chosen = if stochastic_available () then Stochastic else Greedy in
+          Metrics.incr m_fallbacks;
+          log_diags
+            [
+              Lint_plan.fallback ~app:app.App.name ~space ~limit:enumeration_limit
+                ~chosen:(match chosen with Stochastic -> "stochastic" | _ -> "greedy");
+            ];
+          chosen
+        end
   in
   let order = Roi.descending_order roi in
   let n_abs = Array.length abs in
@@ -205,6 +245,7 @@ let solver ?search ?(enumeration_limit = 20000) ~models ~roi ~input () =
           match search with
           | Enumerate -> enumerate_phase ~predict:predict_cached ~input ~phase ~budget:allocated.(phase) abs
           | Greedy -> greedy_phase ~predict:predict_cached ~input ~phase ~budget:allocated.(phase) abs
+          | Stochastic -> assert false (* whole-schedule strategy; handled before the sweeps *)
         in
         match result with
         | Some (levels, p) ->
@@ -240,22 +281,52 @@ let solver ?search ?(enumeration_limit = 20000) ~models ~roi ~input () =
       order;
     !changed
   in
-  (* At most [max_sweeps] Algorithm-2 passes run, and the count below is
-     the number actually executed: the cap is checked {e before} a sweep
-     starts.  (An earlier revision tested the cap after the call, running
-     a sixth sweep whose convergence signal was discarded, and logged a
-     count one past the executed sweeps on early convergence.) *)
-  let max_sweeps = 5 in
-  let sweeps = ref 0 in
-  let converged = ref false in
-  while (not !converged) && !sweeps < max_sweeps do
-    incr sweeps;
-    Metrics.incr m_sweeps;
-    converged := not (Trace.with_span ~cat:"optimizer" "optimizer.sweep" sweep)
-  done;
-  Log.debug (fun m ->
-      m "budget %.2f settled after %d sweep(s); consumed %.2f" budget !sweeps
-        (total_consumed ()));
+  (match search with
+  | Stochastic ->
+      (* Whole-schedule strategy: the registered MCMC driver searches the
+         joint per-phase space directly instead of sweeping phases under
+         ROI-split sub-budgets.  Each phase's sub-budget is then simply
+         what its chosen levels are predicted to consume. *)
+      let solve =
+        match !stochastic_solver with
+        | Some f -> f
+        | None ->
+            failwith
+              "Optimizer: Stochastic search requested but no solver is registered (link \
+               opprox.search)"
+      in
+      let levels = solve ~models ~input ~budget ~first_phase ~params:stochastic in
+      if Array.length levels <> n_phases then
+        failwith
+          (Printf.sprintf "Optimizer: stochastic solver returned %d phases, models have %d"
+             (Array.length levels) n_phases);
+      Array.iteri
+        (fun phase lv ->
+          if active phase then begin
+            let p = predict_cached ~input ~phase ~levels:lv in
+            let c = Float.max 0.0 p.Models.qos_hi in
+            chosen.(phase) <- Some (Array.copy lv, p);
+            allocated.(phase) <- c;
+            consumed.(phase) <- c
+          end)
+        levels
+  | Enumerate | Greedy ->
+      (* At most [max_sweeps] Algorithm-2 passes run, and the count below is
+         the number actually executed: the cap is checked {e before} a sweep
+         starts.  (An earlier revision tested the cap after the call, running
+         a sixth sweep whose convergence signal was discarded, and logged a
+         count one past the executed sweeps on early convergence.) *)
+      let max_sweeps = 5 in
+      let sweeps = ref 0 in
+      let converged = ref false in
+      while (not !converged) && !sweeps < max_sweeps do
+        incr sweeps;
+        Metrics.incr m_sweeps;
+        converged := not (Trace.with_span ~cat:"optimizer" "optimizer.sweep" sweep)
+      done;
+      Log.debug (fun m ->
+          m "budget %.2f settled after %d sweep(s); consumed %.2f" budget !sweeps
+            (total_consumed ())));
   (* Choices are reported in phase order — the order the plan executes —
      not in the descending-ROI order the sweeps visited them in. *)
   let choices =
@@ -287,8 +358,55 @@ let solver ?search ?(enumeration_limit = 20000) ~models ~roi ~input () =
   Diagnostic.raise_errors ~strict:false diags;
   plan
 
-let optimize ?search ?enumeration_limit ~models ~roi ~input ~budget () =
-  solver ?search ?enumeration_limit ~models ~roi ~input () ~budget ()
+let optimize ?search ?enumeration_limit ?stochastic ~models ~roi ~input ~budget () =
+  solver ?search ?enumeration_limit ?stochastic ~models ~roi ~input () ~budget ()
+
+(* Build (and audit) a plan directly from a full levels matrix — the exit
+   path of the stochastic search, and useful for any externally-produced
+   schedule that should carry the models' predictions.  Each phase's
+   sub-budget is its own predicted conservative consumption, so the split
+   sums exactly to the plan's predicted QoS. *)
+let plan_of_levels ~models ~input ~budget levels =
+  let app = Models.app models in
+  let n_phases = Models.n_phases models in
+  let n_abs = Array.length app.App.abs in
+  if Array.length levels <> n_phases then
+    invalid_arg
+      (Printf.sprintf "Optimizer.plan_of_levels: %d phases, models have %d"
+         (Array.length levels) n_phases);
+  Array.iter
+    (fun row ->
+      if Array.length row <> n_abs then
+        invalid_arg
+          (Printf.sprintf "Optimizer.plan_of_levels: a row has %d levels, app has %d ABs"
+             (Array.length row) n_abs))
+    levels;
+  let predict = Models.predictor models ~input in
+  let choices =
+    List.init n_phases (fun phase ->
+        let lv = Array.copy levels.(phase) in
+        let p = predict ~phase ~levels:lv in
+        { phase; levels = lv; predicted = p; sub_budget = Float.max 0.0 p.Models.qos_hi })
+  in
+  let predicted_speedup =
+    compose_speedup (List.map (fun c -> c.predicted.Models.speedup) choices)
+  in
+  let predicted_qos =
+    List.fold_left (fun acc c -> acc +. c.predicted.Models.qos_hi) 0.0 choices
+  in
+  let plan =
+    {
+      schedule = Schedule.make (Array.map Array.copy levels);
+      choices;
+      predicted_speedup;
+      predicted_qos;
+      budget;
+    }
+  in
+  let diags = lint ~models plan in
+  log_diags diags;
+  Diagnostic.raise_errors ~strict:false diags;
+  plan
 
 (* ---------------------------------------------------------- serialization *)
 

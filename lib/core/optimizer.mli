@@ -33,22 +33,55 @@ type plan = {
   budget : float;
 }
 
-type search = Enumerate | Greedy
+type search =
+  | Enumerate  (** exact per-phase enumeration (small AL spaces) *)
+  | Greedy  (** per-phase greedy coordinate ascent *)
+  | Stochastic
+      (** whole-schedule multi-chain MCMC ({!Opprox_search.Search});
+          requires the [opprox.search] library to be linked — it installs
+          itself through {!set_stochastic_solver} at module-init time *)
+
+type stochastic_params = { chains : int; iters : int; seed : int }
+(** Knobs forwarded to the registered stochastic solver: number of
+    independent Metropolis–Hastings chains, iterations per chain, and the
+    master seed the per-chain streams are split from. *)
+
+val default_stochastic_params : stochastic_params
+(** [{ chains = 4; iters = 2000; seed = 0x5EA2C }]. *)
+
+val set_stochastic_solver :
+  (models:Models.t ->
+  input:float array ->
+  budget:float ->
+  first_phase:int ->
+  params:stochastic_params ->
+  int array array) ->
+  unit
+(** Install the whole-schedule stochastic solver.  The returned matrix is
+    [n_phases x n_abs] levels; phases before [first_phase] must be
+    all-zero.  Called by [opprox.search] when it is linked; not meant for
+    application code. *)
+
+val stochastic_available : unit -> bool
+(** Whether a stochastic solver has been registered. *)
 
 val optimize :
   ?search:search ->
   ?enumeration_limit:int ->
+  ?stochastic:stochastic_params ->
   models:Models.t ->
   roi:float array ->
   input:float array ->
   budget:float ->
   unit ->
   plan
-(** Run Algorithm 2.  [enumeration_limit] (default 20000) switches to the
-    greedy search when the per-phase space is larger.  The returned
-    schedule always satisfies the models' conservative per-phase
-    constraints; the all-exact schedule is the fallback when no setting
-    fits a sub-budget.
+(** Run Algorithm 2.  When the per-phase space exceeds
+    [enumeration_limit] (default 20000) and [?search] was not forced, the
+    solve falls back to [Stochastic] when available (else [Greedy]) —
+    visibly: a Warning-severity [PLAN010] diagnostic is logged and the
+    [optimizer.fallbacks] counter bumped.  The returned schedule always
+    satisfies the models' conservative per-phase constraints; the
+    all-exact schedule is the fallback when no setting fits a sub-budget.
 
     Inputs are validated through {!Opprox_analysis.Lint_plan.check_inputs}
     before any search runs — a negative or non-finite budget, an ROI
@@ -69,6 +102,7 @@ val optimize :
 val solver :
   ?search:search ->
   ?enumeration_limit:int ->
+  ?stochastic:stochastic_params ->
   models:Models.t ->
   roi:float array ->
   input:float array ->
@@ -94,6 +128,16 @@ val solver :
     still ahead against the budget still unspent; a caller merges the
     suffix into the executed prefix itself.  Raises [Invalid_argument]
     when [first_phase] is outside [0..n_phases]. *)
+
+val plan_of_levels :
+  models:Models.t -> input:float array -> budget:float -> int array array -> plan
+(** Build a plan directly from an [n_phases x n_abs] levels matrix: each
+    phase is priced through the models' hoisted predictor, its sub-budget
+    set to its own predicted conservative consumption, and the whole plan
+    audited through {!lint} ([Lint_error] on failures) before it is
+    returned.  This is how the stochastic search materializes its
+    best-of-chains schedule; it works for any externally-produced
+    schedule.  Raises [Invalid_argument] on a shape mismatch. *)
 
 val lint : models:Models.t -> plan -> Opprox_analysis.Diagnostic.t list
 (** Audit any plan — including one doctored or deserialized outside the

@@ -1,0 +1,75 @@
+module Rng = Opprox_util.Rng
+module Ab = Opprox_sim.Ab
+module Config_space = Opprox_sim.Config_space
+
+let fresh sched = Array.map Array.copy sched
+
+let mutable_phases ~first_phase sched = Array.length sched - first_phase
+
+let pick_phase rng ~first_phase sched =
+  first_phase + Rng.int rng (mutable_phases ~first_phase sched)
+
+let clamp ~(ab : Ab.t) l = Stdlib.max 0 (Stdlib.min ab.Ab.max_level l)
+
+let perturb rng ~abs ~first_phase sched =
+  let next = fresh sched in
+  if mutable_phases ~first_phase sched <= 0 then next
+  else begin
+    let phase = pick_phase rng ~first_phase sched in
+    let ab = Rng.int rng (Array.length abs) in
+    let delta = if Rng.bool rng then 1 else -1 in
+    let current = next.(phase).(ab) in
+    let moved = clamp ~ab:abs.(ab) (current + delta) in
+    (* A blocked direction flips rather than degenerating to the identity:
+       max_level >= 1 guarantees one of the two neighbours exists. *)
+    next.(phase).(ab) <-
+      (if moved <> current then moved else clamp ~ab:abs.(ab) (current - delta));
+    next
+  end
+
+let swap rng ~abs ~first_phase sched =
+  let k = mutable_phases ~first_phase sched in
+  if k < 2 then perturb rng ~abs ~first_phase sched
+  else begin
+    let next = fresh sched in
+    let a = first_phase + Rng.int rng k in
+    let b =
+      (* Distinct second phase via a shifted draw — one Rng call, no
+         rejection loop. *)
+      let d = 1 + Rng.int rng (k - 1) in
+      first_phase + ((a - first_phase + d) mod k)
+    in
+    let tmp = next.(a) in
+    next.(a) <- next.(b);
+    next.(b) <- tmp;
+    next
+  end
+
+let shift_all delta _rng ~abs ~first_phase sched =
+  let next = fresh sched in
+  for phase = first_phase to Array.length sched - 1 do
+    Array.iteri (fun ab l -> next.(phase).(ab) <- clamp ~ab:abs.(ab) (l + delta)) sched.(phase)
+  done;
+  next
+
+let tighten rng ~abs ~first_phase sched = shift_all (-1) rng ~abs ~first_phase sched
+let loosen rng ~abs ~first_phase sched = shift_all 1 rng ~abs ~first_phase sched
+
+let resample rng ~abs ~first_phase sched =
+  let next = fresh sched in
+  if mutable_phases ~first_phase sched <= 0 then next
+  else begin
+    let phase = pick_phase rng ~first_phase sched in
+    next.(phase) <- Config_space.random rng abs;
+    next
+  end
+
+let apply rng ~abs ~first_phase sched =
+  if mutable_phases ~first_phase sched <= 0 then fresh sched
+  else
+    match Rng.int rng 8 with
+    | 0 | 1 | 2 | 3 -> perturb rng ~abs ~first_phase sched
+    | 4 -> swap rng ~abs ~first_phase sched
+    | 5 -> tighten rng ~abs ~first_phase sched
+    | 6 -> loosen rng ~abs ~first_phase sched
+    | _ -> resample rng ~abs ~first_phase sched

@@ -1,0 +1,69 @@
+(** Mutation operators over a whole per-phase AL schedule.
+
+    A schedule here is the raw [n_phases x n_abs] levels matrix the MCMC
+    chain walks.  Every operator returns a {e fresh} matrix (the input is
+    never aliased or modified), draws all of its randomness from the
+    [Rng.t] it is handed — so a chain's trajectory is a pure function of
+    its seed — and never touches a phase before [first_phase] (suffix
+    solves keep executed phases exact, mirroring the optimizer's
+    contract).  Out-of-range results are clamped to each AB's
+    [0..max_level]. *)
+
+val perturb :
+  Opprox_util.Rng.t ->
+  abs:Opprox_sim.Ab.t array ->
+  first_phase:int ->
+  int array array ->
+  int array array
+(** Move one phase's level in one AB by +-1 (the local move; most of the
+    mixing).  When the drawn direction is blocked by a range edge the
+    other direction is taken, so the move never degenerates into the
+    identity (every AB has [max_level >= 1]). *)
+
+val swap :
+  Opprox_util.Rng.t ->
+  abs:Opprox_sim.Ab.t array ->
+  first_phase:int ->
+  int array array ->
+  int array array
+(** Exchange two distinct phases' whole AL vectors — the phase-aware
+    move: total aggressiveness is conserved but re-attributed across
+    phases of different sensitivity.  Falls back to {!perturb} when fewer
+    than two phases are mutable. *)
+
+val tighten :
+  Opprox_util.Rng.t ->
+  abs:Opprox_sim.Ab.t array ->
+  first_phase:int ->
+  int array array ->
+  int array array
+(** Step every mutable phase's every AB one level down (toward exact) —
+    the global retreat move out of a budget violation. *)
+
+val loosen :
+  Opprox_util.Rng.t ->
+  abs:Opprox_sim.Ab.t array ->
+  first_phase:int ->
+  int array array ->
+  int array array
+(** Step every mutable phase's every AB one level up (more aggressive) —
+    the global advance move when slack remains. *)
+
+val resample :
+  Opprox_util.Rng.t ->
+  abs:Opprox_sim.Ab.t array ->
+  first_phase:int ->
+  int array array ->
+  int array array
+(** Replace one phase's AL vector with a uniform draw from its whole
+    space — the restart-scale move that lets a chain leave a basin. *)
+
+val apply :
+  Opprox_util.Rng.t ->
+  abs:Opprox_sim.Ab.t array ->
+  first_phase:int ->
+  int array array ->
+  int array array
+(** One weighted random mutation: {!perturb} half of the time, the other
+    four operators an eighth each (STOKE's shape: mostly local moves,
+    occasional structural ones).  Identity when no phase is mutable. *)

@@ -6,7 +6,8 @@ let () =
            (Test_util.suite @ Test_linalg.suite @ Test_ml.suite @ Test_sim.suite
           @ Test_apps.suite @ Test_core.suite @ Test_checkpoint.suite @ Test_serialize.suite
           @ Test_runtime.suite @ Test_pool.suite @ Test_analysis.suite @ Test_obs.suite
-          @ Test_serve.suite @ Test_corpus.suite @ Test_conc.suite @ Test_control.suite))
+          @ Test_serve.suite @ Test_corpus.suite @ Test_conc.suite @ Test_control.suite
+          @ Test_search.suite))
     with e -> Error e
   in
   (* Under OPPROX_RACECHECK=1 (or the OPPROX_DEBUG alias) the whole suite

@@ -262,9 +262,54 @@ let test_table1_search_spaces () =
 
 let test_registry () =
   check_int "five paper applications" 5 (List.length Registry.paper);
-  check_int "all includes extensions" 6 (List.length (Registry.all ()));
+  check_int "all includes extensions" 7 (List.length (Registry.all ()));
   check_bool "find works" true ((Registry.find "lulesh").App.name = "lulesh");
   Alcotest.check_raises "unknown app" Not_found (fun () -> ignore (Registry.find "nope"))
+
+let transformer = Registry.find "transformer"
+
+let test_transformer_space_defeats_enumeration () =
+  (* The whole point of the app: 13 ABs x 9 levels, > 1e12 joint configs —
+     past both the lint enumeration bound and the issue's 10^12 floor. *)
+  let count = Opprox_sim.Config_space.count transformer.App.abs in
+  check_int "13 ABs" 13 (App.n_abs transformer);
+  check_bool "every AB has 9 levels" true
+    (Array.for_all (fun m -> m = 8) (App.max_levels transformer));
+  check_bool "space exceeds 10^12" true (count > 1_000_000_000_000);
+  check_bool "space exceeds the lint enumeration bound" true
+    (count > Opprox_analysis.Lint_app.enumeration_bound)
+
+let test_transformer_output_shape () =
+  (* d_model decoded outputs plus the attention-entropy trace. *)
+  let exact = Driver.run_exact transformer [| 32.0; 16.0; 8.0 |] in
+  check_int "d_model + entropy" 17 (Array.length exact.Driver.output)
+
+let test_transformer_iterations_are_tokens () =
+  let exact = Driver.run_exact transformer [| 32.0; 16.0; 8.0 |] in
+  check_int "one iteration per token" 32 exact.Driver.iters
+
+let test_transformer_early_phase_propagates () =
+  (* Corrupting the first quarter of the decode must hurt at least as much
+     as corrupting the last quarter: the hidden state and KV history carry
+     the damage forward. *)
+  let mid = mid_levels transformer in
+  let q phase =
+    (evaluate transformer (Schedule.single_phase_active ~n_phases:4 ~phase mid))
+      .Driver.qos_degradation
+  in
+  check_bool "first quarter damage persists" true (q 0 >= q 3);
+  check_bool "approximation degrades at all" true (q 0 > 0.0)
+
+let test_transformer_kv_staleness_graded () =
+  (* More aggressive KV-cache memoization alone must not improve QoS. *)
+  let n = App.n_abs transformer in
+  let lv level =
+    let a = Array.make n 0 in
+    a.(8) <- level;
+    a
+  in
+  let q level = (uniform transformer (lv level)).Driver.qos_degradation in
+  check_bool "stale cache degrades" true (q 8 >= 0.0 && q 8 >= q 2 -. 1e-9)
 
 let suite =
   List.map shared_suite (Registry.all ())
@@ -304,5 +349,14 @@ let suite =
           Alcotest.test_case "kmeans iterations respond" `Quick test_kmeans_iterations_respond;
           Alcotest.test_case "table 1 search spaces" `Quick test_table1_search_spaces;
           Alcotest.test_case "registry" `Quick test_registry;
+          Alcotest.test_case "transformer space defeats enumeration" `Quick
+            test_transformer_space_defeats_enumeration;
+          Alcotest.test_case "transformer output shape" `Quick test_transformer_output_shape;
+          Alcotest.test_case "transformer iterations are tokens" `Quick
+            test_transformer_iterations_are_tokens;
+          Alcotest.test_case "transformer early phase propagates" `Quick
+            test_transformer_early_phase_propagates;
+          Alcotest.test_case "transformer kv staleness graded" `Quick
+            test_transformer_kv_staleness_graded;
         ] );
     ]
